@@ -1,0 +1,97 @@
+//! Design-choice ablations around SCADS (DESIGN.md §6):
+//!
+//! 1. **Graph-based vs random auxiliary selection** — the paper's central
+//!    design choice (Sec. 3.1) is that *relatedness* is what makes auxiliary
+//!    data useful. The control selects the same volume of auxiliary data
+//!    uniformly at random.
+//! 2. **The N/K compute budget** — Sec. 3.1 argues SCADS lets users trade
+//!    accuracy for training time by fixing the number of related concepts
+//!    `N` and images per concept `K`. The sweep reports accuracy against
+//!    `|R|`.
+
+use taglets_bench::write_results;
+use taglets_data::BackboneKind;
+use taglets_eval::{Experiment, ExperimentScale, Stats, TextTable};
+use taglets_scads::PruneLevel;
+use taglets_core::{SelectionStrategy, TagletsConfig};
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let mut rendered = String::new();
+
+    // Ablation 1: graph-based vs random selection.
+    let mut table = TextTable::new(vec![
+        "Task".into(),
+        "Shots".into(),
+        "graph-selected R".into(),
+        "random R".into(),
+    ]);
+    for task_name in ["office_home_product", "grocery_store"] {
+        let task = env.task(task_name);
+        for shots in [1usize, 5] {
+            let split = task.split(0, shots);
+            let mut accs = Vec::new();
+            for strategy in [SelectionStrategy::GraphRelated, SelectionStrategy::RandomConcepts] {
+                let mut config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
+                config.selection = strategy;
+                let system = env.system(config);
+                let values: Vec<f32> = env
+                    .scale()
+                    .training_seeds()
+                    .iter()
+                    .map(|&seed| {
+                        system
+                            .run(task, &split, PruneLevel::NoPruning, seed)
+                            .expect("run")
+                            .end_model
+                            .accuracy(&split.test_x, &split.test_y)
+                    })
+                    .collect();
+                accs.push(Stats::from_values(&values).to_string());
+            }
+            table.row(vec![task_name.to_string(), shots.to_string(), accs[0].clone(), accs[1].clone()]);
+        }
+    }
+    rendered.push_str(&format!(
+        "Ablation — graph-based vs random auxiliary selection (end model, ResNet-50)\n{}\n",
+        table.render()
+    ));
+
+    // Ablation 2: N/K budget sweep on Grocery 1-shot.
+    let task = env.task("grocery_store");
+    let split = task.split(0, 1);
+    let mut sweep = TextTable::new(vec![
+        "N (concepts/class)".into(),
+        "K (images/concept)".into(),
+        "|R|".into(),
+        "end model".into(),
+    ]);
+    for (n, k) in [(1usize, 5usize), (2, 10), (3, 15), (5, 20)] {
+        let mut config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
+        config.related_concepts_per_class = n;
+        config.images_per_concept = k;
+        let system = env.system(config);
+        let mut size = 0;
+        let values: Vec<f32> = env
+            .scale()
+            .training_seeds()
+            .iter()
+            .map(|&seed| {
+                let run = system.run(task, &split, PruneLevel::NoPruning, seed).expect("run");
+                size = run.num_auxiliary_examples;
+                run.end_model.accuracy(&split.test_x, &split.test_y)
+            })
+            .collect();
+        sweep.row(vec![
+            n.to_string(),
+            k.to_string(),
+            size.to_string(),
+            Stats::from_values(&values).to_string(),
+        ]);
+    }
+    rendered.push_str(&format!(
+        "Ablation — SCADS compute budget (N × K sweep, Grocery 1-shot, ResNet-50)\n{}",
+        sweep.render()
+    ));
+    write_results("ablation_scads", &rendered);
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Figures 11–13** (Appendix A.6): the ensemble/end-model
+//! improvement analysis of Figure 5 on OfficeHome-Clipart, Flickr Material,
+//! and Grocery Store, for splits 0, 1, and 2 (ResNet-50 backbone).
+//!
+//! Expected shape (paper): the ensemble improves over the module average on
+//! every dataset and split; the effect is not correlated with pruning level.
+
+use taglets_bench::write_results;
+use taglets_data::BackboneKind;
+use taglets_eval::{
+    fmt_delta_pct, mean, run_taglets_detailed, Experiment, ExperimentScale, TextTable,
+};
+use taglets_scads::PruneLevel;
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let mut rendered = String::new();
+    for (figure, split_seed) in [(11u32, 0u64), (12, 1), (13, 2)] {
+        rendered.push_str(&format!("Figure {figure} — split {split_seed}\n"));
+        for task_name in ["office_home_clipart", "flickr_materials", "grocery_store"] {
+            let task = env.task(task_name);
+            let mut table = TextTable::new(vec![
+                "Prune".into(),
+                "Shots".into(),
+                "module mean %".into(),
+                "ensemble Δ".into(),
+                "end model Δ".into(),
+            ]);
+            for prune in PruneLevel::ALL {
+                for shots in [1usize, 5, 20] {
+                    if shots > task.max_shots {
+                        continue;
+                    }
+                    let split = task.split(split_seed, shots);
+                    let mut means = Vec::new();
+                    let mut ens = Vec::new();
+                    let mut end = Vec::new();
+                    for &seed in &env.scale().training_seeds() {
+                        let d = run_taglets_detailed(
+                            &env,
+                            task,
+                            &split,
+                            BackboneKind::ResNet50ImageNet1k,
+                            prune,
+                            seed,
+                            None,
+                        );
+                        let m = d.module_mean();
+                        means.push(m);
+                        ens.push(d.ensemble_accuracy - m);
+                        end.push(d.end_model_accuracy - m);
+                    }
+                    table.row(vec![
+                        prune.label().to_string(),
+                        shots.to_string(),
+                        format!("{:.2}", mean(&means) * 100.0),
+                        fmt_delta_pct(mean(&ens)),
+                        fmt_delta_pct(mean(&end)),
+                    ]);
+                }
+            }
+            rendered.push_str(&format!("[{task_name}]\n{}\n", table.render()));
+        }
+    }
+    write_results("fig11to13_ensemble", &rendered);
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Figure 4**: accuracy of each training module on
+//! OfficeHome-Product at every pruning level and shot count (ResNet-50
+//! backbone, averaged over training seeds).
+//!
+//! Expected shape (paper): modules improve with shots; pruning lowers the
+//! SCADS-dependent modules with diminishing effect as shots grow; ZSL-KG is
+//! invariant to both shots and pruning (it is never re-trained).
+
+use taglets_bench::write_results;
+use taglets_data::BackboneKind;
+use taglets_eval::{run_taglets_detailed, Experiment, ExperimentScale, Stats, TextTable};
+use taglets_scads::PruneLevel;
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let rendered = module_sweep_table(&env, "office_home_product", 0);
+    write_results("fig4_modules", &format!("Figure 4 — per-module accuracy, OfficeHome-Product (split 0, ResNet-50)\n{rendered}"));
+}
+
+/// Shared with fig8to10: renders the module sweep for one task/split.
+fn module_sweep_table(env: &Experiment, task_name: &str, split_seed: u64) -> String {
+    let task = env.task(task_name);
+    let modules = ["transfer", "multitask", "fixmatch", "zsl-kg"];
+    let mut header = vec!["Prune".to_string(), "Shots".to_string()];
+    header.extend(modules.iter().map(|m| m.to_string()));
+    let mut table = TextTable::new(header);
+    for prune in PruneLevel::ALL {
+        for shots in [1usize, 5, 20] {
+            if shots > task.max_shots {
+                continue;
+            }
+            let split = task.split(split_seed, shots);
+            let mut per_module: Vec<Vec<f32>> = vec![Vec::new(); modules.len()];
+            for &seed in &env.scale().training_seeds() {
+                let d = run_taglets_detailed(
+                    env,
+                    task,
+                    &split,
+                    BackboneKind::ResNet50ImageNet1k,
+                    prune,
+                    seed,
+                    None,
+                );
+                for (i, m) in modules.iter().enumerate() {
+                    let acc = d
+                        .module_accuracies
+                        .iter()
+                        .find(|(n, _)| n == m)
+                        .map(|(_, a)| *a)
+                        .expect("module ran");
+                    per_module[i].push(acc);
+                }
+            }
+            let mut cells = vec![prune.label().to_string(), shots.to_string()];
+            cells.extend(per_module.iter().map(|v| Stats::from_values(v).to_string()));
+            table.row(cells);
+        }
+        table.separator();
+    }
+    table.render()
+}

@@ -1,0 +1,79 @@
+//! Regenerates **Figure 5**: the improvement of the taglet ensemble and of
+//! the distilled end model over the *average* accuracy of the training
+//! modules, on OfficeHome-Product, per shot count and pruning level
+//! (ResNet-50 backbone).
+//!
+//! Expected shape (paper): the ensemble improves on the module average at
+//! every setting (≥ +7 points in the paper); at 1 and 5 shots it also beats
+//! the best single module; the end model tracks the ensemble within a few
+//! points either way; pruning does not corrupt the ensembling benefit.
+
+use taglets_bench::write_results;
+use taglets_data::BackboneKind;
+use taglets_eval::{
+    fmt_delta_pct, mean, run_taglets_detailed, Experiment, ExperimentScale, TextTable,
+};
+use taglets_scads::PruneLevel;
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let rendered = ensemble_gain_table(&env, "office_home_product", 0);
+    write_results(
+        "fig5_ensemble",
+        &format!("Figure 5 — ensemble & end-model gains over module mean, OfficeHome-Product (split 0, ResNet-50)\n{rendered}"),
+    );
+}
+
+fn ensemble_gain_table(env: &Experiment, task_name: &str, split_seed: u64) -> String {
+    let task = env.task(task_name);
+    let mut table = TextTable::new(vec![
+        "Prune".into(),
+        "Shots".into(),
+        "module mean %".into(),
+        "best module %".into(),
+        "ensemble Δ".into(),
+        "end model Δ".into(),
+        "ens − best".into(),
+    ]);
+    for prune in PruneLevel::ALL {
+        for shots in [1usize, 5, 20] {
+            if shots > task.max_shots {
+                continue;
+            }
+            let split = task.split(split_seed, shots);
+            let mut module_means = Vec::new();
+            let mut bests = Vec::new();
+            let mut ens_gains = Vec::new();
+            let mut end_gains = Vec::new();
+            let mut ens_vs_best = Vec::new();
+            for &seed in &env.scale().training_seeds() {
+                let d = run_taglets_detailed(
+                    env,
+                    task,
+                    &split,
+                    BackboneKind::ResNet50ImageNet1k,
+                    prune,
+                    seed,
+                    None,
+                );
+                let m = d.module_mean();
+                module_means.push(m);
+                bests.push(d.best_module());
+                ens_gains.push(d.ensemble_accuracy - m);
+                end_gains.push(d.end_model_accuracy - m);
+                ens_vs_best.push(d.ensemble_accuracy - d.best_module());
+            }
+            table.row(vec![
+                prune.label().to_string(),
+                shots.to_string(),
+                format!("{:.2}", mean(&module_means) * 100.0),
+                format!("{:.2}", mean(&bests) * 100.0),
+                fmt_delta_pct(mean(&ens_gains)),
+                fmt_delta_pct(mean(&end_gains)),
+                fmt_delta_pct(mean(&ens_vs_best)),
+            ]);
+        }
+        table.separator();
+    }
+    table.render()
+}

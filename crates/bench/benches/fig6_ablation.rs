@@ -1,0 +1,117 @@
+//! Regenerates **Figure 6**: the distribution of accuracy changes when one
+//! module is removed from TAGLETS, over all four datasets, both backbones,
+//! and the 1- and 5-shot settings (split 0).
+//!
+//! Expected shape (paper): removing any module reduces accuracy in at least
+//! half of the settings — every module injects useful diversity.
+//!
+//! The paper's SimCLRv2 exclusion is also verified here: the implemented
+//! SimCLR-lite baseline is reported for reference, showing the degradation
+//! on small unlabeled pools that led the paper to omit it from the tables.
+
+use rand::SeedableRng;
+use taglets_baselines::{simclr_lite, SimclrConfig};
+use taglets_bench::write_results;
+use taglets_core::{FixMatchModule, MultiTaskModule, TransferModule, ZslKgModule};
+use taglets_data::BackboneKind;
+use taglets_eval::{mean, run_taglets_detailed, Experiment, ExperimentScale, TextTable};
+use taglets_scads::PruneLevel;
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let modules = [
+        TransferModule::NAME,
+        MultiTaskModule::NAME,
+        FixMatchModule::NAME,
+        ZslKgModule::NAME,
+    ];
+    let task_names = [
+        "flickr_materials",
+        "office_home_product",
+        "office_home_clipart",
+        "grocery_store",
+    ];
+    // deltas[m] collects (full − ablated) end-model accuracy per setting.
+    let mut deltas: Vec<Vec<f32>> = vec![Vec::new(); modules.len()];
+    let seed = env.scale().training_seeds()[0];
+    for task_name in task_names {
+        let task = env.task(task_name);
+        for backbone in BackboneKind::ALL {
+            for shots in [1usize, 5] {
+                let split = task.split(0, shots);
+                let full = run_taglets_detailed(
+                    &env, task, &split, backbone, PruneLevel::NoPruning, seed, None,
+                )
+                .end_model_accuracy;
+                for (i, m) in modules.iter().enumerate() {
+                    let ablated = run_taglets_detailed(
+                        &env, task, &split, backbone, PruneLevel::NoPruning, seed, Some(m),
+                    )
+                    .end_model_accuracy;
+                    deltas[i].push(full - ablated);
+                }
+            }
+        }
+    }
+
+    let mut table = TextTable::new(vec![
+        "Removed module".into(),
+        "settings".into(),
+        "hurt (%)".into(),
+        "mean Δ (pts)".into(),
+        "min Δ".into(),
+        "max Δ".into(),
+    ]);
+    for (i, m) in modules.iter().enumerate() {
+        let d = &deltas[i];
+        let hurt = d.iter().filter(|&&v| v > 0.0).count() as f32 / d.len() as f32;
+        let lo = d.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = d.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        table.row(vec![
+            m.to_string(),
+            d.len().to_string(),
+            format!("{:.0}", hurt * 100.0),
+            format!("{:+.2}", mean(d) * 100.0),
+            format!("{:+.2}", lo * 100.0),
+            format!("{:+.2}", hi * 100.0),
+        ]);
+    }
+
+    // SimCLRv2-lite reference (excluded from the paper's tables).
+    let task = env.task("flickr_materials");
+    let split = task.split(0, 5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let unlabeled = env.capped_unlabeled(&split, 0);
+    let (clf, _) = simclr_lite(
+        env.zoo(),
+        BackboneKind::ResNet50ImageNet1k,
+        &split,
+        &unlabeled,
+        task.num_classes(),
+        &SimclrConfig::default(),
+        &mut rng,
+    );
+    let simclr_acc = clf.accuracy(&split.test_x, &split.test_y);
+    let ft = taglets_baselines::fine_tune(
+        env.zoo(),
+        BackboneKind::ResNet50ImageNet1k,
+        &split,
+        task.num_classes(),
+        &Default::default(),
+        &mut rng,
+    );
+    let ft_acc = ft.accuracy(&split.test_x, &split.test_y);
+
+    let rendered = format!(
+        "Figure 6 — leave-one-module-out ablation (all datasets × backbones × {{1,5}}-shot, split 0)\n\
+         Δ = full-TAGLETS end-model accuracy − ablated accuracy (positive = removal hurts)\n{}\n\
+         SimCLRv2-lite reference on FMD 5-shot: {:.2}% vs pretrained fine-tuning {:.2}%\n\
+         (the paper excluded SimCLRv2 from its tables for small-data degradation; the from-scratch\n\
+         contrastive encoder underperforms the pretrained one here as well, by {:.2} points)\n",
+        table.render(),
+        simclr_acc * 100.0,
+        ft_acc * 100.0,
+        (ft_acc - simclr_acc) * 100.0
+    );
+    write_results("fig6_ablation", &rendered);
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Figures 8–10** (Appendix A.6): the per-module accuracy
+//! sweep of Figure 4 repeated on OfficeHome-Clipart, Flickr Material, and
+//! Grocery Store, for splits 0, 1, and 2 (ResNet-50 backbone).
+//!
+//! Expected shape (paper): same trends as Figure 4 on every split — pruning
+//! lowers the SCADS-dependent modules, shots lift them, ZSL-KG is flat.
+
+use taglets_bench::write_results;
+use taglets_data::BackboneKind;
+use taglets_eval::{run_taglets_detailed, Experiment, ExperimentScale, Stats, TextTable};
+use taglets_scads::PruneLevel;
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let mut rendered = String::new();
+    for (figure, split_seed) in [(8u32, 0u64), (9, 1), (10, 2)] {
+        rendered.push_str(&format!("Figure {figure} — split {split_seed}\n"));
+        for task_name in ["office_home_clipart", "flickr_materials", "grocery_store"] {
+            let task = env.task(task_name);
+            let modules = ["transfer", "multitask", "fixmatch", "zsl-kg"];
+            let mut header = vec!["Prune".to_string(), "Shots".to_string()];
+            header.extend(modules.iter().map(|m| m.to_string()));
+            let mut table = TextTable::new(header);
+            for prune in PruneLevel::ALL {
+                for shots in [1usize, 5, 20] {
+                    if shots > task.max_shots {
+                        continue;
+                    }
+                    let split = task.split(split_seed, shots);
+                    let mut per_module: Vec<Vec<f32>> = vec![Vec::new(); modules.len()];
+                    for &seed in &env.scale().training_seeds() {
+                        let d = run_taglets_detailed(
+                            &env,
+                            task,
+                            &split,
+                            BackboneKind::ResNet50ImageNet1k,
+                            prune,
+                            seed,
+                            None,
+                        );
+                        for (i, m) in modules.iter().enumerate() {
+                            let acc = d
+                                .module_accuracies
+                                .iter()
+                                .find(|(n, _)| n == m)
+                                .map(|(_, a)| *a)
+                                .expect("module ran");
+                            per_module[i].push(acc);
+                        }
+                    }
+                    let mut cells = vec![prune.label().to_string(), shots.to_string()];
+                    cells.extend(per_module.iter().map(|v| Stats::from_values(v).to_string()));
+                    table.row(cells);
+                }
+            }
+            rendered.push_str(&format!("[{task_name}]\n{}\n", table.render()));
+        }
+    }
+    write_results("fig8to10_modules", &rendered);
+}

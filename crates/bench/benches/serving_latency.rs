@@ -1,0 +1,87 @@
+//! Criterion bench for the paper's serving claim (challenge 3, Sec. 1/3.3):
+//! the distilled end model answers in fixed time, while serving the raw
+//! taglet ensemble costs one forward pass *per module*. Also benches the
+//! SCADS top-N similarity query against a brute-force pairwise-visual
+//! selection, quantifying Sec. 3.1's efficiency argument.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use taglets_data::BackboneKind;
+use taglets_eval::{Experiment, ExperimentScale};
+use taglets_scads::PruneLevel;
+use taglets_tensor::Tensor;
+
+fn bench_serving(c: &mut Criterion) {
+    let env = Experiment::standard(ExperimentScale::Smoke);
+    let task = env.task("flickr_materials");
+    let split = task.split(0, 5);
+    let system = env.system(taglets_core::TagletsConfig::for_backbone(
+        BackboneKind::ResNet50ImageNet1k,
+    ));
+    let run = system
+        .run(task, &split, PruneLevel::NoPruning, 0)
+        .expect("taglets run");
+    let batch = split.test_x.gather_rows(&(0..32).collect::<Vec<_>>());
+
+    let mut group = c.benchmark_group("serving");
+    group.bench_function("end_model_batch32", |b| {
+        b.iter_batched(
+            || batch.clone(),
+            |x: Tensor| run.end_model.predict_proba(&x),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("taglet_ensemble_batch32", |b| {
+        b.iter_batched(
+            || batch.clone(),
+            |x: Tensor| run.ensemble().predict_proba(&x),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let env = Experiment::standard(ExperimentScale::Smoke);
+    let task = env.task("flickr_materials");
+    let targets: Vec<_> = task.aligned_concepts().into_iter().map(|(_, c)| c).collect();
+    let scads = env.scads();
+
+    let mut group = c.benchmark_group("auxiliary_selection");
+    group.bench_function("scads_graph_query_topN", |b| {
+        b.iter(|| scads.select_related(&targets, 3, 15, PruneLevel::NoPruning))
+    });
+    // The visual-similarity alternative the paper argues against: score every
+    // auxiliary image against every target prototype image.
+    let probe: Vec<Vec<f32>> = targets
+        .iter()
+        .map(|&t| scads.examples(t).next().expect("concept has images").clone())
+        .collect();
+    group.bench_function("pairwise_visual_scan", |b| {
+        b.iter(|| {
+            let mut best = vec![(f32::INFINITY, 0usize); targets.len()];
+            for concept in scads.graph().concepts() {
+                for img in scads.examples(concept) {
+                    for (t, p) in probe.iter().enumerate() {
+                        let d: f32 = img
+                            .iter()
+                            .zip(p.iter())
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum();
+                        if d < best[t].0 {
+                            best[t] = (d, concept.0);
+                        }
+                    }
+                }
+            }
+            best
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_serving, bench_selection
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benches for the substrates: autograd training steps,
+//! retrofitting sweeps, and the GNN forward pass. These track the cost of
+//! the building blocks every experiment is made of.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use taglets_graph::{
+    generate, normalized_adjacency, retrofit, GraphEncoder, RetrofitConfig, SyntheticGraphConfig,
+};
+use taglets_nn::{fit_hard, Classifier, FitConfig};
+use taglets_tensor::{Sgd, SgdConfig, Tensor};
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::randn(&[128, 64], 1.0, &mut rng);
+    let b = Tensor::randn(&[64, 128], 1.0, &mut rng);
+    let mut group = c.benchmark_group("tensor");
+    group.bench_function("matmul_128x64x128", |bch| bch.iter(|| a.matmul(&b)));
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::randn(&[256, 48], 1.0, &mut rng);
+    let y: Vec<usize> = (0..256).map(|i| i % 10).collect();
+    let mut group = c.benchmark_group("training");
+    group.bench_function("classifier_epoch_256x48_10way", |bch| {
+        bch.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut clf = Classifier::from_dims(&[48, 64, 64], 10, 0.0, &mut rng);
+            let mut opt = Sgd::new(SgdConfig { lr: 0.01, momentum: 0.9, ..Default::default() });
+            fit_hard(&mut clf, &x, &y, &FitConfig::new(1, 64, 0.01), &mut opt, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let world = generate(&SyntheticGraphConfig {
+        num_concepts: 400,
+        ..SyntheticGraphConfig::default()
+    });
+    let mut group = c.benchmark_group("graph");
+    group.bench_function("retrofit_400_nodes_10_iters", |bch| {
+        bch.iter(|| {
+            retrofit(
+                &world.graph,
+                &world.word_vectors,
+                &RetrofitConfig::default(),
+                |_| true,
+            )
+            .expect("valid inputs")
+        })
+    });
+    let emb = retrofit(&world.graph, &world.word_vectors, &RetrofitConfig::default(), |_| true)
+        .expect("valid inputs");
+    let a = normalized_adjacency(&world.graph);
+    let mut rng = StdRng::seed_from_u64(3);
+    let enc = GraphEncoder::new(emb.dim(), 64, 64, &mut rng);
+    group.bench_function("gnn_encode_400_nodes", |bch| {
+        bch.iter(|| enc.encode(emb.matrix(), &a))
+    });
+    group.bench_function("embedding_top10_query", |bch| {
+        let q = emb.get(taglets_graph::ConceptId(7)).to_vec();
+        bch.iter(|| emb.most_similar(&q, 10, |_| false))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tensor, bench_training_step, bench_graph
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates **Table 1** of the paper: accuracy of TAGLETS and all
+//! baselines on OfficeHome-Product and OfficeHome-Clipart (split 0) for
+//! 1/5/20 shots, both backbones, and the TAGLETS pruning rows.
+//!
+//! Expected shape (paper): TAGLETS best at 1- and 5-shot with both
+//! backbones, competitive at 20-shot; TAGLETS with the ResNet-50 backbone
+//! above distilled BiT fine-tuning at 1-shot; pruning lowers TAGLETS.
+
+use taglets_bench::{method_table, write_results};
+use taglets_eval::{Experiment, ExperimentScale};
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let table = method_table(&env, &["office_home_product", "office_home_clipart"], 0);
+    let rendered = format!(
+        "Table 1 — OfficeHome-Product & OfficeHome-Clipart (split 0), accuracy % ± 95% CI\n{}",
+        table.render()
+    );
+    write_results("table1", &rendered);
+}

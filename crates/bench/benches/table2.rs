@@ -1,0 +1,21 @@
+//! Regenerates **Table 2** of the paper: accuracy of TAGLETS and all
+//! baselines on the Grocery Store and Flickr Material datasets (split 0).
+//! Grocery has no 20-shot column (fewer than 20+test images in its smallest
+//! class, Sec. 4.1/A.3).
+//!
+//! Expected shape (paper): TAGLETS best in the low-shot columns; pruning
+//! lowers TAGLETS on Grocery (its fine-grained siblings are exactly what
+//! pruning removes).
+
+use taglets_bench::{method_table, write_results};
+use taglets_eval::{Experiment, ExperimentScale};
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let table = method_table(&env, &["grocery_store", "flickr_materials"], 0);
+    let rendered = format!(
+        "Table 2 — Grocery Store & Flickr Material (split 0), accuracy % ± 95% CI\n{}",
+        table.render()
+    );
+    write_results("table2", &rendered);
+}

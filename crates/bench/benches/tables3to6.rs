@@ -1,0 +1,21 @@
+//! Regenerates **Tables 3–6** of the paper (Appendix A.6): the Table-1 and
+//! Table-2 grids repeated on train/test splits 1 and 2. The paper uses these
+//! to show that the split-0 trends are consistent across splits.
+
+use taglets_bench::{method_table, write_results};
+use taglets_eval::{Experiment, ExperimentScale};
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let mut rendered = String::new();
+    for (label, tasks, split) in [
+        ("Table 3 — OfficeHome (split 1)", ["office_home_product", "office_home_clipart"], 1u64),
+        ("Table 4 — OfficeHome (split 2)", ["office_home_product", "office_home_clipart"], 2),
+        ("Table 5 — Grocery & FMD (split 1)", ["grocery_store", "flickr_materials"], 1),
+        ("Table 6 — Grocery & FMD (split 2)", ["grocery_store", "flickr_materials"], 2),
+    ] {
+        let table = method_table(&env, &tasks, split);
+        rendered.push_str(&format!("{label}, accuracy % ± 95% CI\n{}\n", table.render()));
+    }
+    write_results("tables3to6", &rendered);
+}

@@ -1,0 +1,59 @@
+//! Calibration probe: a reduced Table-1-style sweep printed with timings,
+//! used to check that the simulator reproduces the paper's *shape*
+//! (TAGLETS wins low-shot, is competitive at 20-shot, pruning hurts).
+//!
+//! Run with `cargo run --release -p taglets-bench --bin calibrate`.
+
+use std::time::Instant;
+
+use taglets_bench::{shot_grid, table_cell};
+use taglets_data::BackboneKind;
+use taglets_eval::{Experiment, ExperimentScale, Method, TextTable};
+use taglets_scads::PruneLevel;
+
+fn main() {
+    let t0 = Instant::now();
+    let env = Experiment::standard(ExperimentScale::from_env());
+    eprintln!("[env built in {:?}]", t0.elapsed());
+
+    let task_names = std::env::args().nth(1).unwrap_or_else(|| "flickr_materials".to_string());
+    for task_name in task_names.split(',') {
+        let task = env.task(task_name);
+        let mut table = {
+            let mut header = vec!["Method".to_string(), "Backbone".to_string()];
+            header.extend(shot_grid(task).iter().map(|s| format!("{s}-shot")));
+            TextTable::new(header)
+        };
+        for backbone in BackboneKind::ALL {
+            for method in Method::table_rows() {
+                let t = Instant::now();
+                let mut cells =
+                    vec![method.label().to_string(), backbone.display_name().to_string()];
+                for shots in shot_grid(task) {
+                    let cell = table_cell(&env, method, backbone, task, 0, shots);
+                    cells.push(cell.stats.to_string());
+                }
+                table.row(cells);
+                eprintln!("[{} / {} done in {:?}]", method.label(), backbone, t.elapsed());
+            }
+            table.separator();
+        }
+        for method in [
+            Method::Taglets(PruneLevel::Level0),
+            Method::Taglets(PruneLevel::Level1),
+        ] {
+            let mut cells = vec![
+                method.label().to_string(),
+                BackboneKind::ResNet50ImageNet1k.display_name().to_string(),
+            ];
+            for shots in shot_grid(task) {
+                let cell =
+                    table_cell(&env, method, BackboneKind::ResNet50ImageNet1k, task, 0, shots);
+                cells.push(cell.stats.to_string());
+            }
+            table.row(cells);
+        }
+        println!("== {task_name} (split 0) ==\n{}", table.render());
+    }
+    eprintln!("[total {:?}]", t0.elapsed());
+}

@@ -1,0 +1,54 @@
+//! Mechanism diagnostics: per-module accuracies vs pruning and shots,
+//! plus pseudo-label quality. Used to calibrate the synthetic universe so
+//! the paper's causal structure (auxiliary relatedness → transfer gains)
+//! holds before regenerating the tables.
+
+use taglets_data::BackboneKind;
+use taglets_eval::{run_taglets_detailed, Experiment, ExperimentScale};
+use taglets_scads::PruneLevel;
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let task_name = std::env::args().nth(1).unwrap_or_else(|| "flickr_materials".into());
+    let task = env.task(&task_name);
+    println!("== {} | modules × prune × shots (ResNet-50, seed 0) ==", task.name);
+    println!(
+        "{:<10} {:>5} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9}",
+        "prune", "shots", "transfer", "multitask", "fixmatch", "zsl-kg", "ensemble", "end"
+    );
+    for prune in PruneLevel::ALL {
+        for shots in [1usize, 5, 20] {
+            if shots > task.max_shots {
+                continue;
+            }
+            let split = task.split(0, shots);
+            let d = run_taglets_detailed(
+                &env,
+                task,
+                &split,
+                BackboneKind::ResNet50ImageNet1k,
+                prune,
+                0,
+                None,
+            );
+            let acc = |name: &str| {
+                d.module_accuracies
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, a)| *a)
+                    .unwrap_or(f32::NAN)
+            };
+            println!(
+                "{:<10} {:>5} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} | {:>9.3} {:>9.3}",
+                prune.label(),
+                shots,
+                acc("transfer"),
+                acc("multitask"),
+                acc("fixmatch"),
+                acc("zsl-kg"),
+                d.ensemble_accuracy,
+                d.end_model_accuracy,
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Fine-tuning dynamics probe at 1-shot on OfficeHome-Product.
+
+use rand::SeedableRng;
+use taglets_data::BackboneKind;
+use taglets_eval::{Experiment, ExperimentScale};
+use taglets_nn::{fit_hard, Classifier, FitConfig};
+use taglets_tensor::{LrSchedule, Sgd, SgdConfig};
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let task = env.task("office_home_product");
+    let split = task.split(0, 1);
+    let zoo = env.zoo();
+
+    // Feature-space 1-NN with the pretrained ResNet backbone.
+    let pre = zoo.get(BackboneKind::ResNet50ImageNet1k);
+    let f_lab = pre.features(&split.labeled_x);
+    let f_test = pre.features(&split.test_x);
+    let mut correct = 0;
+    for (i, &y) in split.test_y.iter().enumerate() {
+        let t = f_test.row(i);
+        let mut best = (f32::INFINITY, 0usize);
+        for (j, &ly) in split.labeled_y.iter().enumerate() {
+            let d: f32 = t.iter().zip(f_lab.row(j)).map(|(a, b)| (a - b).powi(2)).sum();
+            if d < best.0 {
+                best = (d, ly);
+            }
+        }
+        if best.1 == y {
+            correct += 1;
+        }
+    }
+    println!("feature-space 1NN: {:.3}", correct as f32 / split.test_y.len() as f32);
+
+    for (label, lr, epochs, momentum, aug) in [
+        ("paper-ish lr3e-3 m.9 e40 aug", 3e-3f32, 40usize, 0.9f32, true),
+        ("lr3e-3 m.9 e40 no-aug", 3e-3, 40, 0.9, false),
+        ("lr1e-3 m.9 e40 aug", 1e-3, 40, 0.9, true),
+        ("lr3e-4 m.9 e40 aug", 3e-4, 40, 0.9, true),
+        ("lr3e-3 m0 e40 aug", 3e-3, 40, 0.0, true),
+        ("lr3e-3 m.9 e100 aug", 3e-3, 100, 0.9, true),
+        ("lr1e-2 m.9 e40 aug", 1e-2, 40, 0.9, true),
+        ("lr3e-2 m.9 e40 aug", 3e-2, 40, 0.9, true),
+        ("lr1e-1 m.9 e40 aug", 1e-1, 40, 0.9, true),
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut clf = Classifier::new(pre.backbone(), task.num_classes(), &mut rng);
+        let mut opt = Sgd::new(SgdConfig { lr, momentum, ..SgdConfig::default() });
+        let mut fit = FitConfig::new(epochs, 32, lr)
+            .with_schedule(LrSchedule::milestones(lr, vec![epochs * 2 / 4, epochs * 3 / 4], 0.1));
+        if !aug {
+            fit = fit.without_augmentation();
+        }
+        let report = fit_hard(&mut clf, &split.labeled_x, &split.labeled_y, &fit, &mut opt, &mut rng);
+        println!(
+            "{label}: first-loss {:.3} last-loss {:.3} train-acc {:.3} test-acc {:.3}",
+            report.epoch_losses[0],
+            report.final_loss().unwrap(),
+            clf.accuracy(&split.labeled_x, &split.labeled_y),
+            clf.accuracy(&split.test_x, &split.test_y)
+        );
+    }
+}

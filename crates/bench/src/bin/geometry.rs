@@ -1,0 +1,74 @@
+//! Data-geometry probe: distances and nearest-exemplar accuracy per task.
+
+use taglets_eval::{Experiment, ExperimentScale};
+
+fn l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+}
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    for task in env.tasks() {
+        let split = task.split(0, 1);
+        // Nearest-exemplar (1-NN on the single labeled image per class).
+        let exemplars: Vec<(&[f32], usize)> = (0..split.labeled_x.rows())
+            .map(|i| (split.labeled_x.row(i), split.labeled_y[i]))
+            .collect();
+        let mut correct = 0;
+        for (i, &y) in split.test_y.iter().enumerate() {
+            let t = split.test_x.row(i);
+            let pred = exemplars
+                .iter()
+                .min_by(|a, b| l2(t, a.0).total_cmp(&l2(t, b.0)))
+                .unwrap()
+                .1;
+            if pred == y {
+                correct += 1;
+            }
+        }
+        let one_nn = correct as f32 / split.test_y.len() as f32;
+
+        // Class-prototype geometry (using 20-shot means as proxies).
+        let split5 = task.split(0, task.max_shots.min(5));
+        let c = task.num_classes();
+        let d = split5.labeled_x.cols();
+        let mut protos = vec![vec![0.0f32; d]; c];
+        let mut counts = vec![0usize; c];
+        for (i, &y) in split5.labeled_y.iter().enumerate() {
+            for (p, &v) in protos[y].iter_mut().zip(split5.labeled_x.row(i)) {
+                *p += v;
+            }
+            counts[y] += 1;
+        }
+        for (p, &n) in protos.iter_mut().zip(&counts) {
+            p.iter_mut().for_each(|v| *v /= n as f32);
+        }
+        let mut min_pair = f32::INFINITY;
+        let mut sum_pair = 0.0;
+        let mut n_pair = 0;
+        for i in 0..c {
+            for j in (i + 1)..c {
+                let dist = l2(&protos[i], &protos[j]);
+                min_pair = min_pair.min(dist);
+                sum_pair += dist;
+                n_pair += 1;
+            }
+        }
+        // Mean within-class spread around the estimated prototype.
+        let mut spread = 0.0;
+        for (i, &y) in split5.labeled_y.iter().enumerate() {
+            spread += l2(split5.labeled_x.row(i), &protos[y]);
+        }
+        spread /= split5.labeled_y.len() as f32;
+
+        println!(
+            "{:<22} C={:<3} 1NN(1-shot)={:.3}  proto-dist mean={:.2} min={:.2}  within-spread={:.2}",
+            task.name,
+            c,
+            one_nn,
+            sum_pair / n_pair as f32,
+            min_pair,
+            spread
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! ZSL-KG ceiling probe: oracle head columns vs GNN-predicted ones.
+
+use taglets_data::BackboneKind;
+use taglets_eval::{Experiment, ExperimentScale};
+use taglets_nn::{Classifier, Linear};
+use taglets_tensor::Tensor;
+
+fn main() {
+    let env = Experiment::standard(ExperimentScale::from_env());
+    let task = env.task("office_home_product");
+    let split = task.split(0, 1);
+    let source = env.zoo().get(BackboneKind::BitImageNet21k);
+    let concepts = task.aligned_concepts();
+
+    // Oracle: the source classifier's own head columns for the target
+    // concepts (the regression targets ZSL-KG tries to predict).
+    let label_of = |cid: taglets_graph::ConceptId| {
+        source
+            .class_concepts()
+            .iter()
+            .position(|&c| c == cid)
+            .expect("target concepts are in the fine pretraining set")
+    };
+    let feat = source.feature_dim();
+    let mut w = Tensor::zeros(&[feat, concepts.len()]);
+    for (col, (_, cid)) in concepts.iter().enumerate() {
+        let wv = source.class_weight_vector(label_of(*cid));
+        for r in 0..feat {
+            w.set(r, col, wv[r]);
+        }
+    }
+    let head = Linear::from_parts(w, Tensor::zeros(&[concepts.len()]));
+    let clf = Classifier::from_parts(source.backbone(), head);
+    println!(
+        "oracle zero-shot (true head columns): {:.3}",
+        clf.accuracy(&split.test_x, &split.test_y)
+    );
+
+    // Direct GNN pretraining diagnostics.
+    {
+        use taglets_graph::{normalized_adjacency, pretrain_encoder, GnnPretrainConfig, GraphEncoder};
+        use rand::SeedableRng;
+        let targets = source.zslkg_targets();
+        let tnorm: f32 = targets.iter().map(|(_, w)| w.iter().map(|v| v * v).sum::<f32>()).sum::<f32>()
+            / targets.len() as f32;
+        println!("mean squared target norm: {tnorm:.4} (per-coord {:.5})", tnorm / feat as f32);
+        for (label, hidden, epochs, lr, wd) in [
+            ("base", 64usize, 250usize, 1e-3f32, 5e-4f32),
+            ("no-wd", 64, 250, 1e-3, 0.0),
+            ("no-wd lr3e-3 e600", 64, 600, 3e-3, 0.0),
+            ("wide128 no-wd lr3e-3 e600", 128, 600, 3e-3, 0.0),
+        ] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let mut enc = GraphEncoder::new(env.scads().embeddings().dim(), hidden, feat, &mut rng);
+            let a = normalized_adjacency(env.scads().graph());
+            let report = pretrain_encoder(&mut enc, env.scads().embeddings().matrix(), &a, &targets,
+                &GnnPretrainConfig { epochs, lr, weight_decay: wd, validation_fraction: 0.05, seed: 0 });
+            // Accuracy with this encoder:
+            let m = taglets_core::ZslKgModule::from_encoder(enc);
+            let c = m.zero_shot_classifier(env.scads(), env.zoo(),
+                &concepts.iter().map(|&(_, c)| c).collect::<Vec<_>>());
+            println!(
+                "{label}: last train {:.5}, best val {:.5} @ {}, zero-shot {:.3}",
+                report.train_losses.last().unwrap(),
+                report.best_validation_loss,
+                report.best_epoch,
+                c.accuracy(&split.test_x, &split.test_y)
+            );
+        }
+    }
+
+    // GNN-predicted representations (the actual module).
+    let zsl = taglets_core::ZslKgModule::pretrain(
+        env.scads(),
+        env.zoo(),
+        &taglets_core::ZslKgConfig::default(),
+        0,
+    );
+    let gnn_clf = zsl.zero_shot_classifier(env.scads(), env.zoo(),
+        &concepts.iter().map(|&(_, c)| c).collect::<Vec<_>>());
+    println!(
+        "gnn zero-shot: {:.3}",
+        gnn_clf.accuracy(&split.test_x, &split.test_y)
+    );
+}

@@ -1,0 +1,186 @@
+//! The FixMatch module (Sec. 3.2.3): consistency-regularised semi-supervised
+//! learning, initialised from a backbone fine-tuned on SCADS-selected
+//! auxiliary data to fight confirmation bias.
+//!
+//! Each step combines a supervised loss on weakly-augmented labeled examples
+//! with the FixMatch unlabeled objective: pseudo-label the weak view
+//! `u_a = α(u)` when `max φ(u_a) ≥ τ`, and train the strong view `u_b`
+//! against that label.
+
+use rand::rngs::StdRng;
+
+use taglets_data::Augmenter;
+use taglets_nn::{fit_hard, shuffled_batches, Classifier, FitConfig, Module};
+use taglets_tensor::{confidence_rows, LrSchedule, Optimizer, Sgd, SgdConfig, Tape, Tensor};
+
+use crate::{ClassifierTaglet, CoreError, ModuleContext, Taglet, TagletModule};
+
+/// The FixMatch module. See the [module docs](self).
+///
+/// This type doubles as the semi-supervised *baseline* when constructed
+/// [`FixMatchModule::without_scads_pretraining`] — the only difference is the
+/// auxiliary-data initialisation (which Sec. 4.4.2 shows is what lets the
+/// module beat its baseline counterpart).
+#[derive(Debug, Clone, Copy)]
+pub struct FixMatchModule {
+    use_scads_pretraining: bool,
+    augmenter: Augmenter,
+}
+
+impl Default for FixMatchModule {
+    fn default() -> Self {
+        FixMatchModule { use_scads_pretraining: true, augmenter: Augmenter::default() }
+    }
+}
+
+impl FixMatchModule {
+    /// Module display name.
+    pub const NAME: &'static str = "fixmatch";
+
+    /// The standard module: backbone first fine-tuned on `R`.
+    pub fn new() -> Self {
+        FixMatchModule::default()
+    }
+
+    /// The plain FixMatch algorithm (paper Sec. 4.2 baseline): pretrained
+    /// encoder but no SCADS phase.
+    pub fn without_scads_pretraining() -> Self {
+        FixMatchModule { use_scads_pretraining: false, ..FixMatchModule::default() }
+    }
+
+    /// Overrides the augmentation policy.
+    pub fn with_augmenter(mut self, augmenter: Augmenter) -> Self {
+        self.augmenter = augmenter;
+        self
+    }
+}
+
+impl TagletModule for FixMatchModule {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn train(
+        &self,
+        ctx: &ModuleContext<'_>,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn Taglet>, CoreError> {
+        if ctx.split.labeled_y.is_empty() {
+            return Err(CoreError::NoLabeledData { module: Self::NAME });
+        }
+        let cfg = &ctx.config.fixmatch;
+        let backbone = ctx.zoo.get(ctx.backbone).backbone();
+
+        // SCADS pretraining phase (the module's addition over the baseline).
+        let mut clf = match (self.use_scads_pretraining, ctx.auxiliary_training_set()) {
+            (true, Some((aux_x, aux_y))) => {
+                let mut clf = Classifier::new(backbone, ctx.selection.num_aux_classes(), rng);
+                let mut opt = Sgd::with_momentum(cfg.pretrain_lr, 0.9);
+                let fit = FitConfig::new(cfg.pretrain_epochs, cfg.batch_size, cfg.pretrain_lr);
+                fit_hard(&mut clf, &aux_x, &aux_y, &fit, &mut opt, rng);
+                let mut clf = clf;
+                clf.reset_head(ctx.num_classes(), rng);
+                clf
+            }
+            _ => Classifier::new(backbone, ctx.num_classes(), rng),
+        };
+
+        // Warm start the head on the labeled data so pseudo labels are not
+        // uniform noise in the first epochs (standard practice; the paper's
+        // million-step budget amortises this instead).
+        {
+            let mut opt = Sgd::with_momentum(cfg.pretrain_lr, 0.9);
+            let fit = FitConfig::new(10, cfg.batch_size, cfg.pretrain_lr);
+            fit_hard(&mut clf, &ctx.split.labeled_x, &ctx.split.labeled_y, &fit, &mut opt, rng);
+        }
+
+        fixmatch_train(
+            &mut clf,
+            &ctx.split.labeled_x,
+            &ctx.split.labeled_y,
+            ctx.unlabeled,
+            cfg,
+            &self.augmenter,
+            rng,
+        );
+
+        Ok(Box::new(ClassifierTaglet::new(Self::NAME, clf)))
+    }
+}
+
+/// The FixMatch semi-supervised loop, shared by the module and the plain
+/// FixMatch baseline (Sec. 4.2): per step, supervised cross-entropy on
+/// weakly-augmented labeled data plus confidence-masked cross-entropy of the
+/// strong view against the weak view's pseudo label, under Nesterov SGD with
+/// the `η·cos(7πk/16K)` schedule.
+///
+/// A no-op when the unlabeled pool is empty.
+pub fn fixmatch_train(
+    clf: &mut Classifier,
+    labeled_x: &Tensor,
+    labeled_y: &[usize],
+    unlabeled: &Tensor,
+    cfg: &crate::FixMatchConfig,
+    augmenter: &Augmenter,
+    rng: &mut StdRng,
+) {
+    if unlabeled.rows() == 0 || labeled_x.rows() == 0 {
+        return;
+    }
+    let mut opt = Sgd::new(SgdConfig {
+        lr: cfg.lr,
+        momentum: 0.9,
+        nesterov: true,
+        ..SgdConfig::default()
+    });
+    let steps_per_epoch = unlabeled.rows().div_ceil(cfg.batch_size);
+    let total_steps = (cfg.epochs * steps_per_epoch).max(1);
+    let schedule = LrSchedule::fixmatch_cosine(cfg.lr, total_steps);
+
+    let labeled_n = labeled_x.rows();
+    let labeled_batch = cfg.batch_size.min(labeled_n);
+    let mut step = 0usize;
+    for _epoch in 0..cfg.epochs {
+        for u_batch in shuffled_batches(unlabeled.rows(), cfg.batch_size, rng) {
+            let u_rows = unlabeled.gather_rows(&u_batch);
+
+            // Pseudo-label the weak view with the current model.
+            let u_weak = augmenter.weak_batch(&u_rows, rng);
+            let probs = clf.predict_proba(&u_weak);
+            let conf = confidence_rows(&probs);
+            let pseudo: Vec<usize> = conf.iter().map(|&(c, _)| c).collect();
+            let weights: Vec<f32> = conf
+                .iter()
+                .map(|&(_, p)| if p >= cfg.tau { 1.0 } else { 0.0 })
+                .collect();
+
+            let u_strong = augmenter.strong_batch(&u_rows, rng);
+            let l_idx: Vec<usize> = (0..labeled_batch)
+                .map(|_| rand::Rng::gen_range(rng, 0..labeled_n))
+                .collect();
+            let l_rows = labeled_x.gather_rows(&l_idx);
+            let l_weak = augmenter.weak_batch(&l_rows, rng);
+            let l_y: Vec<usize> = l_idx.iter().map(|&i| labeled_y[i]).collect();
+
+            let mut tape = Tape::new();
+            let vars = clf.bind(&mut tape);
+            let lx = tape.constant(l_weak);
+            let logits_l = clf.forward_logits(&mut tape, &vars, lx, true, rng);
+            let loss_l = tape.softmax_cross_entropy(logits_l, &l_y);
+
+            let ux = tape.constant(u_strong);
+            let logits_u = clf.forward_logits(&mut tape, &vars, ux, true, rng);
+            let lp_u = tape.log_softmax(logits_u);
+            let loss_u = tape.nll_weighted(lp_u, &pseudo, &weights);
+
+            let weighted_u = tape.scale(loss_u, cfg.lambda_u);
+            let loss = tape.add(loss_l, weighted_u);
+
+            let mut grads = tape.backward(loss);
+            let grad_vec: Vec<Option<Tensor>> = vars.iter().map(|&v| grads.take(v)).collect();
+            opt.set_lr(schedule.lr_at(step));
+            opt.step(&mut clf.parameters_mut(), &grad_vec);
+            step += 1;
+        }
+    }
+}

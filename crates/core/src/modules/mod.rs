@@ -1,0 +1,16 @@
+//! The four training modules of Sec. 3.2.
+//!
+//! Each module is independently trained and emits a [`Taglet`](crate::Taglet)
+//! — a pseudo-labeler over the target classes. The framework is extensible:
+//! anything implementing [`TagletModule`](crate::TagletModule) can join the
+//! ensemble (see the `custom_module` example at the repository root).
+
+mod fixmatch;
+mod multitask;
+mod transfer;
+mod zslkg;
+
+pub use fixmatch::{fixmatch_train, FixMatchModule};
+pub use multitask::MultiTaskModule;
+pub use transfer::TransferModule;
+pub use zslkg::ZslKgModule;

@@ -1,0 +1,113 @@
+//! The servable end model (design principle 3: "automatically distill to a
+//! servable model").
+//!
+//! A [`ServableModel`] is a single backbone + head with a fixed-work predict
+//! path — unlike the taglet ensemble, whose inference cost grows with the
+//! number of modules. The `serving_latency` bench quantifies the gap.
+
+use taglets_nn::{Classifier, Module};
+use taglets_tensor::Tensor;
+
+/// A production-ready classifier produced by the distillation stage.
+#[derive(Debug, Clone)]
+pub struct ServableModel {
+    classifier: Classifier,
+}
+
+impl ServableModel {
+    /// Wraps a trained classifier for serving.
+    pub fn new(classifier: Classifier) -> Self {
+        ServableModel { classifier }
+    }
+
+    /// Class probabilities for a batch.
+    pub fn predict_proba(&self, x: &Tensor) -> Tensor {
+        self.classifier.predict_proba(x)
+    }
+
+    /// Predicted class per row.
+    pub fn predict(&self, x: &Tensor) -> Vec<usize> {
+        self.classifier.predict(x)
+    }
+
+    /// Accuracy on labeled data.
+    pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> f32 {
+        self.classifier.accuracy(x, labels)
+    }
+
+    /// Number of target classes.
+    pub fn num_classes(&self) -> usize {
+        self.classifier.num_classes()
+    }
+
+    /// Expected input width.
+    pub fn input_dim(&self) -> usize {
+        self.classifier.input_dim()
+    }
+
+    /// Total scalar parameters — the model's serving footprint.
+    pub fn num_parameters(&self) -> usize {
+        self.classifier.num_scalars()
+    }
+
+    /// Borrows the underlying classifier.
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// Unwraps into the underlying classifier.
+    pub fn into_classifier(self) -> Classifier {
+        self.classifier
+    }
+
+    /// Persists the model to a writer in the workspace's binary format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn save<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        taglets_nn::save_classifier(&self.classifier, w)
+    }
+
+    /// Loads a model previously written by [`ServableModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed input and propagates reader I/O
+    /// errors.
+    pub fn load<R: std::io::Read>(r: R) -> std::io::Result<Self> {
+        Ok(ServableModel::new(taglets_nn::load_classifier(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let clf = Classifier::from_dims(&[6, 8], 4, 0.0, &mut rng);
+        let m = ServableModel::new(clf);
+        let mut buf = Vec::new();
+        m.save(&mut buf).unwrap();
+        let loaded = ServableModel::load(buf.as_slice()).unwrap();
+        let x = Tensor::randn(&[3, 6], 1.0, &mut rng);
+        assert_eq!(m.predict(&x), loaded.predict(&x));
+        assert_eq!(m.num_parameters(), loaded.num_parameters());
+    }
+
+    #[test]
+    fn servable_model_reports_shape_and_footprint() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let clf = Classifier::from_dims(&[8, 16, 4], 3, 0.0, &mut rng);
+        let m = ServableModel::new(clf);
+        assert_eq!(m.num_classes(), 3);
+        assert_eq!(m.input_dim(), 8);
+        assert_eq!(m.num_parameters(), 8 * 16 + 16 + 16 * 4 + 4 + 4 * 3 + 3);
+        let x = Tensor::zeros(&[2, 8]);
+        assert_eq!(m.predict(&x).len(), 2);
+        assert_eq!(m.predict_proba(&x).shape(), &[2, 3]);
+    }
+}

@@ -1,0 +1,320 @@
+//! End-to-end orchestration (Fig. 2): SCADS selection → module training →
+//! ensembling → distillation into a servable end model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use taglets_data::{Image, ModelZoo, Task, TaskSplit};
+use taglets_graph::ConceptId;
+use taglets_scads::{AuxiliarySelection, PruneLevel, Scads};
+use taglets_tensor::Tensor;
+
+use crate::{
+    distillation, CoreError, Ensemble, FixMatchModule, ModuleContext, MultiTaskModule,
+    ServableModel, Taglet, TagletModule, TagletsConfig, TransferModule, ZslKgModule,
+};
+
+/// The TAGLETS system, prepared once per (SCADS, zoo, config) and run many
+/// times across tasks, splits, shots, and pruning levels.
+///
+/// Preparation pretrains the ZSL-KG graph encoder — the system-level
+/// analogue of the paper shipping a ConceptNet-pretrained ZSL-KG instance.
+pub struct TagletsSystem<'a> {
+    scads: &'a Scads<Image>,
+    zoo: &'a ModelZoo,
+    config: TagletsConfig,
+    zslkg: ZslKgModule,
+    extra_modules: Vec<Box<dyn TagletModule>>,
+    disabled: Vec<String>,
+}
+
+impl std::fmt::Debug for TagletsSystem<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TagletsSystem {{ backbone: {}, modules: {:?} }}",
+            self.config.backbone,
+            self.active_module_names()
+        )
+    }
+}
+
+/// Everything a single TAGLETS run produces.
+pub struct TagletsRun {
+    /// The trained taglets, in module order.
+    pub taglets: Vec<Box<dyn Taglet>>,
+    /// Soft pseudo labels assigned to the (possibly capped) unlabeled pool.
+    pub pseudo_labels: Tensor,
+    /// The unlabeled pool the run actually consumed.
+    pub unlabeled_used: Tensor,
+    /// The distilled servable end model.
+    pub end_model: ServableModel,
+    /// Number of auxiliary examples selected (`|R|`).
+    pub num_auxiliary_examples: usize,
+    /// Number of auxiliary classes (`≤ N·C`).
+    pub num_auxiliary_classes: usize,
+    /// Wall-clock training time per module, in seconds (same order as
+    /// [`TagletsRun::taglets`]).
+    pub module_seconds: Vec<(String, f32)>,
+    /// Wall-clock training time of the distillation stage, in seconds.
+    pub end_model_seconds: f32,
+}
+
+impl std::fmt::Debug for TagletsRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.taglets.iter().map(|t| t.name()).collect();
+        write!(
+            f,
+            "TagletsRun {{ taglets: {names:?}, |R|: {} }}",
+            self.num_auxiliary_examples
+        )
+    }
+}
+
+impl TagletsRun {
+    /// The taglet ensemble over this run's modules.
+    pub fn ensemble(&self) -> Ensemble<'_> {
+        Ensemble::new(&self.taglets)
+    }
+
+    /// The taglet trained by `module_name`, if it ran.
+    pub fn taglet(&self, module_name: &str) -> Option<&dyn Taglet> {
+        self.taglets
+            .iter()
+            .find(|t| t.name() == module_name)
+            .map(|t| &**t)
+    }
+}
+
+impl<'a> TagletsSystem<'a> {
+    /// Prepares the system: validates inputs and pretrains the ZSL-KG graph
+    /// encoder against the zoo's ImageNet-1k-style classifier.
+    pub fn prepare(scads: &'a Scads<Image>, zoo: &'a ModelZoo, config: TagletsConfig) -> Self {
+        let zslkg = ZslKgModule::pretrain(scads, zoo, &config.zslkg, 0);
+        TagletsSystem { scads, zoo, config, zslkg, extra_modules: Vec::new(), disabled: Vec::new() }
+    }
+
+    /// Prepares the system reusing an existing pretrained ZSL-KG module
+    /// (avoids duplicate GNN pretraining when sweeping configurations).
+    pub fn prepare_with_zslkg(
+        scads: &'a Scads<Image>,
+        zoo: &'a ModelZoo,
+        config: TagletsConfig,
+        zslkg: ZslKgModule,
+    ) -> Self {
+        TagletsSystem { scads, zoo, config, zslkg, extra_modules: Vec::new(), disabled: Vec::new() }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &TagletsConfig {
+        &self.config
+    }
+
+    /// The pretrained ZSL-KG module (sharable across systems).
+    pub fn zslkg(&self) -> &ZslKgModule {
+        &self.zslkg
+    }
+
+    /// Disables a module by name — the leave-one-out ablation of Fig. 6.
+    pub fn without_module(mut self, name: &str) -> Self {
+        self.disabled.push(name.to_string());
+        self
+    }
+
+    /// Registers a user-supplied module (the extensibility hook of Sec. 3.2).
+    pub fn with_extra_module(mut self, module: Box<dyn TagletModule>) -> Self {
+        self.extra_modules.push(module);
+        self
+    }
+
+    /// Names of the modules that will run.
+    pub fn active_module_names(&self) -> Vec<&str> {
+        let mut names = vec![
+            TransferModule::NAME,
+            MultiTaskModule::NAME,
+            FixMatchModule::NAME,
+            ZslKgModule::NAME,
+        ];
+        names.extend(self.extra_modules.iter().map(|m| m.name()));
+        names.retain(|n| !self.disabled.iter().any(|d| d == n));
+        names
+    }
+
+    /// Runs the full pipeline on one task split.
+    ///
+    /// `seed` is the training seed of Appendix A.3 (module initialisation
+    /// and data shuffling); the split itself carries the split seed.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoModules`] if every module was disabled.
+    /// * [`CoreError::Scads`] if extending SCADS for an out-of-vocabulary
+    ///   class fails.
+    /// * Any module error (e.g. [`CoreError::NoLabeledData`]).
+    pub fn run(
+        &self,
+        task: &Task,
+        split: &TaskSplit,
+        prune: PruneLevel,
+        seed: u64,
+    ) -> Result<TagletsRun, CoreError> {
+        let module_names = self.active_module_names();
+        if module_names.is_empty() {
+            return Err(CoreError::NoModules);
+        }
+
+        // Extend SCADS for classes absent from the graph (Appendix A.2).
+        let needs_extension = task.classes.iter().any(|c| c.concept.is_none());
+        let extended;
+        let scads: &Scads<Image> = if needs_extension {
+            let mut local = self.scads.clone();
+            for class in &task.classes {
+                if class.concept.is_none() {
+                    let links: Vec<(&str, taglets_graph::Relation)> = class
+                        .graph_links
+                        .iter()
+                        .map(|(n, r)| (n.as_str(), *r))
+                        .collect();
+                    local.add_concept(&class.name, &links)?;
+                }
+            }
+            extended = local;
+            &extended
+        } else {
+            self.scads
+        };
+
+        // Resolve target concepts in label order (by class name).
+        let target_concepts: Vec<ConceptId> = task
+            .classes
+            .iter()
+            .map(|c| scads.graph().require(&c.name))
+            .collect::<Result<_, _>>()?;
+
+        // Select the auxiliary data R once; all modules share it.
+        let selection: AuxiliarySelection<Image> = match self.config.selection {
+            crate::SelectionStrategy::GraphRelated => scads.select_related(
+                &target_concepts,
+                self.config.related_concepts_per_class,
+                self.config.images_per_concept,
+                prune,
+            ),
+            crate::SelectionStrategy::RandomConcepts => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1ec7);
+                scads.select_random(
+                    &target_concepts,
+                    self.config.related_concepts_per_class * target_concepts.len(),
+                    self.config.images_per_concept,
+                    prune,
+                    &mut rng,
+                )
+            }
+        };
+
+        // Cap the unlabeled pool uniformly (compute budget).
+        let unlabeled_used = match self.config.max_unlabeled {
+            Some(cap) if split.unlabeled_x.rows() > cap => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xcab);
+                let mut idx: Vec<usize> = (0..split.unlabeled_x.rows()).collect();
+                use rand::seq::SliceRandom;
+                idx.shuffle(&mut rng);
+                idx.truncate(cap);
+                split.unlabeled_x.gather_rows(&idx)
+            }
+            _ => split.unlabeled_x.clone(),
+        };
+
+        let ctx = ModuleContext {
+            task,
+            split,
+            scads,
+            zoo: self.zoo,
+            backbone: self.config.backbone,
+            prune,
+            config: &self.config,
+            target_concepts: &target_concepts,
+            selection: &selection,
+            unlabeled: &unlabeled_used,
+        };
+
+        // Train the modules.
+        let transfer = TransferModule;
+        let multitask = MultiTaskModule;
+        let fixmatch = FixMatchModule::new();
+        let mut modules: Vec<&dyn TagletModule> = Vec::new();
+        for name in &module_names {
+            match *name {
+                TransferModule::NAME => modules.push(&transfer),
+                MultiTaskModule::NAME => modules.push(&multitask),
+                FixMatchModule::NAME => modules.push(&fixmatch),
+                ZslKgModule::NAME => modules.push(&self.zslkg),
+                other => {
+                    let m = self
+                        .extra_modules
+                        .iter()
+                        .find(|m| m.name() == other)
+                        .expect("active names come from registered modules");
+                    modules.push(&**m);
+                }
+            }
+        }
+        let mut taglets: Vec<Box<dyn Taglet>> = Vec::with_capacity(modules.len());
+        let mut module_seconds = Vec::with_capacity(modules.len());
+        for module in modules {
+            let mut rng = StdRng::seed_from_u64(seed ^ name_hash(module.name()));
+            let start = std::time::Instant::now();
+            taglets.push(module.train(&ctx, &mut rng)?);
+            module_seconds.push((module.name().to_string(), start.elapsed().as_secs_f32()));
+        }
+
+        // Ensemble → pseudo labels (Eq. 6).
+        let ensemble = Ensemble::new(&taglets);
+        let pseudo_labels = if unlabeled_used.rows() > 0 {
+            ensemble.predict_proba(&unlabeled_used)
+        } else {
+            Tensor::zeros(&[0, task.num_classes()])
+        };
+
+        // Distill into the end model (Eq. 7).
+        let (inputs, soft_targets) = distillation::distillation_set(
+            &unlabeled_used,
+            &pseudo_labels,
+            &split.labeled_x,
+            &split.labeled_y,
+            task.num_classes(),
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ name_hash("end-model"));
+        let end_start = std::time::Instant::now();
+        let end = distillation::train_end_model(
+            self.zoo,
+            self.config.backbone,
+            &inputs,
+            &soft_targets,
+            task.num_classes(),
+            &self.config.end_model,
+            &mut rng,
+        );
+
+        let end_model_seconds = end_start.elapsed().as_secs_f32();
+
+        Ok(TagletsRun {
+            taglets,
+            pseudo_labels,
+            unlabeled_used,
+            end_model: ServableModel::new(end),
+            num_auxiliary_examples: selection.len(),
+            num_auxiliary_classes: selection.num_aux_classes(),
+            module_seconds,
+            end_model_seconds,
+        })
+    }
+}
+
+fn name_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,88 @@
+//! Scratch diagnostics for the end-model training (run with --ignored).
+
+use taglets_core::distillation::{distillation_set, train_end_model};
+use taglets_core::{TagletsConfig, TagletsSystem};
+use taglets_data::{
+    standard_tasks, BackboneKind, ConceptUniverse, ModelZoo, UniverseConfig, ZooConfig,
+};
+use taglets_graph::SyntheticGraphConfig;
+use taglets_scads::PruneLevel;
+
+#[test]
+#[ignore = "diagnostic only"]
+fn end_model_diagnostics() {
+    let mut universe = ConceptUniverse::new(UniverseConfig {
+        graph: SyntheticGraphConfig { num_concepts: 400, ..SyntheticGraphConfig::default() },
+        ..UniverseConfig::default()
+    });
+    let tasks = standard_tasks(&mut universe);
+    let corpus = universe.build_corpus(15, 0);
+    let scads = universe.build_scads(&corpus);
+    let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+    let config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
+    let system = TagletsSystem::prepare(&scads, &zoo, config.clone());
+    let fmd = tasks.iter().find(|t| t.name == "flickr_materials").unwrap();
+    let split = fmd.split(0, 5);
+    let run = system.run(fmd, &split, PruneLevel::NoPruning, 0).unwrap();
+
+    // Pseudo-label quality on the unlabeled pool (vs hidden ground truth,
+    // using the capped pool means labels don't align; recompute on full).
+    let ens = run.ensemble();
+    let pseudo_acc = ens.accuracy(&split.unlabeled_x, &split.unlabeled_y);
+    eprintln!("pseudo-label accuracy on unlabeled pool: {pseudo_acc}");
+    let probs = ens.predict_proba(&split.unlabeled_x);
+    let mean_max: f32 = probs
+        .rows_iter()
+        .map(|r| r.iter().cloned().fold(0.0f32, f32::max))
+        .sum::<f32>()
+        / probs.rows() as f32;
+    eprintln!("mean max pseudo-prob: {mean_max}");
+
+    // Re-train the end model manually and watch train agreement.
+    let (inputs, targets) = distillation_set(
+        &run.unlabeled_used,
+        &run.pseudo_labels,
+        &split.labeled_x,
+        &split.labeled_y,
+        fmd.num_classes(),
+    );
+    let mut rng = rand::SeedableRng::seed_from_u64(0);
+    for (label, cfg) in [
+        ("default", config.end_model.clone()),
+        (
+            "lr=2e-3",
+            taglets_core::EndModelConfig { lr: 2e-3, ..config.end_model.clone() },
+        ),
+        (
+            "epochs=60",
+            taglets_core::EndModelConfig { epochs: 60, ..config.end_model.clone() },
+        ),
+        (
+            "lr=2e-3 epochs=60",
+            taglets_core::EndModelConfig { lr: 2e-3, epochs: 60, ..config.end_model.clone() },
+        ),
+        (
+            "lr=2e-3 epochs=40 ms30",
+            taglets_core::EndModelConfig { lr: 2e-3, epochs: 40, milestones: vec![30], ..config.end_model.clone() },
+        ),
+        (
+            "lr=3e-3 epochs=40 ms30",
+            taglets_core::EndModelConfig { lr: 3e-3, epochs: 40, milestones: vec![30], ..config.end_model.clone() },
+        ),
+    ] {
+        let clf = train_end_model(
+            &zoo,
+            BackboneKind::ResNet50ImageNet1k,
+            &inputs,
+            &targets,
+            fmd.num_classes(),
+            &cfg,
+            &mut rng,
+        );
+        let hard_targets = targets.argmax_rows();
+        let preds = clf.predict(&inputs);
+        let agree = taglets_nn::accuracy(&preds, &hard_targets);
+        let test_acc = clf.accuracy(&split.test_x, &split.test_y);
+        eprintln!("{label}: train-agreement {agree:.3}, test acc {test_acc:.3}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Unit tests of the shared FixMatch loop outside the full pipeline.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use taglets_core::{fixmatch_train, FixMatchConfig};
+use taglets_data::Augmenter;
+use taglets_nn::{Classifier, Module};
+use taglets_tensor::Tensor;
+
+fn blobs(n_per: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..2usize {
+        let center = if class == 0 { 2.5 } else { -2.5 };
+        for _ in 0..n_per {
+            let noise = Tensor::randn(&[6], 0.6, &mut rng);
+            rows.push(noise.data().iter().map(|v| v + center).collect::<Vec<f32>>());
+            labels.push(class);
+        }
+    }
+    (Tensor::stack_rows(&rows), labels)
+}
+
+#[test]
+fn empty_unlabeled_pool_is_a_no_op() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut clf = Classifier::from_dims(&[6, 8], 2, 0.0, &mut rng);
+    let before = clf.clone();
+    let (x, y) = blobs(3, 1);
+    fixmatch_train(
+        &mut clf,
+        &x,
+        &y,
+        &Tensor::zeros(&[0, 6]),
+        &FixMatchConfig::default(),
+        &Augmenter::default(),
+        &mut rng,
+    );
+    assert_eq!(clf, before, "no unlabeled data → no updates");
+}
+
+#[test]
+fn empty_labeled_set_is_a_no_op() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut clf = Classifier::from_dims(&[6, 8], 2, 0.0, &mut rng);
+    let before = clf.clone();
+    let (u, _) = blobs(5, 2);
+    fixmatch_train(
+        &mut clf,
+        &Tensor::zeros(&[0, 6]),
+        &[],
+        &u,
+        &FixMatchConfig::default(),
+        &Augmenter::default(),
+        &mut rng,
+    );
+    assert_eq!(clf, before, "no labeled data → no updates");
+}
+
+#[test]
+fn unlabeled_data_improves_a_weak_classifier() {
+    // 1 labeled example per class + a large unlabeled pool: FixMatch should
+    // propagate labels through the cluster structure.
+    let mut rng = StdRng::seed_from_u64(3);
+    let (labeled_x, labeled_y) = blobs(1, 4);
+    let (unlabeled, _) = blobs(60, 5);
+    let (test_x, test_y) = blobs(40, 6);
+
+    let train = |use_unlabeled: bool, rng: &mut StdRng| {
+        let mut clf = Classifier::from_dims(&[6, 8], 2, 0.0, rng);
+        // A brief supervised warm start in both arms.
+        let mut opt = taglets_tensor::Sgd::with_momentum(0.003, 0.9);
+        taglets_nn::fit_hard(
+            &mut clf,
+            &labeled_x,
+            &labeled_y,
+            &taglets_nn::FitConfig::new(3, 8, 0.003),
+            &mut opt,
+            rng,
+        );
+        if use_unlabeled {
+            fixmatch_train(
+                &mut clf,
+                &labeled_x,
+                &labeled_y,
+                &unlabeled,
+                &FixMatchConfig::default(),
+                &Augmenter::default(),
+                rng,
+            );
+        }
+        clf.accuracy(&test_x, &test_y)
+    };
+    let with = train(true, &mut rng);
+    let without = train(false, &mut rng);
+    assert!(
+        with >= without,
+        "fixmatch must not hurt on cleanly clustered data: {with} vs {without}"
+    );
+    assert!(with > 0.9, "two distant blobs should be nearly solved: {with}");
+}
+
+#[test]
+fn confidence_threshold_gates_the_unlabeled_loss() {
+    // With τ = 1.0 no pseudo label ever passes the gate, so FixMatch reduces
+    // to supervised training on the (weakly augmented) labeled batch only.
+    let mut rng = StdRng::seed_from_u64(7);
+    let (labeled_x, labeled_y) = blobs(2, 8);
+    let (unlabeled, _) = blobs(20, 9);
+    let cfg = FixMatchConfig { tau: 1.0, epochs: 2, ..FixMatchConfig::default() };
+    let mut clf = Classifier::from_dims(&[6, 8], 2, 0.0, &mut rng);
+    let before_params: Vec<Tensor> = clf.parameters().into_iter().cloned().collect();
+    fixmatch_train(
+        &mut clf,
+        &labeled_x,
+        &labeled_y,
+        &unlabeled,
+        &cfg,
+        &Augmenter::default(),
+        &mut rng,
+    );
+    // Parameters still move (supervised part), so this is not a no-op...
+    assert_ne!(
+        clf.parameters().into_iter().cloned().collect::<Vec<_>>(),
+        before_params
+    );
+}

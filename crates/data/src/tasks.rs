@@ -1,0 +1,597 @@
+//! The four target tasks of the paper's evaluation (Sec. 4.1), instantiated
+//! inside a [`ConceptUniverse`].
+//!
+//! | Task | Classes | Domain | Character |
+//! |---|---|---|---|
+//! | Flickr Material | 10 | natural | high intra-class diversity (materials) |
+//! | OfficeHome-Product | 65 | product | daily objects, mild domain shift |
+//! | OfficeHome-Clipart | 65 | clipart | same objects, strong domain shift |
+//! | Grocery Store | 42 | natural | fine-grained; two classes missing from the graph |
+//!
+//! Each builder picks concepts from the universe, renames them to the task's
+//! class names (so SCADS joining-by-name works), and renders a labeled pool.
+//! [`Task::split`] then reproduces the experimental protocol of Appendix A.3:
+//! fixed test images per class, `shots` labeled training images per class,
+//! and the remainder as the unlabeled pool — all driven by one split seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use taglets_graph::{ConceptId, Relation};
+use taglets_tensor::Tensor;
+
+use crate::{ConceptUniverse, Domain, Image};
+
+/// One target class of a task.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Human-readable class name (also the graph node name when aligned).
+    pub name: String,
+    /// The aligned graph concept; `None` when the class is missing from the
+    /// graph (paper Sec. 4.1: `oatghurt`, `soyghurt`).
+    pub concept: Option<ConceptId>,
+    /// For unaligned classes: the existing concepts a SCADS extension should
+    /// link the new node to (Example A.1).
+    pub graph_links: Vec<(String, Relation)>,
+}
+
+/// A target classification task with its full labeled pool.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Task name, e.g. `"office_home_product"`.
+    pub name: String,
+    /// The target classes, in label order.
+    pub classes: Vec<ClassSpec>,
+    /// The visual domain of the task's images.
+    pub domain: Domain,
+    /// Number of test images held out per class.
+    pub test_per_class: usize,
+    /// Largest shot count the task supports (Grocery has no 20-shot rows).
+    pub max_shots: usize,
+    pool: Vec<(Image, usize)>,
+    /// A predetermined test pool (Grocery Store ships its own test set).
+    predetermined_test: Option<Vec<(Image, usize)>>,
+}
+
+/// A train/test split materialised for a given seed and shot count
+/// (paper Appendix A.3).
+#[derive(Debug, Clone)]
+pub struct TaskSplit {
+    /// Labeled training images (`shots` rows per class).
+    pub labeled_x: Tensor,
+    /// Labels aligned with `labeled_x` rows.
+    pub labeled_y: Vec<usize>,
+    /// Unlabeled training images (the rest of the train partition).
+    pub unlabeled_x: Tensor,
+    /// Hidden ground truth of the unlabeled pool — **diagnostics only**,
+    /// never an input to any learning method.
+    pub unlabeled_y: Vec<usize>,
+    /// Test images.
+    pub test_x: Tensor,
+    /// Test labels.
+    pub test_y: Vec<usize>,
+    /// Shots per class in this split.
+    pub shots: usize,
+    /// The split seed that produced it.
+    pub split_seed: u64,
+}
+
+impl Task {
+    /// Number of target classes `C`.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total images in the training pool (before splitting).
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Pool images belonging to one class.
+    pub fn per_class_count(&self, class: usize) -> usize {
+        self.pool.iter().filter(|(_, y)| *y == class).count()
+    }
+
+    /// Smallest per-class pool count (the paper reports these minima).
+    pub fn min_images_per_class(&self) -> usize {
+        (0..self.num_classes())
+            .map(|c| self.pool.iter().filter(|(_, y)| *y == c).count())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Class names in label order.
+    pub fn class_names(&self) -> Vec<&str> {
+        self.classes.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Concept ids of classes that are aligned with the graph.
+    pub fn aligned_concepts(&self) -> Vec<(usize, ConceptId)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.concept.map(|id| (i, id)))
+            .collect()
+    }
+
+    /// Materialises the split protocol of Appendix A.3 for one seed.
+    ///
+    /// The same seed drives both the train/test partition and the choice of
+    /// labeled examples, exactly as in the paper. For tasks with a
+    /// predetermined test set (Grocery Store) the partition step is skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots` is 0 or exceeds [`Task::max_shots`].
+    pub fn split(&self, split_seed: u64, shots: usize) -> TaskSplit {
+        assert!(shots >= 1, "at least one labeled example per class required");
+        assert!(
+            shots <= self.max_shots,
+            "task {} supports at most {}-shot (requested {shots})",
+            self.name,
+            self.max_shots
+        );
+        let mut rng = StdRng::seed_from_u64(split_seed.wrapping_mul(0x9e37_79b9) ^ hash(&self.name));
+
+        let mut train: Vec<(usize, &(Image, usize))>; // (pool index, entry)
+        let mut test: Vec<&(Image, usize)> = Vec::new();
+        match &self.predetermined_test {
+            Some(test_pool) => {
+                train = self.pool.iter().enumerate().collect();
+                test.extend(test_pool.iter());
+            }
+            None => {
+                train = Vec::new();
+                for c in 0..self.num_classes() {
+                    let mut members: Vec<(usize, &(Image, usize))> = self
+                        .pool
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (_, y))| *y == c)
+                        .collect();
+                    members.shuffle(&mut rng);
+                    let (held_out, rest) = members.split_at(self.test_per_class.min(members.len()));
+                    test.extend(held_out.iter().map(|(_, e)| *e));
+                    train.extend(rest.iter().copied());
+                }
+            }
+        }
+
+        // Choose `shots` labeled examples per class from the train partition.
+        let mut labeled: Vec<&(Image, usize)> = Vec::new();
+        let mut unlabeled: Vec<&(Image, usize)> = Vec::new();
+        for c in 0..self.num_classes() {
+            let mut members: Vec<&(Image, usize)> = train
+                .iter()
+                .filter(|(_, (_, y))| *y == c)
+                .map(|(_, e)| *e)
+                .collect();
+            members.shuffle(&mut rng);
+            let take = shots.min(members.len());
+            labeled.extend(members.iter().take(take));
+            unlabeled.extend(members.iter().skip(take));
+        }
+
+        let to_tensors = |items: &[&(Image, usize)]| -> (Tensor, Vec<usize>) {
+            let rows: Vec<Vec<f32>> = items.iter().map(|(img, _)| img.clone()).collect();
+            let ys: Vec<usize> = items.iter().map(|(_, y)| *y).collect();
+            (Tensor::stack_rows(&rows), ys)
+        };
+        let (labeled_x, labeled_y) = to_tensors(&labeled);
+        let (unlabeled_x, unlabeled_y) = to_tensors(&unlabeled);
+        let (test_x, test_y) = to_tensors(&test);
+        TaskSplit {
+            labeled_x,
+            labeled_y,
+            unlabeled_x,
+            unlabeled_y,
+            test_x,
+            test_y,
+            shots,
+            split_seed,
+        }
+    }
+}
+
+fn hash(s: &str) -> u64 {
+    // FNV-1a, for mixing the task name into the split seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+const FMD_CLASSES: [&str; 10] = [
+    "fabric", "foliage", "glass", "leather", "metal", "paper", "plastic", "stone", "water",
+    "wood",
+];
+
+const OFFICE_HOME_CLASSES: [&str; 65] = [
+    "alarm_clock", "backpack", "batteries", "bed", "bike", "bottle", "bucket", "calculator",
+    "calendar", "candles", "chair", "clipboards", "computer", "couch", "curtains", "desk_lamp",
+    "drill", "eraser", "exit_sign", "fan", "file_cabinet", "flipflops", "flowers", "folder",
+    "fork", "glasses", "hammer", "helmet", "kettle", "keyboard", "knives", "lamp_shade",
+    "laptop", "marker", "monitor", "mop", "mouse", "mug", "notebook", "oven", "pan",
+    "paper_clip", "pen", "pencil", "postit_notes", "printer", "push_pin", "radio",
+    "refrigerator", "ruler", "scissors", "screwdriver", "shelf", "sink", "sneakers", "soda",
+    "speaker", "spoon", "table", "telephone", "toothbrush", "toys", "trash_can", "tv", "webcam",
+];
+
+const GROCERY_ALIGNED: [&str; 40] = [
+    "apple", "avocado", "banana", "kiwi", "lemon", "lime", "mango", "melon", "nectarine",
+    "orange", "papaya", "passion_fruit", "peach", "pear", "pineapple", "plum", "pomegranate",
+    "grapefruit", "satsumas", "asparagus", "aubergine", "cabbage", "carrot", "cucumber",
+    "garlic", "ginger", "leek", "mushroom", "onion", "pepper", "potato", "red_beet", "tomato",
+    "zucchini", "juice", "milk", "oat_milk", "sour_cream", "soy_milk", "yoghurt",
+];
+
+/// The two Grocery classes absent from the graph, with the links a SCADS
+/// extension should add for them (Example A.1).
+pub const GROCERY_OOV: [(&str, [&str; 3]); 2] = [
+    ("oatghurt", ["yoghurt", "oat_milk", "milk"]),
+    ("soyghurt", ["yoghurt", "soy_milk", "milk"]),
+];
+
+/// Builds all four evaluation tasks inside the universe, renaming the chosen
+/// concepts to their task class names. Concepts are chosen disjointly across
+/// tasks; the two OfficeHome variants intentionally share the same concepts.
+///
+/// # Panics
+///
+/// Panics if the universe is too small to host all tasks (fewer than ~130
+/// usable leaf concepts).
+pub fn standard_tasks(universe: &mut ConceptUniverse) -> Vec<Task> {
+    let taxonomy = universe.taxonomy().clone();
+    let root = taxonomy.root().expect("generated taxonomy has a root");
+
+    // Grocery first: it needs a cluster of fine-grained siblings, so claim
+    // the largest depth-1 subtree's leaves.
+    let mut subtrees: Vec<(ConceptId, Vec<ConceptId>)> = taxonomy
+        .children(root)
+        .iter()
+        .map(|&c| (c, taxonomy.leaves_under(c)))
+        .collect();
+    subtrees.sort_by_key(|(_, leaves)| std::cmp::Reverse(leaves.len()));
+    let (_, grocery_leaves) = subtrees.first().expect("root has children").clone();
+    assert!(
+        grocery_leaves.len() >= GROCERY_ALIGNED.len(),
+        "universe too small for the grocery task ({} fine-grained leaves)",
+        grocery_leaves.len()
+    );
+    let grocery_concepts: Vec<ConceptId> =
+        pick_spread(&grocery_leaves, GROCERY_ALIGNED.len());
+
+    // FMD: materials are mutually confusable mid-level categories, so its
+    // ten classes live inside one (different) subtree rather than being
+    // spread across the world.
+    let (_, fmd_leaves) = subtrees.get(1).expect("root has at least two subtrees").clone();
+    assert!(
+        fmd_leaves.len() >= FMD_CLASSES.len(),
+        "universe too small for the material task ({} leaves)",
+        fmd_leaves.len()
+    );
+    let fmd_concepts = pick_spread(&fmd_leaves, FMD_CLASSES.len());
+
+    // Remaining leaves host OfficeHome (65 everyday objects), spread widely.
+    let used: std::collections::HashSet<ConceptId> = grocery_concepts
+        .iter()
+        .chain(fmd_concepts.iter())
+        .copied()
+        .collect();
+    let free_leaves: Vec<ConceptId> = taxonomy
+        .leaves_under(root)
+        .into_iter()
+        .filter(|c| !used.contains(c))
+        .collect();
+    assert!(
+        free_leaves.len() >= OFFICE_HOME_CLASSES.len(),
+        "universe too small for OfficeHome ({} free leaves)",
+        free_leaves.len()
+    );
+    let office_concepts = pick_spread(&free_leaves, OFFICE_HOME_CLASSES.len());
+
+    // Rename concepts so joining-by-name works.
+    for (id, name) in grocery_concepts.iter().zip(GROCERY_ALIGNED) {
+        universe.rename_concept(*id, name);
+    }
+    for (id, name) in office_concepts.iter().zip(OFFICE_HOME_CLASSES) {
+        universe.rename_concept(*id, name);
+    }
+    for (id, name) in fmd_concepts.iter().zip(FMD_CLASSES) {
+        universe.rename_concept(*id, name);
+    }
+
+    vec![
+        build_fmd(universe, &fmd_concepts),
+        build_office_home(universe, &office_concepts, Domain::Product),
+        build_office_home(universe, &office_concepts, Domain::Clipart),
+        build_grocery(universe, &grocery_concepts),
+    ]
+}
+
+/// Picks `n` elements spread evenly across a sorted candidate list.
+fn pick_spread(candidates: &[ConceptId], n: usize) -> Vec<ConceptId> {
+    assert!(candidates.len() >= n, "not enough candidates");
+    let mut sorted = candidates.to_vec();
+    sorted.sort();
+    (0..n)
+        .map(|i| sorted[i * sorted.len() / n])
+        .collect()
+}
+
+fn aligned_specs(universe: &ConceptUniverse, concepts: &[ConceptId]) -> Vec<ClassSpec> {
+    concepts
+        .iter()
+        .map(|&id| ClassSpec {
+            name: universe.graph().name(id).to_string(),
+            concept: Some(id),
+            graph_links: Vec::new(),
+        })
+        .collect()
+}
+
+fn render_pool(
+    universe: &ConceptUniverse,
+    concepts: &[ConceptId],
+    counts: &[usize],
+    domain: Domain,
+    diversity: f32,
+    rng: &mut StdRng,
+) -> Vec<(Image, usize)> {
+    let mut pool = Vec::new();
+    for (label, (&id, &count)) in concepts.iter().zip(counts).enumerate() {
+        for _ in 0..count {
+            pool.push((universe.render(id, domain, diversity, rng), label));
+        }
+    }
+    pool
+}
+
+/// Flickr Material Database stand-in: 10 material classes, 100 photographs
+/// each, intentionally high intra-class diversity.
+fn build_fmd(universe: &ConceptUniverse, concepts: &[ConceptId]) -> Task {
+    let mut rng = StdRng::seed_from_u64(hash("fmd"));
+    let counts = vec![100usize; concepts.len()];
+    let pool = render_pool(universe, concepts, &counts, Domain::Natural, 1.8, &mut rng);
+    Task {
+        name: "flickr_materials".to_string(),
+        classes: aligned_specs(universe, concepts),
+        domain: Domain::Natural,
+        test_per_class: 5,
+        max_shots: 20,
+        pool,
+        predetermined_test: None,
+    }
+}
+
+/// OfficeHome stand-in for one domain: 65 daily-object classes with 38–70
+/// images per class.
+fn build_office_home(
+    universe: &ConceptUniverse,
+    concepts: &[ConceptId],
+    domain: Domain,
+) -> Task {
+    let (name, min_images) = match domain {
+        Domain::Product => ("office_home_product", 38),
+        Domain::Clipart => ("office_home_clipart", 39),
+        Domain::Natural => ("office_home_natural", 38),
+    };
+    let mut rng = StdRng::seed_from_u64(hash(name));
+    let counts: Vec<usize> = (0..concepts.len())
+        .map(|_| rng.gen_range(min_images..=70))
+        .collect();
+    let diversity = if domain == Domain::Clipart { 1.9 } else { 1.8 };
+    let pool = render_pool(universe, concepts, &counts, domain, diversity, &mut rng);
+    Task {
+        name: name.to_string(),
+        classes: aligned_specs(universe, concepts),
+        domain,
+        test_per_class: 10,
+        max_shots: 20,
+        pool,
+        predetermined_test: None,
+    }
+}
+
+/// Grocery Store stand-in: 42 fine-grained classes (as few as 18 images per
+/// class), a predetermined test set, and two classes that do not exist in
+/// the knowledge graph.
+fn build_grocery(universe: &ConceptUniverse, aligned: &[ConceptId]) -> Task {
+    let mut rng = StdRng::seed_from_u64(hash("grocery"));
+    let mut classes = aligned_specs(universe, aligned);
+
+    // The two out-of-vocabulary classes: semantics are mixtures of their
+    // related concepts, so their images are coherent but their graph node
+    // must be added manually by the learning system (Appendix A.2).
+    let mut oov_semantics: Vec<Vec<f32>> = Vec::new();
+    for (name, links) in GROCERY_OOV {
+        let link_ids: Vec<ConceptId> = links
+            .iter()
+            .map(|l| universe.graph().require(l).expect("grocery links were renamed"))
+            .collect();
+        let dim = universe.semantics_of(link_ids[0]).len();
+        let mut sem = vec![0.0f32; dim];
+        for &lid in &link_ids {
+            for (s, &v) in sem.iter_mut().zip(universe.semantics_of(lid)) {
+                *s += v / link_ids.len() as f32;
+            }
+        }
+        // A consistent per-class offset keeps the class distinct from the
+        // plain mixture of its parents.
+        let offset = Tensor::randn(&[dim], 0.3, &mut rng);
+        for (s, &o) in sem.iter_mut().zip(offset.data()) {
+            *s += o;
+        }
+        oov_semantics.push(sem);
+        classes.push(ClassSpec {
+            name: name.to_string(),
+            concept: None,
+            graph_links: links
+                .iter()
+                .map(|l| (l.to_string(), Relation::RelatedTo))
+                .collect(),
+        });
+    }
+
+    let mut pool = Vec::new();
+    let mut test_pool = Vec::new();
+    for (label, class) in classes.iter().enumerate() {
+        let count = rng.gen_range(18..=75);
+        let render = |rng: &mut StdRng| -> Image {
+            match class.concept {
+                Some(id) => universe.render(id, Domain::Natural, 1.6, rng),
+                None => universe.render_semantics(
+                    &oov_semantics[label - aligned.len()],
+                    Domain::Natural,
+                    1.6,
+                    rng,
+                ),
+            }
+        };
+        for _ in 0..count {
+            pool.push((render(&mut rng), label));
+        }
+        for _ in 0..8 {
+            test_pool.push((render(&mut rng), label));
+        }
+    }
+
+    Task {
+        name: "grocery_store".to_string(),
+        classes,
+        domain: Domain::Natural,
+        test_per_class: 8,
+        max_shots: 5,
+        pool,
+        predetermined_test: Some(test_pool),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniverseConfig;
+    use taglets_graph::SyntheticGraphConfig;
+
+    fn universe() -> ConceptUniverse {
+        ConceptUniverse::new(UniverseConfig {
+            graph: SyntheticGraphConfig { num_concepts: 500, ..SyntheticGraphConfig::default() },
+            ..UniverseConfig::default()
+        })
+    }
+
+    #[test]
+    fn standard_tasks_have_paper_shapes() {
+        let mut u = universe();
+        let tasks = standard_tasks(&mut u);
+        assert_eq!(tasks.len(), 4);
+        let by_name: std::collections::HashMap<&str, &Task> =
+            tasks.iter().map(|t| (t.name.as_str(), t)).collect();
+        assert_eq!(by_name["flickr_materials"].num_classes(), 10);
+        assert_eq!(by_name["flickr_materials"].pool_size(), 1000);
+        assert_eq!(by_name["office_home_product"].num_classes(), 65);
+        assert!(by_name["office_home_product"].min_images_per_class() >= 38);
+        assert_eq!(by_name["office_home_clipart"].num_classes(), 65);
+        assert!(by_name["office_home_clipart"].min_images_per_class() >= 39);
+        assert_eq!(by_name["grocery_store"].num_classes(), 42);
+        assert!(by_name["grocery_store"].min_images_per_class() >= 18);
+        assert_eq!(by_name["grocery_store"].max_shots, 5);
+    }
+
+    #[test]
+    fn office_variants_share_concepts_but_differ_in_domain() {
+        let mut u = universe();
+        let tasks = standard_tasks(&mut u);
+        let product = tasks.iter().find(|t| t.name == "office_home_product").unwrap();
+        let clipart = tasks.iter().find(|t| t.name == "office_home_clipart").unwrap();
+        let pc: Vec<_> = product.aligned_concepts();
+        let cc: Vec<_> = clipart.aligned_concepts();
+        assert_eq!(pc, cc);
+        assert_ne!(product.domain, clipart.domain);
+    }
+
+    #[test]
+    fn grocery_has_two_unaligned_classes_with_links() {
+        let mut u = universe();
+        let tasks = standard_tasks(&mut u);
+        let grocery = tasks.iter().find(|t| t.name == "grocery_store").unwrap();
+        let oov: Vec<&ClassSpec> =
+            grocery.classes.iter().filter(|c| c.concept.is_none()).collect();
+        assert_eq!(oov.len(), 2);
+        for spec in oov {
+            assert!(!spec.graph_links.is_empty());
+            assert!(u.graph().find(&spec.name).is_none(), "{} must be absent", spec.name);
+            for (link, _) in &spec.graph_links {
+                assert!(u.graph().find(link).is_some(), "link {link} must exist");
+            }
+        }
+    }
+
+    #[test]
+    fn tasks_use_disjoint_concepts_except_office_pair() {
+        let mut u = universe();
+        let tasks = standard_tasks(&mut u);
+        let concept_sets: Vec<std::collections::HashSet<ConceptId>> = tasks
+            .iter()
+            .map(|t| t.aligned_concepts().into_iter().map(|(_, c)| c).collect())
+            .collect();
+        // fmd(0) vs product(1), clipart(2), grocery(3)
+        assert!(concept_sets[0].is_disjoint(&concept_sets[1]));
+        assert!(concept_sets[0].is_disjoint(&concept_sets[3]));
+        assert!(concept_sets[1].is_disjoint(&concept_sets[3]));
+        assert_eq!(concept_sets[1], concept_sets[2]);
+    }
+
+    #[test]
+    fn split_counts_follow_protocol() {
+        let mut u = universe();
+        let tasks = standard_tasks(&mut u);
+        let fmd = tasks.iter().find(|t| t.name == "flickr_materials").unwrap();
+        let split = fmd.split(0, 5);
+        assert_eq!(split.labeled_y.len(), 10 * 5);
+        assert_eq!(split.test_y.len(), 10 * 5); // 5 test images per class
+        assert_eq!(
+            split.labeled_y.len() + split.unlabeled_y.len() + split.test_y.len(),
+            fmd.pool_size()
+        );
+        // Every class has exactly `shots` labeled examples.
+        for c in 0..10 {
+            assert_eq!(split.labeled_y.iter().filter(|&&y| y == c).count(), 5);
+        }
+    }
+
+    #[test]
+    fn splits_differ_across_seeds_but_not_within() {
+        let mut u = universe();
+        let tasks = standard_tasks(&mut u);
+        let fmd = tasks.iter().find(|t| t.name == "flickr_materials").unwrap();
+        let a = fmd.split(0, 1);
+        let b = fmd.split(0, 1);
+        let c = fmd.split(1, 1);
+        assert_eq!(a.labeled_x, b.labeled_x, "same seed, same split");
+        assert_ne!(a.labeled_x, c.labeled_x, "different seed, different split");
+    }
+
+    #[test]
+    fn grocery_test_set_is_predetermined() {
+        let mut u = universe();
+        let tasks = standard_tasks(&mut u);
+        let grocery = tasks.iter().find(|t| t.name == "grocery_store").unwrap();
+        let a = grocery.split(0, 1);
+        let b = grocery.split(7, 1);
+        assert_eq!(a.test_x, b.test_x, "grocery test set must not vary with seed");
+        assert_ne!(a.labeled_x, b.labeled_x);
+    }
+
+    #[test]
+    fn shots_beyond_max_panic() {
+        let mut u = universe();
+        let tasks = standard_tasks(&mut u);
+        let grocery = tasks.iter().find(|t| t.name == "grocery_store").unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| grocery.split(0, 20)));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,534 @@
+//! The concept universe: a synthetic world joining graph semantics to
+//! "image" generation.
+//!
+//! This is the substitution for ImageNet-21k + real photographs. Every
+//! concept owns a generative model in image space whose prototype is a fixed
+//! linear projection of the concept's *latent semantic vector* (the same
+//! vector that, noised, feeds the knowledge graph's word embeddings). The
+//! consequence is exactly the property the paper's selection mechanism needs:
+//! **concepts near each other in the graph produce visually similar
+//! examples**, so fine-tuning on graph-selected auxiliary data transfers, and
+//! pruning graph-near concepts hurts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use taglets_graph::{
+    generate, retrofit, ConceptEmbeddings, ConceptGraph, ConceptId, RetrofitConfig,
+    SyntheticGraph, SyntheticGraphConfig, Taxonomy,
+};
+use taglets_scads::Scads;
+use taglets_tensor::Tensor;
+
+/// A flat "image": the raw input vector fed to backbones.
+pub type Image = Vec<f32>;
+
+/// The visual domain an image is rendered in (paper Sec. 4.1: OfficeHome's
+/// *product* and *clipart* domains versus natural photographs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Domain {
+    /// Natural photographs — the identity rendering. All auxiliary data
+    /// (the ImageNet-21k stand-in) lives here.
+    #[default]
+    Natural,
+    /// Product shots: mild, axis-aligned distortion (white background,
+    /// centered objects).
+    Product,
+    /// Clipart: a strong but invertible distortion (coordinate permutation
+    /// with sign flips plus a bias), i.e. a genuine visual domain shift.
+    Clipart,
+}
+
+impl Domain {
+    /// All domains.
+    pub const ALL: [Domain; 3] = [Domain::Natural, Domain::Product, Domain::Clipart];
+}
+
+/// Configuration of a [`ConceptUniverse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniverseConfig {
+    /// The synthetic knowledge-graph generator settings.
+    pub graph: SyntheticGraphConfig,
+    /// Dimensionality of image space.
+    pub image_dim: usize,
+    /// Base within-class noise (σ of the per-image Gaussian around the
+    /// class prototype).
+    pub class_noise: f32,
+    /// Fraction of images that are "hard" outliers (atypical views,
+    /// occlusions — real datasets' heavy tail; bounds achievable accuracy).
+    pub outlier_rate: f32,
+    /// Noise multiplier applied to outlier images.
+    pub outlier_scale: f32,
+    /// Retrofitting settings for the SCADS embeddings.
+    pub retrofit: RetrofitConfig,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig {
+            graph: SyntheticGraphConfig::default(),
+            image_dim: 48,
+            class_noise: 0.55,
+            outlier_rate: 0.15,
+            outlier_scale: 3.5,
+            retrofit: RetrofitConfig::default(),
+        }
+    }
+}
+
+/// The synthetic world: graph, semantics, SCADS embeddings, and the visual
+/// rendering model.
+#[derive(Debug, Clone)]
+pub struct ConceptUniverse {
+    world: SyntheticGraph,
+    scads_embeddings: ConceptEmbeddings,
+    cfg: UniverseConfig,
+    /// Semantic → image projection.
+    w_vis: Tensor,
+    /// Clipart transform: coordinate permutation + sign flips + bias.
+    clipart_perm: Vec<usize>,
+    clipart_sign: Vec<f32>,
+    clipart_bias: Vec<f32>,
+    /// Product transform: per-coordinate scaling + small bias.
+    product_scale: Vec<f32>,
+    product_bias: Vec<f32>,
+}
+
+impl ConceptUniverse {
+    /// Generates a universe from the configuration (deterministic in
+    /// `cfg.graph.seed`).
+    pub fn new(cfg: UniverseConfig) -> Self {
+        let world = generate(&cfg.graph);
+        let scads_embeddings = retrofit(
+            &world.graph,
+            &world.word_vectors,
+            &cfg.retrofit,
+            |_| true,
+        )
+        .expect("generated embeddings match the generated graph");
+        let mut rng = StdRng::seed_from_u64(cfg.graph.seed ^ 0x5eed_cafe);
+        let w_vis = Tensor::randn(
+            &[cfg.graph.semantic_dim, cfg.image_dim],
+            1.0 / (cfg.graph.semantic_dim as f32).sqrt(),
+            &mut rng,
+        );
+        let mut clipart_perm: Vec<usize> = (0..cfg.image_dim).collect();
+        use rand::seq::SliceRandom;
+        clipart_perm.shuffle(&mut rng);
+        let clipart_sign = (0..cfg.image_dim)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let clipart_bias = Tensor::randn(&[cfg.image_dim], 0.8, &mut rng).into_vec();
+        let product_scale = (0..cfg.image_dim).map(|_| rng.gen_range(0.8..1.2)).collect();
+        let product_bias = Tensor::randn(&[cfg.image_dim], 0.15, &mut rng).into_vec();
+        ConceptUniverse {
+            world,
+            scads_embeddings,
+            cfg,
+            w_vis,
+            clipart_perm,
+            clipart_sign,
+            clipart_bias,
+            product_scale,
+            product_bias,
+        }
+    }
+
+    /// A universe with default settings and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        ConceptUniverse::new(UniverseConfig {
+            graph: SyntheticGraphConfig { seed, ..SyntheticGraphConfig::default() },
+            ..UniverseConfig::default()
+        })
+    }
+
+    /// The configuration this universe was generated from.
+    pub fn config(&self) -> &UniverseConfig {
+        &self.cfg
+    }
+
+    /// The knowledge graph.
+    pub fn graph(&self) -> &ConceptGraph {
+        &self.world.graph
+    }
+
+    /// The semantic tree (WordNet stand-in).
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.world.taxonomy
+    }
+
+    /// The retrofitted SCADS embeddings.
+    pub fn scads_embeddings(&self) -> &ConceptEmbeddings {
+        &self.scads_embeddings
+    }
+
+    /// Latent semantic vector of a concept (generator ground truth).
+    pub fn semantics_of(&self, id: ConceptId) -> &[f32] {
+        self.world.semantics.get(id)
+    }
+
+    /// Image-space dimensionality.
+    pub fn image_dim(&self) -> usize {
+        self.cfg.image_dim
+    }
+
+    /// Renames a concept to a task's class name (e.g. `concept_0042` →
+    /// `plastic`) so dataset joining by name works.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken by another concept.
+    pub fn rename_concept(&mut self, id: ConceptId, name: &str) {
+        self.world
+            .graph
+            .rename(id, name)
+            .expect("task class names are unique by construction");
+    }
+
+    /// The noise-free visual prototype for a semantic vector.
+    pub fn prototype_for_semantics(&self, semantics: &[f32]) -> Image {
+        let s = Tensor::from_slice(semantics).reshaped(&[1, self.cfg.graph.semantic_dim]);
+        s.matmul(&self.w_vis).into_vec()
+    }
+
+    /// The noise-free visual prototype of a concept (Natural domain).
+    pub fn prototype(&self, id: ConceptId) -> Image {
+        self.prototype_for_semantics(self.semantics_of(id))
+    }
+
+    /// Renders one image of a concept.
+    ///
+    /// `diversity` scales the within-class noise (1.0 = the universe
+    /// default; the Flickr Material task uses a larger value to model its
+    /// intentional intra-class diversity).
+    pub fn render(&self, id: ConceptId, domain: Domain, diversity: f32, rng: &mut StdRng) -> Image {
+        self.render_semantics(self.semantics_of(id), domain, diversity, rng)
+    }
+
+    /// Renders one image for an explicit semantic vector (used for classes
+    /// that exist in the world but not in the graph, e.g. `oatghurt`).
+    pub fn render_semantics(
+        &self,
+        semantics: &[f32],
+        domain: Domain,
+        diversity: f32,
+        rng: &mut StdRng,
+    ) -> Image {
+        let mut img = self.prototype_for_semantics(semantics);
+        let mut sigma = self.cfg.class_noise * diversity;
+        if rng.gen::<f32>() < self.cfg.outlier_rate {
+            sigma *= self.cfg.outlier_scale;
+        }
+        let noise = Tensor::randn(&[self.cfg.image_dim], sigma, rng);
+        for (v, &n) in img.iter_mut().zip(noise.data()) {
+            *v += n;
+        }
+        self.apply_domain(&img, domain)
+    }
+
+    /// Applies a domain transform to a Natural-domain image.
+    pub fn apply_domain(&self, image: &[f32], domain: Domain) -> Image {
+        assert_eq!(image.len(), self.cfg.image_dim, "image dimensionality mismatch");
+        match domain {
+            Domain::Natural => image.to_vec(),
+            Domain::Product => image
+                .iter()
+                .zip(&self.product_scale)
+                .zip(&self.product_bias)
+                .map(|((&v, &s), &b)| v * s + b)
+                .collect(),
+            Domain::Clipart => {
+                let mut out = vec![0.0f32; image.len()];
+                for (i, (&src, (&sign, &bias))) in self
+                    .clipart_perm
+                    .iter()
+                    .zip(self.clipart_sign.iter().zip(&self.clipart_bias))
+                    .enumerate()
+                {
+                    out[i] = image[src] * sign + bias;
+                }
+                out
+            }
+        }
+    }
+
+    /// Generates the auxiliary corpus (the ImageNet-21k stand-in): `k` natural
+    /// images per concept, deterministically from `seed`.
+    pub fn build_corpus(&self, k_per_concept: usize, seed: u64) -> AuxiliaryCorpus {
+        self.build_corpus_in_domain(k_per_concept, seed, Domain::Natural)
+    }
+
+    /// Generates an auxiliary corpus rendered in an arbitrary domain — e.g.
+    /// a product-catalog crawl to install alongside the ImageNet-21k
+    /// stand-in (Sec. 4.3: "our choice can be combined with other annotated
+    /// datasets potentially useful for the target task").
+    pub fn build_corpus_in_domain(
+        &self,
+        k_per_concept: usize,
+        seed: u64,
+        domain: Domain,
+    ) -> AuxiliaryCorpus {
+        let mut rng = StdRng::seed_from_u64(seed ^ (domain as u64) << 32);
+        let per_concept = self
+            .graph()
+            .concepts()
+            .map(|id| {
+                (0..k_per_concept)
+                    .map(|_| self.render(id, domain, 1.0, &mut rng))
+                    .collect()
+            })
+            .collect();
+        AuxiliaryCorpus { per_concept }
+    }
+
+    /// Installs an additional corpus into an existing SCADS under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`taglets_scads::ScadsError`] (e.g. an empty corpus).
+    pub fn install_corpus(
+        &self,
+        scads: &mut Scads<Image>,
+        corpus: &AuxiliaryCorpus,
+        name: &str,
+    ) -> Result<taglets_scads::DatasetId, taglets_scads::ScadsError> {
+        let items: Vec<(ConceptId, Image)> = corpus
+            .per_concept
+            .iter()
+            .enumerate()
+            .flat_map(|(i, images)| images.iter().map(move |img| (ConceptId(i), img.clone())))
+            .collect();
+        scads.install_by_id(name, items)
+    }
+
+    /// Builds a SCADS from this universe with the corpus installed as a
+    /// single auxiliary dataset named `imagenet21k-sim`.
+    pub fn build_scads(&self, corpus: &AuxiliaryCorpus) -> Scads<Image> {
+        let mut scads = Scads::new(
+            self.graph().clone(),
+            self.taxonomy().clone(),
+            self.scads_embeddings.clone(),
+        );
+        let items: Vec<(ConceptId, Image)> = corpus
+            .per_concept
+            .iter()
+            .enumerate()
+            .flat_map(|(i, images)| {
+                images.iter().map(move |img| (ConceptId(i), img.clone()))
+            })
+            .collect();
+        scads
+            .install_by_id("imagenet21k-sim", items)
+            .expect("corpus is non-empty");
+        scads
+    }
+}
+
+/// The generated auxiliary image corpus (ImageNet-21k stand-in): it is both
+/// the content installed into SCADS and the pretraining data of the backbone
+/// zoo, mirroring the paper where ImageNet is both.
+#[derive(Debug, Clone)]
+pub struct AuxiliaryCorpus {
+    /// `per_concept[i]` holds the images of `ConceptId(i)`.
+    pub per_concept: Vec<Vec<Image>>,
+}
+
+impl AuxiliaryCorpus {
+    /// Total number of images.
+    pub fn len(&self) -> usize {
+        self.per_concept.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when the corpus holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flattens (a subset of) the corpus into a training matrix and labels,
+    /// keeping only concepts selected by `keep` and relabeling them densely.
+    /// Returns `(x, labels, kept_concepts)`.
+    pub fn training_set(&self, mut keep: impl FnMut(ConceptId) -> bool) -> CorpusTrainingSet {
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        let mut labels = Vec::new();
+        let mut concepts = Vec::new();
+        for (i, images) in self.per_concept.iter().enumerate() {
+            let id = ConceptId(i);
+            if images.is_empty() || !keep(id) {
+                continue;
+            }
+            let label = concepts.len();
+            concepts.push(id);
+            for img in images {
+                rows.push(img.clone());
+                labels.push(label);
+            }
+        }
+        CorpusTrainingSet { x: Tensor::stack_rows(&rows), labels, concepts }
+    }
+}
+
+/// A flattened corpus subset ready for supervised pretraining.
+#[derive(Debug, Clone)]
+pub struct CorpusTrainingSet {
+    /// Stacked image rows.
+    pub x: Tensor,
+    /// Dense class labels aligned with `x` rows.
+    pub labels: Vec<usize>,
+    /// Dense label → concept id.
+    pub concepts: Vec<ConceptId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_universe() -> ConceptUniverse {
+        ConceptUniverse::new(UniverseConfig {
+            graph: SyntheticGraphConfig { num_concepts: 80, ..SyntheticGraphConfig::default() },
+            ..UniverseConfig::default()
+        })
+    }
+
+    #[test]
+    fn universe_is_deterministic() {
+        let a = small_universe();
+        let b = small_universe();
+        assert_eq!(a.prototype(ConceptId(5)), b.prototype(ConceptId(5)));
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        assert_eq!(
+            a.render(ConceptId(5), Domain::Clipart, 1.0, &mut r1),
+            b.render(ConceptId(5), Domain::Clipart, 1.0, &mut r2)
+        );
+    }
+
+    #[test]
+    fn graph_similar_concepts_have_similar_prototypes() {
+        let u = small_universe();
+        let t = u.taxonomy();
+        // Compare parent/child prototype distance to root/leaf distance.
+        let root = t.root().unwrap();
+        let child = t.children(root)[0];
+        let grandchild = t.children(child).first().copied().unwrap_or(child);
+        let deep = *t.leaves_under(root).last().unwrap();
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+        };
+        let near = dist(&u.prototype(child), &u.prototype(grandchild));
+        let far = dist(&u.prototype(child), &u.prototype(deep));
+        assert!(near < far, "taxonomic proximity must imply visual proximity: {near} vs {far}");
+    }
+
+    #[test]
+    fn domain_transforms_preserve_dimensionality_and_differ() {
+        let u = small_universe();
+        let img = u.prototype(ConceptId(3));
+        for d in Domain::ALL {
+            assert_eq!(u.apply_domain(&img, d).len(), u.image_dim());
+        }
+        assert_ne!(u.apply_domain(&img, Domain::Natural), u.apply_domain(&img, Domain::Clipart));
+        assert_ne!(u.apply_domain(&img, Domain::Natural), u.apply_domain(&img, Domain::Product));
+    }
+
+    #[test]
+    fn clipart_shift_is_larger_than_product_shift() {
+        let u = small_universe();
+        let img = u.prototype(ConceptId(3));
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+        };
+        let natural = u.apply_domain(&img, Domain::Natural);
+        assert!(
+            dist(&natural, &u.apply_domain(&img, Domain::Clipart))
+                > dist(&natural, &u.apply_domain(&img, Domain::Product))
+        );
+    }
+
+    #[test]
+    fn corpus_covers_every_concept() {
+        let u = small_universe();
+        let corpus = u.build_corpus(4, 0);
+        assert_eq!(corpus.per_concept.len(), 80);
+        assert_eq!(corpus.len(), 320);
+    }
+
+    #[test]
+    fn scads_from_corpus_has_all_examples() {
+        let u = small_universe();
+        let corpus = u.build_corpus(3, 0);
+        let scads = u.build_scads(&corpus);
+        assert_eq!(scads.num_examples(), 240);
+        assert_eq!(scads.installed_datasets(), vec!["imagenet21k-sim"]);
+    }
+
+    #[test]
+    fn training_set_filters_and_relabels_densely() {
+        let u = small_universe();
+        let corpus = u.build_corpus(2, 0);
+        let set = corpus.training_set(|id| id.0 < 10);
+        assert_eq!(set.concepts.len(), 10);
+        assert_eq!(set.x.rows(), 20);
+        assert!(set.labels.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn diversity_scales_within_class_spread() {
+        let u = small_universe();
+        let spread = |diversity: f32| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let proto = u.prototype(ConceptId(7));
+            let mut total = 0.0;
+            for _ in 0..50 {
+                let img = u.render(ConceptId(7), Domain::Natural, diversity, &mut rng);
+                total += img
+                    .iter()
+                    .zip(&proto)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f32>()
+                    .sqrt();
+            }
+            total / 50.0
+        };
+        assert!(spread(2.0) > spread(1.0) * 1.5);
+    }
+}
+
+#[cfg(test)]
+mod multi_dataset_tests {
+    use super::*;
+
+    #[test]
+    fn multiple_corpora_install_and_remove_independently() {
+        let u = ConceptUniverse::new(UniverseConfig {
+            graph: taglets_graph::SyntheticGraphConfig {
+                num_concepts: 60,
+                ..Default::default()
+            },
+            ..UniverseConfig::default()
+        });
+        let natural = u.build_corpus(3, 0);
+        let catalog = u.build_corpus_in_domain(2, 1, Domain::Product);
+        let mut scads = u.build_scads(&natural);
+        let id = u.install_corpus(&mut scads, &catalog, "product-catalog-sim").unwrap();
+        assert_eq!(scads.installed_datasets().len(), 2);
+        assert_eq!(scads.num_examples(), 60 * 3 + 60 * 2);
+        scads.remove_dataset(id).unwrap();
+        assert_eq!(scads.num_examples(), 60 * 3);
+        assert_eq!(scads.installed_datasets(), vec!["imagenet21k-sim"]);
+    }
+
+    #[test]
+    fn domain_corpora_differ_from_natural_ones() {
+        let u = ConceptUniverse::new(UniverseConfig {
+            graph: taglets_graph::SyntheticGraphConfig {
+                num_concepts: 30,
+                ..Default::default()
+            },
+            ..UniverseConfig::default()
+        });
+        let natural = u.build_corpus_in_domain(2, 0, Domain::Natural);
+        let clipart = u.build_corpus_in_domain(2, 0, Domain::Clipart);
+        assert_ne!(natural.per_concept[0][0], clipart.per_concept[0][0]);
+        assert_eq!(natural.len(), clipart.len());
+    }
+}

@@ -1,0 +1,221 @@
+//! Confusion matrices and per-class metrics.
+//!
+//! The paper reports plain accuracy; a production system (and the error
+//! analysis behind Fig. 6) needs per-class structure too: which grocery
+//! items get confused, whether `oatghurt` is absorbed by `yoghurt`, and
+//! macro-averaged scores robust to class imbalance.
+
+use std::fmt;
+
+/// A `C × C` confusion matrix: `counts[truth][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or a value is `≥ num_classes`.
+    pub fn from_predictions(predictions: &[usize], labels: &[usize], num_classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "one prediction per label");
+        let mut counts = vec![vec![0usize; num_classes]; num_classes];
+        for (&p, &y) in predictions.iter().zip(labels) {
+            assert!(p < num_classes && y < num_classes, "class index out of range");
+            counts[y][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes `C`.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of examples with true class `truth` predicted as `predicted`.
+    pub fn count(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth][predicted]
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy (0 for an empty matrix).
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.num_classes()).map(|c| self.counts[c][c]).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Recall of one class (0 when the class has no examples).
+    pub fn recall(&self, class: usize) -> f32 {
+        let support: usize = self.counts[class].iter().sum();
+        if support == 0 {
+            0.0
+        } else {
+            self.counts[class][class] as f32 / support as f32
+        }
+    }
+
+    /// Precision of one class (0 when the class is never predicted).
+    pub fn precision(&self, class: usize) -> f32 {
+        let predicted: usize = (0..self.num_classes()).map(|t| self.counts[t][class]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.counts[class][class] as f32 / predicted as f32
+        }
+    }
+
+    /// F1 score of one class.
+    pub fn f1(&self, class: usize) -> f32 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over classes (macro-F1).
+    pub fn macro_f1(&self) -> f32 {
+        let c = self.num_classes();
+        if c == 0 {
+            return 0.0;
+        }
+        (0..c).map(|k| self.f1(k)).sum::<f32>() / c as f32
+    }
+
+    /// The `top_n` most frequent off-diagonal confusions as
+    /// `(truth, predicted, count)`, sorted descending.
+    pub fn top_confusions(&self, top_n: usize) -> Vec<(usize, usize, usize)> {
+        let mut pairs = Vec::new();
+        for t in 0..self.num_classes() {
+            for p in 0..self.num_classes() {
+                if t != p && self.counts[t][p] > 0 {
+                    pairs.push((t, p, self.counts[t][p]));
+                }
+            }
+        }
+        pairs.sort_by_key(|&(_, _, n)| std::cmp::Reverse(n));
+        pairs.truncate(top_n);
+        pairs
+    }
+
+    /// Serialises the matrix as CSV (`truth\predicted` header row).
+    pub fn to_csv(&self, class_names: &[&str]) -> String {
+        assert_eq!(class_names.len(), self.num_classes(), "one name per class");
+        let mut out = String::from("truth\\predicted");
+        for name in class_names {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for (t, row) in self.counts.iter().enumerate() {
+            out.push_str(class_names[t]);
+            for &n in row {
+                out.push(',');
+                out.push_str(&n.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ConfusionMatrix[{} classes, {} examples, accuracy {:.3}, macro-F1 {:.3}]",
+            self.num_classes(),
+            self.total(),
+            self.accuracy(),
+            self.macro_f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        // truth:      0 0 0 1 1 2
+        // predicted:  0 0 1 1 1 0
+        ConfusionMatrix::from_predictions(&[0, 0, 1, 1, 1, 0], &[0, 0, 0, 1, 1, 2], 3)
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let m = sample();
+        assert_eq!(m.count(0, 0), 2);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(2, 0), 1);
+        assert_eq!(m.total(), 6);
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = sample();
+        assert!((m.recall(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.f1(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(m.recall(2), 0.0, "class 2 never predicted correctly");
+        assert_eq!(m.f1(2), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_averages_all_classes() {
+        let m = sample();
+        let expected = (m.f1(0) + m.f1(1) + m.f1(2)) / 3.0;
+        assert!((m.macro_f1() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_confusions_sorted() {
+        let m = ConfusionMatrix::from_predictions(
+            &[1, 1, 1, 2, 0, 0],
+            &[0, 0, 0, 0, 0, 0],
+            3,
+        );
+        let top = m.top_confusions(2);
+        assert_eq!(top[0], (0, 1, 3));
+        assert_eq!(top[1], (0, 2, 1));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let m = sample();
+        let csv = m.to_csv(&["a", "b", "c"]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("truth\\predicted,a,b,c"));
+        assert_eq!(lines[1], "a,2,1,0");
+    }
+
+    #[test]
+    fn empty_matrix_is_well_behaved() {
+        let m = ConfusionMatrix::from_predictions(&[], &[], 2);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.macro_f1(), 0.0);
+        assert!(m.top_confusions(5).is_empty());
+    }
+
+    #[test]
+    fn perfect_predictions_give_unit_scores() {
+        let labels = [0usize, 1, 2, 0, 1, 2];
+        let m = ConfusionMatrix::from_predictions(&labels, &labels, 3);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Accuracy statistics: means and 95% confidence intervals over training
+//! seeds, formatted the way the paper's tables report them.
+
+use std::fmt;
+
+/// Mean and 95% confidence interval of a set of accuracy measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Sample mean.
+    pub mean: f32,
+    /// Half-width of the 95% confidence interval (`1.96·σ/√n`, the normal
+    /// approximation the paper's ± columns use).
+    pub ci95: f32,
+    /// Number of measurements.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes statistics over accuracy values in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[f32]) -> Self {
+        assert!(!values.is_empty(), "statistics need at least one value");
+        let n = values.len();
+        let mean = values.iter().sum::<f32>() / n as f32;
+        if n == 1 {
+            return Stats { mean, ci95: 0.0, n };
+        }
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (n - 1) as f32;
+        let sem = (var / n as f32).sqrt();
+        Stats { mean, ci95: 1.96 * sem, n }
+    }
+
+    /// `true` when `other`'s mean lies inside this interval — the paper's
+    /// criterion for bolding "best and those within their 95% CI".
+    pub fn contains(&self, other_mean: f32) -> bool {
+        (other_mean - self.mean).abs() <= self.ci95
+    }
+
+    /// Mean as a percentage.
+    pub fn mean_pct(&self) -> f32 {
+        self.mean * 100.0
+    }
+
+    /// CI half-width as a percentage.
+    pub fn ci95_pct(&self) -> f32 {
+        self.ci95 * 100.0
+    }
+}
+
+impl fmt::Display for Stats {
+    /// Formats as the paper does: `61.60 ± 2.90` (percent).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:5.2} ± {:4.2}", self.mean_pct(), self.ci95_pct())
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f32>() / values.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_value_has_zero_interval() {
+        let s = Stats::from_values(&[0.5]);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn interval_matches_hand_computation() {
+        let s = Stats::from_values(&[0.4, 0.5, 0.6]);
+        assert!((s.mean - 0.5).abs() < 1e-6);
+        // σ = 0.1, sem = 0.1/√3, ci = 1.96·sem ≈ 0.1132
+        assert!((s.ci95 - 0.11316).abs() < 1e-3, "{}", s.ci95);
+    }
+
+    #[test]
+    fn display_is_paper_style() {
+        let s = Stats::from_values(&[0.6, 0.62, 0.64]);
+        let text = s.to_string();
+        assert!(text.contains('±'), "{text}");
+        assert!(text.contains("62.00"), "{text}");
+    }
+
+    #[test]
+    fn contains_uses_interval_half_width() {
+        let s = Stats { mean: 0.5, ci95: 0.05, n: 3 };
+        assert!(s.contains(0.54));
+        assert!(!s.contains(0.56));
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Graph analysis utilities: traversal distances, structural statistics,
+//! and Graphviz export.
+//!
+//! These support the workflows around a SCADS — sanity-checking a freshly
+//! joined dataset ("how far is my target class from the auxiliary mass?"),
+//! and visualising the neighbourhood a selection came from.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::{ConceptGraph, ConceptId};
+
+/// Breadth-first hop distances from `source` to every concept.
+///
+/// Unreachable concepts get `None`.
+pub fn bfs_distances(graph: &ConceptGraph, source: ConceptId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; graph.len()];
+    if source.0 >= graph.len() {
+        return dist;
+    }
+    dist[source.0] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(cur) = queue.pop_front() {
+        let d = dist[cur.0].expect("queued nodes have distances");
+        for e in graph.neighbors(cur) {
+            if dist[e.to.0].is_none() {
+                dist[e.to.0] = Some(d + 1);
+                queue.push_back(e.to);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance between two concepts (`None` if disconnected).
+pub fn hop_distance(graph: &ConceptGraph, a: ConceptId, b: ConceptId) -> Option<usize> {
+    bfs_distances(graph, a).get(b.0).copied().flatten()
+}
+
+/// Structural statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of concepts.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Minimum node degree.
+    pub min_degree: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Mean node degree.
+    pub mean_degree: f32,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+/// Computes [`GraphStats`] for a graph.
+pub fn graph_stats(graph: &ConceptGraph) -> GraphStats {
+    let nodes = graph.len();
+    let degrees: Vec<usize> = graph.concepts().map(|c| graph.degree(c)).collect();
+    let mut seen = vec![false; nodes];
+    let mut components = 0;
+    for start in graph.concepts() {
+        if seen[start.0] {
+            continue;
+        }
+        components += 1;
+        let mut queue = VecDeque::from([start]);
+        seen[start.0] = true;
+        while let Some(cur) = queue.pop_front() {
+            for e in graph.neighbors(cur) {
+                if !seen[e.to.0] {
+                    seen[e.to.0] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+    }
+    GraphStats {
+        nodes,
+        edges: graph.num_edges(),
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        mean_degree: if nodes == 0 {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f32 / nodes as f32
+        },
+        components,
+    }
+}
+
+/// Renders the subgraph within `radius` hops of `center` in Graphviz DOT
+/// format (for `dot -Tsvg`). Taxonomic edges are solid, associative edges
+/// dashed.
+pub fn to_dot(graph: &ConceptGraph, center: ConceptId, radius: usize) -> String {
+    let dist = bfs_distances(graph, center);
+    let in_ball = |c: ConceptId| dist[c.0].is_some_and(|d| d <= radius);
+    let mut out = String::from("graph scads {\n  node [shape=box, fontsize=10];\n");
+    for c in graph.concepts().filter(|&c| in_ball(c)) {
+        let style = if c == center { ", style=filled, fillcolor=lightblue" } else { "" };
+        let _ = writeln!(out, "  q{} [label=\"{}\"{}];", c.0, graph.name(c), style);
+    }
+    for c in graph.concepts().filter(|&c| in_ball(c)) {
+        for e in graph.neighbors(c) {
+            if e.to.0 > c.0 && in_ball(e.to) {
+                let style = match e.relation {
+                    crate::Relation::IsA => "solid",
+                    _ => "dashed",
+                };
+                let _ = writeln!(out, "  q{} -- q{} [style={style}];", c.0, e.to.0);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relation;
+
+    /// 0 — 1 — 2, plus isolated 3.
+    fn chain_graph() -> ConceptGraph {
+        let mut g = ConceptGraph::new();
+        for i in 0..4 {
+            g.add_concept(&format!("c{i}"));
+        }
+        g.add_edge(ConceptId(0), ConceptId(1), Relation::IsA);
+        g.add_edge(ConceptId(1), ConceptId(2), Relation::RelatedTo);
+        g
+    }
+
+    #[test]
+    fn bfs_distances_count_hops() {
+        let g = chain_graph();
+        let d = bfs_distances(&g, ConceptId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), None]);
+        assert_eq!(hop_distance(&g, ConceptId(0), ConceptId(2)), Some(2));
+        assert_eq!(hop_distance(&g, ConceptId(0), ConceptId(3)), None);
+    }
+
+    #[test]
+    fn stats_count_components_and_degrees() {
+        let g = chain_graph();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.components, 2);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.mean_degree - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_includes_ball_and_styles() {
+        let g = chain_graph();
+        let dot = to_dot(&g, ConceptId(0), 1);
+        assert!(dot.contains("q0 [label=\"c0\", style=filled"));
+        assert!(dot.contains("q1 [label=\"c1\"]"));
+        assert!(!dot.contains("\"c2\""), "c2 is outside the radius");
+        assert!(!dot.contains("\"c3\""), "c3 is disconnected");
+        assert!(dot.contains("q0 -- q1 [style=solid]"));
+    }
+
+    #[test]
+    fn dot_marks_associative_edges_dashed() {
+        let g = chain_graph();
+        let dot = to_dot(&g, ConceptId(1), 1);
+        assert!(dot.contains("q1 -- q2 [style=dashed]"));
+    }
+}

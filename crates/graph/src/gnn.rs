@@ -1,0 +1,483 @@
+//! The graph neural network behind the ZSL-KG module (paper Sec. 3.2.4 and
+//! Appendix A.5).
+//!
+//! ZSL-KG (Nayak & Bach 2020) generates a *class representation* for a
+//! concept from its knowledge-graph neighbourhood; that vector is then
+//! installed as the concept's row in a classifier head over a frozen
+//! backbone. Pretraining regresses the generated representations onto the
+//! head weights of a conventionally trained classifier (Eq. 9):
+//!
+//! ```text
+//! L_Z = (1/n) Σ_i (w_i − z_i)²
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use taglets_nn::{Linear, Module};
+use taglets_tensor::{Adam, AdamConfig, Optimizer, Tape, Tensor, Var};
+
+use crate::{ConceptGraph, ConceptId};
+
+/// How a layer aggregates neighbour representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// Uniform mean over neighbours (GCN-style; the fast default).
+    #[default]
+    Mean,
+    /// Learned scaled-dot-product attention over the neighbourhood
+    /// (TrGCN-style, as in the original ZSL-KG).
+    Attention,
+}
+
+/// A two-layer neighbourhood-aggregation graph encoder.
+///
+/// Each layer computes `h' = tanh(h·W_self + agg(h)·W_neigh + b)` where
+/// `agg` is either the row-normalised adjacency product (mean aggregation)
+/// or masked scaled-dot-product attention over the neighbourhood
+/// ([`Aggregation::Attention`], the TrGCN flavour of the original ZSL-KG);
+/// a final linear layer maps to the output (classifier-weight) dimension.
+/// The encoder runs full-graph: node features in, one representation per
+/// node out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphEncoder {
+    self1: Linear,
+    neigh1: Linear,
+    self2: Linear,
+    neigh2: Linear,
+    out: Linear,
+    aggregation: Aggregation,
+    /// Attention projections per layer (present iff `aggregation` is
+    /// [`Aggregation::Attention`]).
+    attn: Option<[Linear; 4]>,
+}
+
+impl GraphEncoder {
+    /// Builds an encoder `in_dim → hidden → hidden → out_dim` with mean
+    /// aggregation.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        GraphEncoder::with_aggregation(in_dim, hidden, out_dim, Aggregation::Mean, rng)
+    }
+
+    /// Builds an encoder with an explicit aggregation scheme.
+    pub fn with_aggregation<R: Rng + ?Sized>(
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        aggregation: Aggregation,
+        rng: &mut R,
+    ) -> Self {
+        let attn = match aggregation {
+            Aggregation::Mean => None,
+            Aggregation::Attention => Some([
+                Linear::new(in_dim, hidden, rng),  // q1
+                Linear::new(in_dim, hidden, rng),  // k1
+                Linear::new(hidden, hidden, rng),  // q2
+                Linear::new(hidden, hidden, rng),  // k2
+            ]),
+        };
+        GraphEncoder {
+            self1: Linear::new(in_dim, hidden, rng),
+            neigh1: Linear::new(in_dim, hidden, rng),
+            self2: Linear::new(hidden, hidden, rng),
+            neigh2: Linear::new(hidden, hidden, rng),
+            out: Linear::new(hidden, out_dim, rng),
+            aggregation,
+            attn,
+        }
+    }
+
+    /// The aggregation scheme in use.
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
+    /// Output (class-representation) dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.out.fan_out()
+    }
+
+    /// Input (node-feature) dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.self1.fan_in()
+    }
+
+    /// Forward pass over the whole graph.
+    ///
+    /// `x` is the `[n, in_dim]` node-feature matrix and `a_norm` the
+    /// `[n, n]` row-normalised adjacency (under attention it is only used
+    /// as the neighbourhood mask: entries `> 0` mark edges); returns
+    /// `[n, out_dim]`.
+    pub fn forward(&self, tape: &mut Tape, vars: &[Var], x: Var, a_norm: Var) -> Var {
+        debug_assert_eq!(
+            vars.len(),
+            self.parameters().len(),
+            "vars must come from this encoder's bind()"
+        );
+        // Under attention: a constant mask with 0 on edges/diagonal and a
+        // large negative value elsewhere.
+        let mask = match self.aggregation {
+            Aggregation::Mean => None,
+            Aggregation::Attention => {
+                let a = tape.value(a_norm).clone();
+                let n = a.rows();
+                let mut m = Tensor::full(&[n, n], -1e4);
+                for i in 0..n {
+                    m.set(i, i, 0.0);
+                    for j in 0..n {
+                        if a.at(i, j) > 0.0 {
+                            m.set(i, j, 0.0);
+                        }
+                    }
+                }
+                Some(tape.constant(m))
+            }
+        };
+        let scale = |hidden: usize| 1.0 / (hidden as f32).sqrt();
+
+        let aggregate = |tape: &mut Tape, h: Var, qk: Option<(&Linear, &Linear, &[Var], &[Var])>| {
+            match (self.aggregation, qk, mask) {
+                (Aggregation::Mean, _, _) => tape.matmul(a_norm, h),
+                (Aggregation::Attention, Some((qw, kw, qv, kv)), Some(mask)) => {
+                    let q = qw.forward(tape, qv, h);
+                    let k = kw.forward(tape, kv, h);
+                    let scores = tape.matmul_nt(q, k);
+                    let scaled = tape.scale(scores, scale(qw.fan_out()));
+                    let masked = tape.add(scaled, mask);
+                    let lp = tape.log_softmax(masked);
+                    let att = tape.exp(lp);
+                    tape.matmul(att, h)
+                }
+                _ => unreachable!("attention params exist iff aggregation is Attention"),
+            }
+        };
+
+        match &self.attn {
+            None => {
+                let layer = |tape: &mut Tape,
+                             s: &Linear,
+                             n: &Linear,
+                             sv: &[Var],
+                             nv: &[Var],
+                             h: Var| {
+                    let agg = tape.matmul(a_norm, h);
+                    let hs = s.forward(tape, sv, h);
+                    let hn = n.forward(tape, nv, agg);
+                    let sum = tape.add(hs, hn);
+                    tape.tanh(sum)
+                };
+                let h1 = layer(tape, &self.self1, &self.neigh1, &vars[0..2], &vars[2..4], x);
+                let h2 = layer(tape, &self.self2, &self.neigh2, &vars[4..6], &vars[6..8], h1);
+                self.out.forward(tape, &vars[8..10], h2)
+            }
+            Some([q1, k1, q2, k2]) => {
+                // Binding order: self1, neigh1, self2, neigh2, out, q1, k1, q2, k2.
+                let agg1 = aggregate(tape, x, Some((q1, k1, &vars[10..12], &vars[12..14])));
+                let hs1 = self.self1.forward(tape, &vars[0..2], x);
+                let hn1 = self.neigh1.forward(tape, &vars[2..4], agg1);
+                let sum1 = tape.add(hs1, hn1);
+                let h1 = tape.tanh(sum1);
+
+                let agg2 = aggregate(tape, h1, Some((q2, k2, &vars[14..16], &vars[16..18])));
+                let hs2 = self.self2.forward(tape, &vars[4..6], h1);
+                let hn2 = self.neigh2.forward(tape, &vars[6..8], agg2);
+                let sum2 = tape.add(hs2, hn2);
+                let h2 = tape.tanh(sum2);
+                self.out.forward(tape, &vars[8..10], h2)
+            }
+        }
+    }
+
+    /// Inference: class representations for every node.
+    pub fn encode(&self, features: &Tensor, a_norm: &Tensor) -> Tensor {
+        let mut tape = Tape::new();
+        let vars = self.bind_frozen(&mut tape);
+        let xv = tape.constant(features.clone());
+        let av = tape.constant(a_norm.clone());
+        let out = self.forward(&mut tape, &vars, xv, av);
+        tape.value(out).clone()
+    }
+}
+
+impl Module for GraphEncoder {
+    fn parameters(&self) -> Vec<&Tensor> {
+        let mut p: Vec<&Tensor> =
+            [&self.self1, &self.neigh1, &self.self2, &self.neigh2, &self.out]
+                .iter()
+                .flat_map(|l| l.parameters())
+                .collect();
+        if let Some(attn) = &self.attn {
+            for l in attn {
+                p.extend(l.parameters());
+            }
+        }
+        p
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        let GraphEncoder { self1, neigh1, self2, neigh2, out, attn, .. } = self;
+        let mut p = self1.parameters_mut();
+        p.extend(neigh1.parameters_mut());
+        p.extend(self2.parameters_mut());
+        p.extend(neigh2.parameters_mut());
+        p.extend(out.parameters_mut());
+        if let Some(attn) = attn {
+            for l in attn {
+                p.extend(l.parameters_mut());
+            }
+        }
+        p
+    }
+}
+
+/// Row-normalised dense adjacency matrix of a graph (`Â_ij = 1/deg(i)` for
+/// each neighbour `j`; isolated nodes get a self-loop so aggregation is
+/// well-defined).
+pub fn normalized_adjacency(graph: &ConceptGraph) -> Tensor {
+    let n = graph.len();
+    let mut a = Tensor::zeros(&[n, n]);
+    for id in graph.concepts() {
+        let edges = graph.neighbors(id);
+        if edges.is_empty() {
+            a.set(id.0, id.0, 1.0);
+            continue;
+        }
+        let w = 1.0 / edges.len() as f32;
+        for e in edges {
+            a.set(id.0, e.to.0, w);
+        }
+    }
+    a
+}
+
+/// Configuration for [`pretrain_encoder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnPretrainConfig {
+    /// Training epochs (full-batch).
+    pub epochs: usize,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f32,
+    /// Adam weight decay (paper: 5e-4).
+    pub weight_decay: f32,
+    /// Fraction of training classes held out for checkpoint selection
+    /// (paper: 50 of 1000).
+    pub validation_fraction: f32,
+    /// Seed for the train/validation split.
+    pub seed: u64,
+}
+
+impl Default for GnnPretrainConfig {
+    fn default() -> Self {
+        GnnPretrainConfig {
+            epochs: 120,
+            lr: 1e-3,
+            weight_decay: 5e-4,
+            validation_fraction: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Telemetry from [`pretrain_encoder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnPretrainReport {
+    /// Validation loss of the selected checkpoint.
+    pub best_validation_loss: f32,
+    /// Epoch (1-based) at which the best checkpoint was observed.
+    pub best_epoch: usize,
+    /// Training loss per epoch.
+    pub train_losses: Vec<f32>,
+}
+
+/// Pretrains `encoder` to regress node representations onto the given
+/// classifier weights (paper Eq. 9), selecting the checkpoint with the least
+/// loss on a held-out class split.
+///
+/// `targets` pairs concept ids with their target weight vectors (rows of a
+/// pretrained classifier head, one per training class).
+///
+/// # Panics
+///
+/// Panics if `targets` is empty or a target's length differs from the
+/// encoder's output dimension.
+pub fn pretrain_encoder(
+    encoder: &mut GraphEncoder,
+    features: &Tensor,
+    a_norm: &Tensor,
+    targets: &[(ConceptId, Vec<f32>)],
+    cfg: &GnnPretrainConfig,
+) -> GnnPretrainReport {
+    assert!(!targets.is_empty(), "ZSL-KG pretraining needs target classes");
+    assert!(
+        targets.iter().all(|(_, w)| w.len() == encoder.output_dim()),
+        "target width must equal encoder output dim"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Split classes into train/validation.
+    let mut order: Vec<usize> = (0..targets.len()).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut rng);
+    let n_val = ((targets.len() as f32 * cfg.validation_fraction).round() as usize)
+        .clamp(1, targets.len().saturating_sub(1).max(1));
+    let (val_idx, train_idx) = order.split_at(n_val.min(targets.len() - 1));
+
+    let collect = |idx: &[usize]| -> (Vec<usize>, Tensor) {
+        let ids: Vec<usize> = idx.iter().map(|&i| targets[i].0 .0).collect();
+        let rows: Vec<Vec<f32>> = idx.iter().map(|&i| targets[i].1.clone()).collect();
+        (ids, Tensor::stack_rows(&rows))
+    };
+    let (train_ids, train_targets) = collect(train_idx);
+    let (val_ids, val_targets) = collect(val_idx);
+
+    let mut opt = Adam::new(AdamConfig {
+        lr: cfg.lr,
+        weight_decay: cfg.weight_decay,
+        ..AdamConfig::default()
+    });
+
+    let mut best: Option<(f32, usize, Vec<Tensor>)> = None;
+    let mut train_losses = Vec::with_capacity(cfg.epochs);
+    for epoch in 1..=cfg.epochs {
+        let mut tape = Tape::new();
+        let vars = encoder.bind(&mut tape);
+        let xv = tape.constant(features.clone());
+        let av = tape.constant(a_norm.clone());
+        let z = encoder.forward(&mut tape, &vars, xv, av);
+        let z_train = tape.gather_rows(z, &train_ids);
+        let loss = tape.mse(z_train, &train_targets);
+        train_losses.push(tape.value(loss).item());
+        let mut grads = tape.backward(loss);
+        let grad_vec: Vec<Option<Tensor>> = vars.iter().map(|&v| grads.take(v)).collect();
+        opt.step(&mut encoder.parameters_mut(), &grad_vec);
+
+        // Validation on held-out classes.
+        let z_all = encoder.encode(features, a_norm);
+        let z_val = z_all.gather_rows(&val_ids);
+        let val_loss = z_val.sub(&val_targets).map(|v| v * v).mean();
+        if best.as_ref().is_none_or(|(b, _, _)| val_loss < *b) {
+            let snapshot = encoder.parameters().into_iter().cloned().collect();
+            best = Some((val_loss, epoch, snapshot));
+        }
+    }
+
+    let (best_validation_loss, best_epoch, snapshot) =
+        best.expect("at least one epoch ran");
+    for (param, saved) in encoder.parameters_mut().into_iter().zip(snapshot) {
+        *param = saved;
+    }
+    GnnPretrainReport { best_validation_loss, best_epoch, train_losses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthetic, SyntheticGraphConfig};
+
+    fn tiny_graph() -> synthetic::SyntheticGraph {
+        synthetic::generate(&SyntheticGraphConfig {
+            num_concepts: 60,
+            semantic_dim: 8,
+            ..SyntheticGraphConfig::default()
+        })
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_sum_to_one() {
+        let s = tiny_graph();
+        let a = normalized_adjacency(&s.graph);
+        for row in a.rows_iter() {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row sum {sum}");
+        }
+    }
+
+    #[test]
+    fn encoder_output_shape() {
+        let s = tiny_graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = GraphEncoder::new(8, 16, 5, &mut rng);
+        let a = normalized_adjacency(&s.graph);
+        let z = enc.encode(s.word_vectors.matrix(), &a);
+        assert_eq!(z.shape(), &[60, 5]);
+    }
+
+    #[test]
+    fn pretraining_reduces_loss_and_restores_best_checkpoint() {
+        let s = tiny_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut enc = GraphEncoder::new(8, 16, 4, &mut rng);
+        let a = normalized_adjacency(&s.graph);
+        // Learnable targets: a fixed linear function of the true semantics.
+        let proj = Tensor::randn(&[8, 4], 0.5, &mut rng);
+        let targets: Vec<(ConceptId, Vec<f32>)> = (0..40)
+            .map(|i| {
+                let id = ConceptId(i);
+                let f = Tensor::from_slice(s.semantics.get(id)).reshaped(&[1, 8]);
+                (id, f.matmul(&proj).into_vec())
+            })
+            .collect();
+        let cfg = GnnPretrainConfig { epochs: 60, ..GnnPretrainConfig::default() };
+        let report = pretrain_encoder(&mut enc, s.word_vectors.matrix(), &a, &targets, &cfg);
+        assert!(
+            report.train_losses.last().unwrap() < &report.train_losses[0],
+            "loss must decrease: {:?}",
+            &report.train_losses[..3]
+        );
+        assert!(report.best_epoch >= 1 && report.best_epoch <= 60);
+        assert!(report.best_validation_loss.is_finite());
+    }
+
+    #[test]
+    fn attention_encoder_runs_and_differs_from_mean() {
+        let s = tiny_graph();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean_enc = GraphEncoder::new(8, 16, 4, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let attn_enc =
+            GraphEncoder::with_aggregation(8, 16, 4, Aggregation::Attention, &mut rng2);
+        let a = normalized_adjacency(&s.graph);
+        let zm = mean_enc.encode(s.word_vectors.matrix(), &a);
+        let za = attn_enc.encode(s.word_vectors.matrix(), &a);
+        assert_eq!(zm.shape(), za.shape());
+        assert_ne!(zm, za, "attention must change the computation");
+        assert_eq!(attn_enc.parameters().len(), 18);
+    }
+
+    #[test]
+    fn attention_encoder_pretrains() {
+        let s = tiny_graph();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut enc =
+            GraphEncoder::with_aggregation(8, 16, 4, Aggregation::Attention, &mut rng);
+        let a = normalized_adjacency(&s.graph);
+        let proj = Tensor::randn(&[8, 4], 0.5, &mut rng);
+        let targets: Vec<(ConceptId, Vec<f32>)> = (0..30)
+            .map(|i| {
+                let id = ConceptId(i);
+                let f = Tensor::from_slice(s.semantics.get(id)).reshaped(&[1, 8]);
+                (id, f.matmul(&proj).into_vec())
+            })
+            .collect();
+        let cfg = GnnPretrainConfig { epochs: 25, ..GnnPretrainConfig::default() };
+        let report = pretrain_encoder(&mut enc, s.word_vectors.matrix(), &a, &targets, &cfg);
+        assert!(
+            report.train_losses.last().unwrap() < &report.train_losses[0],
+            "attention GNN must learn"
+        );
+    }
+
+    #[test]
+    fn encoder_parameter_count_is_stable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = GraphEncoder::new(8, 16, 4, &mut rng);
+        assert_eq!(enc.parameters().len(), 10);
+        let scalars = 2 * (8 * 16 + 16) + 2 * (16 * 16 + 16) + (16 * 4 + 4);
+        assert_eq!(enc.num_scalars(), scalars);
+    }
+}

@@ -1,0 +1,254 @@
+//! The concept knowledge graph underlying a SCADS.
+//!
+//! Mirrors the role of ConceptNet in the paper: nodes are natural-language
+//! concepts, edges are typed semantic relations. The graph is mutable so that
+//! users can install novel concepts (Appendix A.2: `oatghurt` linked to
+//! `yoghurt`, `carton`, `oat milk`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::GraphError;
+
+/// Identifier of a concept node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(pub usize);
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Semantic relation type on a graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Relation {
+    /// Taxonomic relation (`plastic_bag IsA bag`); ConceptNet's `IsA`.
+    IsA,
+    /// Loose semantic association; ConceptNet's `RelatedTo`.
+    RelatedTo,
+    /// Co-occurrence/location association; ConceptNet's `AtLocation`.
+    AtLocation,
+}
+
+impl Relation {
+    /// Default retrofitting edge weight `β` for this relation
+    /// (taxonomic links pull harder than loose associations).
+    pub fn default_weight(self) -> f32 {
+        match self {
+            Relation::IsA => 1.0,
+            Relation::RelatedTo => 0.7,
+            Relation::AtLocation => 0.5,
+        }
+    }
+}
+
+/// An undirected, weighted, typed edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// The neighbouring concept.
+    pub to: ConceptId,
+    /// Relation type.
+    pub relation: Relation,
+    /// Retrofitting weight `β_ij`.
+    pub weight: f32,
+}
+
+/// A common-sense knowledge graph of concepts.
+///
+/// # Examples
+///
+/// ```
+/// use taglets_graph::{ConceptGraph, Relation};
+///
+/// let mut g = ConceptGraph::new();
+/// let plastic = g.add_concept("plastic");
+/// let bag = g.add_concept("plastic_bag");
+/// g.add_edge(plastic, bag, Relation::IsA);
+/// assert_eq!(g.find("plastic"), Some(plastic));
+/// assert_eq!(g.neighbors(bag).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConceptGraph {
+    names: Vec<String>,
+    by_name: HashMap<String, ConceptId>,
+    adjacency: Vec<Vec<Edge>>,
+}
+
+impl ConceptGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        ConceptGraph::default()
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the graph has no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Total number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Adds a concept, returning its id. If a concept with the same name
+    /// already exists, the existing id is returned.
+    pub fn add_concept(&mut self, name: &str) -> ConceptId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ConceptId(self.names.len());
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge with the relation's default weight.
+    ///
+    /// Self-loops and duplicate edges are ignored.
+    pub fn add_edge(&mut self, a: ConceptId, b: ConceptId, relation: Relation) {
+        self.add_weighted_edge(a, b, relation, relation.default_weight());
+    }
+
+    /// Adds an undirected edge with an explicit retrofitting weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or the weight is not positive.
+    pub fn add_weighted_edge(
+        &mut self,
+        a: ConceptId,
+        b: ConceptId,
+        relation: Relation,
+        weight: f32,
+    ) {
+        assert!(a.0 < self.len() && b.0 < self.len(), "edge endpoint out of range");
+        assert!(weight > 0.0, "edge weight must be positive");
+        if a == b || self.adjacency[a.0].iter().any(|e| e.to == b) {
+            return;
+        }
+        self.adjacency[a.0].push(Edge { to: b, relation, weight });
+        self.adjacency[b.0].push(Edge { to: a, relation, weight });
+    }
+
+    /// The concept's name.
+    pub fn name(&self, id: ConceptId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks up a concept by exact name.
+    pub fn find(&self, name: &str) -> Option<ConceptId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a concept by name, returning an error naming the concept —
+    /// the aligned-class lookup used when joining datasets to the graph.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownConcept`] when no node carries the name.
+    pub fn require(&self, name: &str) -> Result<ConceptId, GraphError> {
+        self.find(name)
+            .ok_or_else(|| GraphError::UnknownConcept { name: name.to_string() })
+    }
+
+    /// Renames a concept (e.g. giving a generated node the target-task name).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::DuplicateName`] if another concept already holds `name`.
+    pub fn rename(&mut self, id: ConceptId, name: &str) -> Result<(), GraphError> {
+        if let Some(&other) = self.by_name.get(name) {
+            if other != id {
+                return Err(GraphError::DuplicateName { name: name.to_string() });
+            }
+            return Ok(());
+        }
+        self.by_name.remove(&self.names[id.0]);
+        self.names[id.0] = name.to_string();
+        self.by_name.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    /// Edges incident to `id`.
+    pub fn neighbors(&self, id: ConceptId) -> &[Edge] {
+        &self.adjacency[id.0]
+    }
+
+    /// Iterator over all concept ids.
+    pub fn concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.len()).map(ConceptId)
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, id: ConceptId) -> usize {
+        self.adjacency[id.0].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_concept_is_idempotent_by_name() {
+        let mut g = ConceptGraph::new();
+        let a = g.add_concept("cat");
+        let b = g.add_concept("cat");
+        assert_eq!(a, b);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn edges_are_undirected_and_deduplicated() {
+        let mut g = ConceptGraph::new();
+        let a = g.add_concept("a");
+        let b = g.add_concept("b");
+        g.add_edge(a, b, Relation::RelatedTo);
+        g.add_edge(b, a, Relation::RelatedTo);
+        g.add_edge(a, a, Relation::IsA);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.neighbors(a)[0].to, b);
+    }
+
+    #[test]
+    fn rename_moves_the_name_index() {
+        let mut g = ConceptGraph::new();
+        let a = g.add_concept("c042");
+        g.rename(a, "plastic").unwrap();
+        assert_eq!(g.find("plastic"), Some(a));
+        assert_eq!(g.find("c042"), None);
+        assert_eq!(g.name(a), "plastic");
+    }
+
+    #[test]
+    fn rename_rejects_duplicates() {
+        let mut g = ConceptGraph::new();
+        let a = g.add_concept("a");
+        let _b = g.add_concept("b");
+        assert!(g.rename(a, "b").is_err());
+        // Renaming to its own name is fine.
+        assert!(g.rename(a, "a").is_ok());
+    }
+
+    #[test]
+    fn require_reports_missing_concept() {
+        let g = ConceptGraph::new();
+        let err = g.require("oatghurt").unwrap_err();
+        assert!(err.to_string().contains("oatghurt"));
+    }
+
+    #[test]
+    fn relation_weights_are_ordered_by_strength() {
+        assert!(Relation::IsA.default_weight() > Relation::RelatedTo.default_weight());
+        assert!(Relation::RelatedTo.default_weight() > Relation::AtLocation.default_weight());
+    }
+}

@@ -1,0 +1,265 @@
+//! Synthetic common-sense graph generation.
+//!
+//! The paper builds its SCADS on ConceptNet (millions of crowd-sourced
+//! concepts). This module generates a stand-in with the two properties the
+//! system depends on:
+//!
+//! 1. a taxonomy (`IsA` tree) playing WordNet's role for pruning, and
+//! 2. latent *semantic vectors* that diffuse down the tree, so that
+//!    graph-nearby concepts are semantically similar — the mechanism that
+//!    makes graph-based auxiliary-data selection meaningful.
+//!
+//! The semantic vectors are the generator's ground truth: `taglets-data`
+//! derives each concept's *visual* prototype from them, while the system
+//! itself only ever sees noisy "word" vectors retrofitted over the graph.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use taglets_tensor::{cosine_similarity, Tensor};
+
+use crate::{ConceptEmbeddings, ConceptGraph, ConceptId, Relation, Taxonomy};
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticGraphConfig {
+    /// Total number of concepts to generate (≥ 1).
+    pub num_concepts: usize,
+    /// Minimum children per internal node.
+    pub branch_min: usize,
+    /// Maximum children per internal node.
+    pub branch_max: usize,
+    /// Maximum tree depth (root = 0).
+    pub max_depth: usize,
+    /// Dimensionality of the latent semantic space.
+    pub semantic_dim: usize,
+    /// Standard deviation of the parent→child semantic step.
+    pub semantic_step: f32,
+    /// `RelatedTo` cross edges attempted per concept.
+    pub cross_edges_per_node: usize,
+    /// Noise added to semantic vectors to form the distributional "word"
+    /// vectors the system actually observes.
+    pub word_noise: f32,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticGraphConfig {
+    fn default() -> Self {
+        SyntheticGraphConfig {
+            num_concepts: 600,
+            branch_min: 3,
+            branch_max: 6,
+            max_depth: 5,
+            semantic_dim: 28,
+            semantic_step: 0.85,
+            cross_edges_per_node: 2,
+            word_noise: 0.25,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated common-sense graph with its latent ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticGraph {
+    /// The observable knowledge graph (ConceptNet stand-in).
+    pub graph: ConceptGraph,
+    /// The `IsA` tree (WordNet stand-in, used for pruning).
+    pub taxonomy: Taxonomy,
+    /// Latent semantic vectors (generator ground truth — drives data
+    /// generation, *not* visible to the learning system).
+    pub semantics: ConceptEmbeddings,
+    /// Noisy distributional vectors (word2vec stand-in — the retrofitting
+    /// input the system observes).
+    pub word_vectors: ConceptEmbeddings,
+}
+
+impl SyntheticGraph {
+    /// Cosine similarity of two concepts in the latent semantic space.
+    pub fn true_similarity(&self, a: ConceptId, b: ConceptId) -> f32 {
+        cosine_similarity(self.semantics.get(a), self.semantics.get(b))
+    }
+}
+
+/// Generates a synthetic common-sense graph.
+///
+/// The tree is grown breadth-first: each expanded node receives between
+/// `branch_min` and `branch_max` children until `num_concepts` nodes exist or
+/// `max_depth` is reached. Each child's semantic vector is its parent's plus
+/// Gaussian drift. Cross (`RelatedTo`) edges connect each node to its most
+/// semantically similar non-adjacent candidates, mimicking ConceptNet's
+/// associative links.
+///
+/// # Panics
+///
+/// Panics if `num_concepts == 0`, `branch_min > branch_max`, or
+/// `branch_min == 0`.
+pub fn generate(cfg: &SyntheticGraphConfig) -> SyntheticGraph {
+    assert!(cfg.num_concepts > 0, "need at least one concept");
+    assert!(cfg.branch_min > 0 && cfg.branch_min <= cfg.branch_max, "bad branching range");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut graph = ConceptGraph::new();
+    let mut semantics: Vec<Vec<f32>> = Vec::with_capacity(cfg.num_concepts);
+
+    let root = graph.add_concept("entity");
+    semantics.push(Tensor::randn(&[cfg.semantic_dim], 1.0, &mut rng).into_vec());
+    let mut taxonomy = Taxonomy::with_root(root);
+
+    // Breadth-first growth.
+    let mut frontier = vec![root];
+    let mut depth = 0;
+    while graph.len() < cfg.num_concepts && depth < cfg.max_depth && !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            if graph.len() >= cfg.num_concepts {
+                break;
+            }
+            let n_children = rng.gen_range(cfg.branch_min..=cfg.branch_max);
+            for _ in 0..n_children {
+                if graph.len() >= cfg.num_concepts {
+                    break;
+                }
+                let id = graph.add_concept(&format!("concept_{:04}", graph.len()));
+                let step = Tensor::randn(&[cfg.semantic_dim], cfg.semantic_step, &mut rng);
+                let vec: Vec<f32> = semantics[parent.0]
+                    .iter()
+                    .zip(step.data())
+                    .map(|(&p, &s)| p + s)
+                    .collect();
+                semantics.push(vec);
+                taxonomy.add_child(parent, id);
+                graph.add_edge(parent, id, Relation::IsA);
+                next.push(id);
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+
+    let semantics = ConceptEmbeddings::new(Tensor::stack_rows(&semantics));
+
+    // Associative cross edges toward semantically similar candidates.
+    let n = graph.len();
+    for i in 0..n {
+        let id = ConceptId(i);
+        for _ in 0..cfg.cross_edges_per_node {
+            let mut best: Option<(ConceptId, f32)> = None;
+            for _ in 0..12 {
+                let cand = ConceptId(rng.gen_range(0..n));
+                if cand == id
+                    || graph.neighbors(id).iter().any(|e| e.to == cand)
+                {
+                    continue;
+                }
+                let sim = cosine_similarity(semantics.get(id), semantics.get(cand));
+                if best.is_none_or(|(_, s)| sim > s) {
+                    best = Some((cand, sim));
+                }
+            }
+            if let Some((cand, _)) = best {
+                graph.add_edge(id, cand, Relation::RelatedTo);
+            }
+        }
+    }
+
+    // Observable word vectors: semantics + noise.
+    let noise = Tensor::randn(&[n, cfg.semantic_dim], cfg.word_noise, &mut rng);
+    let word_vectors = ConceptEmbeddings::new(semantics.matrix().add(&noise));
+
+    SyntheticGraph { graph, taxonomy, semantics, word_vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticGraph {
+        generate(&SyntheticGraphConfig {
+            num_concepts: 120,
+            ..SyntheticGraphConfig::default()
+        })
+    }
+
+    #[test]
+    fn generates_requested_concept_count() {
+        let s = small();
+        assert_eq!(s.graph.len(), 120);
+        assert_eq!(s.taxonomy.len(), 120);
+        assert_eq!(s.semantics.len(), 120);
+        assert_eq!(s.word_vectors.len(), 120);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.semantics.matrix(), b.semantics.matrix());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        let c = generate(&SyntheticGraphConfig {
+            num_concepts: 120,
+            seed: 99,
+            ..SyntheticGraphConfig::default()
+        });
+        assert_ne!(a.semantics.matrix(), c.semantics.matrix());
+    }
+
+    #[test]
+    fn taxonomy_is_a_tree_rooted_at_entity() {
+        let s = small();
+        let root = s.taxonomy.root().unwrap();
+        assert_eq!(s.graph.name(root), "entity");
+        // All nodes reachable from the root exactly once.
+        assert_eq!(s.taxonomy.descendants(root).len(), 120);
+        // Every non-root node has exactly one parent.
+        for id in s.graph.concepts() {
+            if id != root {
+                assert!(s.taxonomy.parent(id).is_some(), "{id} is orphaned");
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_are_more_similar_than_random_pairs() {
+        let s = small();
+        let root = s.taxonomy.root().unwrap();
+        let mut sibling_sims = Vec::new();
+        for id in s.graph.concepts() {
+            let kids = s.taxonomy.children(id);
+            if kids.len() >= 2 {
+                sibling_sims.push(s.true_similarity(kids[0], kids[1]));
+            }
+        }
+        let mut far_sims = Vec::new();
+        let leaves = s.taxonomy.leaves_under(root);
+        for w in leaves.windows(7) {
+            far_sims.push(s.true_similarity(w[0], w[6]));
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+        assert!(
+            mean(&sibling_sims) > mean(&far_sims),
+            "tree locality must imply semantic locality: {} vs {}",
+            mean(&sibling_sims),
+            mean(&far_sims)
+        );
+    }
+
+    #[test]
+    fn cross_edges_exist_beyond_the_tree() {
+        let s = small();
+        // A tree on n nodes has n-1 edges; cross edges add more.
+        assert!(s.graph.num_edges() > 119, "expected RelatedTo edges on top of the tree");
+    }
+
+    #[test]
+    fn word_vectors_are_noisy_but_correlated() {
+        let s = small();
+        let mut sims = Vec::new();
+        for id in s.graph.concepts() {
+            sims.push(cosine_similarity(s.semantics.get(id), s.word_vectors.get(id)));
+        }
+        let mean = sims.iter().sum::<f32>() / sims.len() as f32;
+        assert!(mean > 0.8, "word vectors should track semantics: {mean}");
+        assert_ne!(s.word_vectors.matrix(), s.semantics.matrix());
+    }
+}

@@ -1,0 +1,259 @@
+//! The semantic tree `H` over concepts — the stand-in for the WordNet
+//! hierarchy the paper uses to define SCADS pruning (Sec. 4.3, Fig. 7).
+
+use crate::ConceptId;
+
+/// A rooted tree over a subset of graph concepts.
+///
+/// Node ids are the same [`ConceptId`]s as in the companion
+/// [`ConceptGraph`](crate::ConceptGraph); the taxonomy stores only the
+/// parent/child structure.
+///
+/// # Examples
+///
+/// ```
+/// use taglets_graph::{ConceptId, Taxonomy};
+///
+/// let mut t = Taxonomy::with_root(ConceptId(0));
+/// t.add_child(ConceptId(0), ConceptId(1));
+/// t.add_child(ConceptId(1), ConceptId(2));
+/// assert_eq!(t.parent(ConceptId(2)), Some(ConceptId(1)));
+/// assert_eq!(t.descendants(ConceptId(0)).len(), 3); // includes the root
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Taxonomy {
+    root: Option<ConceptId>,
+    parent: Vec<Option<ConceptId>>,
+    children: Vec<Vec<ConceptId>>,
+    member: Vec<bool>,
+}
+
+impl Taxonomy {
+    /// An empty taxonomy.
+    pub fn new() -> Self {
+        Taxonomy::default()
+    }
+
+    /// A taxonomy with a single root node.
+    pub fn with_root(root: ConceptId) -> Self {
+        let mut t = Taxonomy::new();
+        t.ensure(root);
+        t.root = Some(root);
+        t
+    }
+
+    fn ensure(&mut self, id: ConceptId) {
+        if id.0 >= self.parent.len() {
+            self.parent.resize(id.0 + 1, None);
+            self.children.resize(id.0 + 1, Vec::new());
+            self.member.resize(id.0 + 1, false);
+        }
+        self.member[id.0] = true;
+    }
+
+    /// The root concept, if set.
+    pub fn root(&self) -> Option<ConceptId> {
+        self.root
+    }
+
+    /// `true` when `id` belongs to the taxonomy.
+    pub fn contains(&self, id: ConceptId) -> bool {
+        id.0 < self.member.len() && self.member[id.0]
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.member.iter().filter(|&&m| m).count()
+    }
+
+    /// `true` when the taxonomy has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attaches `child` under `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a member, `child` already has a parent, or
+    /// the edge would make `child` its own ancestor.
+    pub fn add_child(&mut self, parent: ConceptId, child: ConceptId) {
+        assert!(self.contains(parent), "parent {parent} not in taxonomy");
+        self.ensure(child);
+        assert!(
+            self.parent[child.0].is_none() && self.root != Some(child),
+            "{child} already attached"
+        );
+        assert!(parent != child, "node cannot parent itself");
+        self.parent[child.0] = Some(parent);
+        self.children[parent.0].push(child);
+    }
+
+    /// The node's parent (`None` for the root).
+    pub fn parent(&self, id: ConceptId) -> Option<ConceptId> {
+        self.parent.get(id.0).copied().flatten()
+    }
+
+    /// Direct children of a node.
+    pub fn children(&self, id: ConceptId) -> &[ConceptId] {
+        if id.0 < self.children.len() {
+            &self.children[id.0]
+        } else {
+            &[]
+        }
+    }
+
+    /// The node and all nodes below it (preorder).
+    pub fn descendants(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        if !self.contains(id) {
+            return out;
+        }
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children(n).iter().copied());
+        }
+        out
+    }
+
+    /// Distance from the root (root has depth 0).
+    pub fn depth(&self, id: ConceptId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Leaves of the subtree rooted at `id` (nodes without children).
+    pub fn leaves_under(&self, id: ConceptId) -> Vec<ConceptId> {
+        self.descendants(id)
+            .into_iter()
+            .filter(|n| self.children(*n).is_empty())
+            .collect()
+    }
+
+    /// All member node ids.
+    pub fn members(&self) -> Vec<ConceptId> {
+        (0..self.member.len())
+            .filter(|&i| self.member[i])
+            .map(ConceptId)
+            .collect()
+    }
+
+    /// The path from `id` up to the root (inclusive at both ends).
+    pub fn ancestors(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// The deepest common ancestor of two member nodes (`None` if either is
+    /// not a member or they live in disjoint trees).
+    pub fn lowest_common_ancestor(&self, a: ConceptId, b: ConceptId) -> Option<ConceptId> {
+        if !self.contains(a) || !self.contains(b) {
+            return None;
+        }
+        let up_a: std::collections::HashSet<ConceptId> =
+            self.ancestors(a).into_iter().collect();
+        self.ancestors(b).into_iter().find(|x| up_a.contains(x))
+    }
+
+    /// Tree distance between two members: the number of edges on the path
+    /// through their lowest common ancestor. Siblings are at distance 2;
+    /// a parent and child at distance 1.
+    pub fn tree_distance(&self, a: ConceptId, b: ConceptId) -> Option<usize> {
+        let lca = self.lowest_common_ancestor(a, b)?;
+        Some(self.depth(a) + self.depth(b) - 2 * self.depth(lca))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Taxonomy {
+        // 0 → 1 → 2, 0 → 3
+        let mut t = Taxonomy::with_root(ConceptId(0));
+        t.add_child(ConceptId(0), ConceptId(1));
+        t.add_child(ConceptId(1), ConceptId(2));
+        t.add_child(ConceptId(0), ConceptId(3));
+        t
+    }
+
+    #[test]
+    fn descendants_include_self_and_subtree() {
+        let t = chain();
+        let mut d = t.descendants(ConceptId(1));
+        d.sort();
+        assert_eq!(d, vec![ConceptId(1), ConceptId(2)]);
+        assert_eq!(t.descendants(ConceptId(0)).len(), 4);
+    }
+
+    #[test]
+    fn depth_counts_edges_to_root() {
+        let t = chain();
+        assert_eq!(t.depth(ConceptId(0)), 0);
+        assert_eq!(t.depth(ConceptId(2)), 2);
+    }
+
+    #[test]
+    fn leaves_are_childless() {
+        let t = chain();
+        let mut l = t.leaves_under(ConceptId(0));
+        l.sort();
+        assert_eq!(l, vec![ConceptId(2), ConceptId(3)]);
+    }
+
+    #[test]
+    fn double_attachment_panics() {
+        let mut t = chain();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.add_child(ConceptId(3), ConceptId(1));
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn non_member_has_no_descendants() {
+        let t = chain();
+        assert!(t.descendants(ConceptId(99)).is_empty());
+        assert!(!t.contains(ConceptId(99)));
+    }
+
+    #[test]
+    fn ancestors_walk_to_the_root() {
+        let t = chain();
+        assert_eq!(
+            t.ancestors(ConceptId(2)),
+            vec![ConceptId(2), ConceptId(1), ConceptId(0)]
+        );
+        assert_eq!(t.ancestors(ConceptId(0)), vec![ConceptId(0)]);
+    }
+
+    #[test]
+    fn lca_and_tree_distance() {
+        // 0 → 1 → 2, 0 → 3
+        let t = chain();
+        assert_eq!(
+            t.lowest_common_ancestor(ConceptId(2), ConceptId(3)),
+            Some(ConceptId(0))
+        );
+        assert_eq!(
+            t.lowest_common_ancestor(ConceptId(1), ConceptId(2)),
+            Some(ConceptId(1))
+        );
+        assert_eq!(t.tree_distance(ConceptId(2), ConceptId(3)), Some(3));
+        assert_eq!(t.tree_distance(ConceptId(1), ConceptId(2)), Some(1));
+        assert_eq!(t.tree_distance(ConceptId(1), ConceptId(3)), Some(2));
+        assert_eq!(t.tree_distance(ConceptId(2), ConceptId(2)), Some(0));
+        assert_eq!(t.tree_distance(ConceptId(2), ConceptId(99)), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use taglets_graph::{
+    generate, normalized_adjacency, retrofit, ConceptGraph, ConceptId, Relation, RetrofitConfig,
+    SyntheticGraphConfig, Taxonomy,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn taxonomy_descendant_counts_are_consistent(
+        parents in prop::collection::vec(0usize..64, 1..40),
+    ) {
+        let mut t = Taxonomy::with_root(ConceptId(0));
+        for (i, &p) in parents.iter().enumerate() {
+            t.add_child(ConceptId(p % (i + 1)), ConceptId(i + 1));
+        }
+        let n = parents.len() + 1;
+        // Root's descendants = every node exactly once.
+        let mut all = t.descendants(ConceptId(0));
+        all.sort();
+        prop_assert_eq!(all.len(), n);
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+        // Each node's descendants include itself, and depth of a child is
+        // parent depth + 1.
+        for i in 0..n {
+            let id = ConceptId(i);
+            prop_assert!(t.descendants(id).contains(&id));
+            if let Some(p) = t.parent(id) {
+                prop_assert_eq!(t.depth(id), t.depth(p) + 1);
+            }
+        }
+        // Sum over root's children subtrees + root = n.
+        let child_sum: usize = t
+            .children(ConceptId(0))
+            .iter()
+            .map(|&c| t.descendants(c).len())
+            .sum();
+        prop_assert_eq!(child_sum + 1, n);
+    }
+
+    #[test]
+    fn normalized_adjacency_is_row_stochastic(
+        n in 2usize..30,
+        edges in prop::collection::vec((0usize..30, 0usize..30), 0..40),
+    ) {
+        let mut g = ConceptGraph::new();
+        for i in 0..n {
+            g.add_concept(&format!("c{i}"));
+        }
+        for &(a, b) in &edges {
+            g.add_edge(ConceptId(a % n), ConceptId(b % n), Relation::RelatedTo);
+        }
+        let adj = normalized_adjacency(&g);
+        for row in adj.rows_iter() {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+            prop_assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn retrofitting_is_a_contraction_toward_consensus(
+        seed in 0u64..200,
+    ) {
+        // More iterations never increase the total neighbor disagreement.
+        let world = generate(&SyntheticGraphConfig {
+            num_concepts: 60,
+            seed,
+            ..SyntheticGraphConfig::default()
+        });
+        let disagreement = |emb: &taglets_graph::ConceptEmbeddings| -> f32 {
+            let mut total = 0.0;
+            for id in world.graph.concepts() {
+                for e in world.graph.neighbors(id) {
+                    let a = emb.get(id);
+                    let b = emb.get(e.to);
+                    total += a
+                        .iter()
+                        .zip(b)
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f32>();
+                }
+            }
+            total
+        };
+        let few = retrofit(
+            &world.graph,
+            &world.word_vectors,
+            &RetrofitConfig { alpha: 1.0, iterations: 2 },
+            |_| true,
+        )
+        .unwrap();
+        let many = retrofit(
+            &world.graph,
+            &world.word_vectors,
+            &RetrofitConfig { alpha: 1.0, iterations: 20 },
+            |_| true,
+        )
+        .unwrap();
+        prop_assert!(disagreement(&many) <= disagreement(&few) * 1.01);
+        prop_assert!(disagreement(&few) <= disagreement(&world.word_vectors) * 1.01);
+    }
+
+    #[test]
+    fn most_similar_is_sorted_and_respects_top_n(
+        seed in 0u64..100,
+        top_n in 0usize..15,
+        query_idx in 0usize..50,
+    ) {
+        let world = generate(&SyntheticGraphConfig {
+            num_concepts: 50,
+            seed,
+            ..SyntheticGraphConfig::default()
+        });
+        let q = world.word_vectors.get(ConceptId(query_idx % 50)).to_vec();
+        let hits = world.word_vectors.most_similar(&q, top_n, |_| false);
+        prop_assert!(hits.len() <= top_n);
+        for pair in hits.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1, "results must be sorted by similarity");
+        }
+    }
+}

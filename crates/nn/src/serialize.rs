@@ -1,0 +1,130 @@
+//! Model serialization — saving and loading classifiers without external
+//! dependencies.
+//!
+//! The paper's motivation is producing classifiers that can be *served*;
+//! serving requires persisting them. The format is a small, versioned binary
+//! layout: a magic tag, the layer widths, and little-endian `f32` parameter
+//! buffers in [`Module::parameters`] order.
+
+use std::io::{self, Read, Write};
+
+use crate::{Activation, Classifier, Linear, Mlp, Module};
+use taglets_tensor::Tensor;
+
+const MAGIC: &[u8; 8] = b"TAGLETS1";
+
+/// Writes a classifier to `w`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn save_classifier<W: Write>(clf: &Classifier, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    // Layer widths: backbone dims then head output.
+    let backbone = clf.backbone();
+    let mut dims = vec![backbone.input_dim() as u32];
+    // Recover hidden widths from parameter shapes (w matrices are [in, out]).
+    for p in backbone.parameters().iter().step_by(2) {
+        dims.push(p.cols() as u32);
+    }
+    dims.push(clf.num_classes() as u32);
+    w.write_all(&(dims.len() as u32).to_le_bytes())?;
+    for d in &dims {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    for p in clf.parameters() {
+        for &v in p.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a classifier previously written by [`save_classifier`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the magic tag or layout is malformed, and
+/// propagates reader I/O errors.
+pub fn load_classifier<R: Read>(mut r: R) -> io::Result<Classifier> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a TAGLETS model file"));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let n_dims = u32::from_le_bytes(u32buf) as usize;
+    if !(3..=64).contains(&n_dims) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible layer count"));
+    }
+    let mut dims = Vec::with_capacity(n_dims);
+    for _ in 0..n_dims {
+        r.read_exact(&mut u32buf)?;
+        dims.push(u32::from_le_bytes(u32buf) as usize);
+    }
+    if dims.iter().any(|&d| d == 0) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero-width layer"));
+    }
+
+    let mut read_tensor = |shape: &[usize]| -> io::Result<Tensor> {
+        let numel: usize = shape.iter().product();
+        let mut data = vec![0f32; numel];
+        let mut fbuf = [0u8; 4];
+        for v in data.iter_mut() {
+            r.read_exact(&mut fbuf)?;
+            *v = f32::from_le_bytes(fbuf);
+        }
+        Tensor::from_shape(shape.to_vec(), data)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    };
+
+    // Backbone: dims[0..n-1]; head: dims[n-2] → dims[n-1].
+    let backbone_dims = &dims[..dims.len() - 1];
+    let mut layers = Vec::new();
+    for pair in backbone_dims.windows(2) {
+        let w = read_tensor(&[pair[0], pair[1]])?;
+        let b = read_tensor(&[pair[1]])?;
+        layers.push(Linear::from_parts(w, b));
+    }
+    let head_w = read_tensor(&[dims[dims.len() - 2], dims[dims.len() - 1]])?;
+    let head_b = read_tensor(&[dims[dims.len() - 1]])?;
+
+    let backbone = Mlp::from_layers(layers, 0.0, Activation::Relu);
+    Ok(Classifier::from_parts(backbone, Linear::from_parts(head_w, head_b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn classifier_round_trips_exactly() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let clf = Classifier::from_dims(&[6, 10, 4], 3, 0.0, &mut rng);
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let loaded = load_classifier(buf.as_slice()).unwrap();
+        let x = Tensor::randn(&[5, 6], 1.0, &mut rng);
+        assert_eq!(clf.logits(&x), loaded.logits(&x));
+        assert_eq!(clf.parameters(), loaded.parameters());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOTAMODL____".to_vec();
+        let err = load_classifier(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_is_an_error_not_a_panic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let clf = Classifier::from_dims(&[4, 4], 2, 0.0, &mut rng);
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_classifier(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for layers and training loops.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+use taglets_nn::{
+    accuracy, fit_hard, shuffled_batches, Classifier, FitConfig, Mlp, Module,
+};
+use taglets_tensor::{Sgd, SgdConfig, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn shuffled_batches_always_partition(
+        n in 1usize..200,
+        batch in 1usize..64,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batches = shuffled_batches(n, batch, &mut rng);
+        let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // All batches full-sized except possibly the last.
+        for b in &batches[..batches.len() - 1] {
+            prop_assert_eq!(b.len(), batch.min(n));
+        }
+    }
+
+    #[test]
+    fn accuracy_is_a_fraction(
+        preds in prop::collection::vec(0usize..5, 1..50),
+        labels in prop::collection::vec(0usize..5, 1..50),
+    ) {
+        let n = preds.len().min(labels.len());
+        let a = accuracy(&preds[..n], &labels[..n]);
+        prop_assert!((0.0..=1.0).contains(&a));
+        // Self-agreement is always perfect.
+        prop_assert_eq!(accuracy(&labels[..n], &labels[..n]), 1.0);
+    }
+
+    #[test]
+    fn mlp_features_shape_and_determinism(
+        dims in prop::collection::vec(2usize..10, 2..4),
+        rows in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&dims, 0.0, &mut rng);
+        let x = Tensor::randn(&[rows, dims[0]], 1.0, &mut rng);
+        let f1 = mlp.features(&x);
+        let f2 = mlp.features(&x);
+        prop_assert_eq!(f1.shape(), &[rows, *dims.last().unwrap()][..]);
+        prop_assert_eq!(f1, f2, "inference must be deterministic");
+    }
+
+    #[test]
+    fn classifier_binding_order_matches_parameters(
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clf = Classifier::from_dims(&[4, 6, 5], 3, 0.0, &mut rng);
+        let params = clf.parameters();
+        let mut tape = taglets_tensor::Tape::new();
+        let vars = clf.bind(&mut tape);
+        prop_assert_eq!(params.len(), vars.len());
+        for (p, v) in params.iter().zip(&vars) {
+            prop_assert_eq!(*p, tape.value(*v));
+        }
+    }
+
+    #[test]
+    fn training_is_reproducible_per_seed(seed in 0u64..50) {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut clf = Classifier::from_dims(&[4, 6], 2, 0.0, &mut rng);
+            let x = Tensor::randn(&[12, 4], 1.0, &mut rng);
+            let y: Vec<usize> = (0..12).map(|i| i % 2).collect();
+            let mut opt = Sgd::new(SgdConfig { lr: 0.05, ..Default::default() });
+            fit_hard(&mut clf, &x, &y, &FitConfig::new(3, 4, 0.05), &mut opt, &mut rng);
+            clf.predict_proba(&x).into_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,260 @@
+//! Finite-difference gradient checking.
+//!
+//! Every differentiable op in this crate is validated against central finite
+//! differences; downstream crates reuse [`check_gradients`] for their own
+//! composite models.
+
+use crate::{Tape, Tensor, Var};
+
+/// Result of a gradient check: the largest relative error observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Maximum relative error over all checked coordinates.
+    pub max_rel_error: f32,
+    /// Number of coordinates compared.
+    pub coords_checked: usize,
+}
+
+impl GradCheckReport {
+    /// `true` when the analytic gradient matches finite differences within `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_error <= tol
+    }
+}
+
+/// Compares the analytic gradient of `f` with central finite differences.
+///
+/// `f` must rebuild the computation from scratch on a fresh tape: it receives
+/// the current parameter value and returns `(tape, input_var, loss_var)`.
+/// Every coordinate of `param` is perturbed by `±eps`.
+///
+/// # Examples
+///
+/// ```
+/// use taglets_tensor::{check_gradients, Tape, Tensor};
+///
+/// let p = Tensor::from_vec(vec![0.3, -0.7]);
+/// let report = check_gradients(&p, 1e-3, |value| {
+///     let mut tape = Tape::new();
+///     let x = tape.leaf(value.clone().reshaped(&[1, 2]));
+///     let y = tape.relu(x);
+///     let loss = tape.sum(y);
+///     (tape, x, loss)
+/// });
+/// assert!(report.passes(1e-2));
+/// ```
+pub fn check_gradients(
+    param: &Tensor,
+    eps: f32,
+    f: impl Fn(&Tensor) -> (Tape, Var, Var),
+) -> GradCheckReport {
+    let (tape, var, loss) = f(param);
+    let grads = tape.backward(loss);
+    let analytic = grads
+        .get(var)
+        .expect("parameter must require grad in gradient check")
+        .clone();
+
+    let mut max_rel = 0.0f32;
+    for i in 0..param.numel() {
+        let mut plus = param.clone();
+        plus.data_mut()[i] += eps;
+        let (tp, _, lp) = f(&plus);
+        let f_plus = tp.value(lp).item();
+
+        let mut minus = param.clone();
+        minus.data_mut()[i] -= eps;
+        let (tm, _, lm) = f(&minus);
+        let f_minus = tm.value(lm).item();
+
+        let numeric = (f_plus - f_minus) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let denom = a.abs().max(numeric.abs()).max(1e-4);
+        let rel = (a - numeric).abs() / denom;
+        if rel > max_rel {
+            max_rel = rel;
+        }
+    }
+    GradCheckReport { max_rel_error: max_rel, coords_checked: param.numel() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    const EPS: f32 = 1e-2;
+    const TOL: f32 = 2e-2;
+
+    fn randn(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::randn(shape, 0.7, &mut rng)
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        let w = randn(&[3, 2], 1);
+        let x = randn(&[4, 3], 2);
+        let report = check_gradients(&w, EPS, |value| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let wv = tape.leaf(value.clone());
+            let y = tape.matmul(xv, wv);
+            let loss = tape.mean(y);
+            (tape, wv, loss)
+        });
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn matmul_nt_gradients_both_sides() {
+        let a0 = randn(&[3, 4], 3);
+        let b0 = randn(&[5, 4], 4);
+        for side in 0..2 {
+            let param = if side == 0 { a0.clone() } else { b0.clone() };
+            let report = check_gradients(&param, EPS, |value| {
+                let mut tape = Tape::new();
+                let (av, bv) = if side == 0 {
+                    (tape.leaf(value.clone()), tape.constant(b0.clone()))
+                } else {
+                    let a = tape.constant(a0.clone());
+                    (a, tape.leaf(value.clone()))
+                };
+                let var = if side == 0 { av } else { bv };
+                let y = tape.matmul_nt(av, bv);
+                let loss = tape.mean(y);
+                (tape, var, loss)
+            });
+            assert!(report.passes(TOL), "side {side}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn relu_tanh_chain_gradients() {
+        let w = randn(&[2, 6], 5);
+        let report = check_gradients(&w, EPS, |value| {
+            let mut tape = Tape::new();
+            let wv = tape.leaf(value.clone());
+            let h = tape.tanh(wv);
+            let r = tape.relu(h);
+            let loss = tape.sum(r);
+            (tape, wv, loss)
+        });
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradients() {
+        let logits = randn(&[5, 4], 6);
+        let labels = [0usize, 1, 2, 3, 1];
+        let report = check_gradients(&logits, EPS, |value| {
+            let mut tape = Tape::new();
+            let lv = tape.leaf(value.clone());
+            let loss = tape.softmax_cross_entropy(lv, &labels);
+            (tape, lv, loss)
+        });
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn soft_cross_entropy_gradients() {
+        let logits = randn(&[4, 3], 7);
+        let targets = crate::softmax_rows(&randn(&[4, 3], 8));
+        let report = check_gradients(&logits, EPS, |value| {
+            let mut tape = Tape::new();
+            let lv = tape.leaf(value.clone());
+            let loss = tape.soft_cross_entropy(lv, &targets);
+            (tape, lv, loss)
+        });
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn weighted_nll_gradients() {
+        let logits = randn(&[4, 3], 9);
+        let labels = [2usize, 0, 1, 2];
+        let weights = [1.0f32, 0.0, 1.0, 0.5];
+        let report = check_gradients(&logits, EPS, |value| {
+            let mut tape = Tape::new();
+            let lv = tape.leaf(value.clone());
+            let lp = tape.log_softmax(lv);
+            let loss = tape.nll_weighted(lp, &labels, &weights);
+            (tape, lv, loss)
+        });
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn exp_gradients() {
+        let x = randn(&[3, 4], 20);
+        let report = check_gradients(&x, 1e-3, |value| {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(value.clone());
+            let e = tape.exp(xv);
+            let loss = tape.mean(e);
+            (tape, xv, loss)
+        });
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn mse_gradients() {
+        let pred = randn(&[3, 3], 10);
+        let target = randn(&[3, 3], 11);
+        let report = check_gradients(&pred, EPS, |value| {
+            let mut tape = Tape::new();
+            let pv = tape.leaf(value.clone());
+            let loss = tape.mse(pv, &target);
+            (tape, pv, loss)
+        });
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn row_normalize_gradients() {
+        let x = randn(&[3, 5], 12);
+        let probe = randn(&[3, 5], 13);
+        let report = check_gradients(&x, 1e-3, |value| {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(value.clone());
+            let n = tape.row_normalize(xv);
+            let pv = tape.constant(probe.clone());
+            let prod = tape.mul(n, pv);
+            let loss = tape.sum(prod);
+            (tape, xv, loss)
+        });
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn add_row_and_scale_gradients() {
+        let b = randn(&[4], 14);
+        let x = randn(&[3, 4], 15);
+        let report = check_gradients(&b, EPS, |value| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let bv = tape.leaf(value.clone());
+            let y = tape.add_row(xv, bv);
+            let s = tape.scale(y, 0.5);
+            let loss = tape.sum(s);
+            (tape, bv, loss)
+        });
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn mul_sub_gradients() {
+        let a = randn(&[2, 3], 16);
+        let b0 = randn(&[2, 3], 17);
+        let report = check_gradients(&a, EPS, |value| {
+            let mut tape = Tape::new();
+            let av = tape.leaf(value.clone());
+            let bv = tape.constant(b0.clone());
+            let m = tape.mul(av, bv);
+            let d = tape.sub(m, av);
+            let loss = tape.mean(d);
+            (tape, av, loss)
+        });
+        assert!(report.passes(TOL), "{report:?}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Weight initializers.
+//!
+//! The paper appends randomly initialised classifier heads to pretrained
+//! backbones; the initialisation seed is one of the three "training seeds"
+//! each experiment averages over, so initializers here are explicit about
+//! their RNG.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Weight initialisation strategies for linear layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Init {
+    /// Kaiming/He normal: `N(0, 2/fan_in)` — the right choice before ReLU.
+    #[default]
+    KaimingNormal,
+    /// Xavier/Glorot uniform: `U(±sqrt(6/(fan_in+fan_out)))`.
+    XavierUniform,
+    /// All zeros (used for biases and for heads that must start neutral).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a `[fan_in, fan_out]` weight matrix.
+    pub fn weight<R: Rng + ?Sized>(self, fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+        match self {
+            Init::KaimingNormal => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                Tensor::randn(&[fan_in, fan_out], std, rng)
+            }
+            Init::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::rand_uniform(&[fan_in, fan_out], -limit, limit, rng)
+            }
+            Init::Zeros => Tensor::zeros(&[fan_in, fan_out]),
+        }
+    }
+
+    /// Samples a length-`fan_out` bias vector (always zeros for the
+    /// deterministic variants; biases start at zero for all strategies, the
+    /// community default).
+    pub fn bias(self, fan_out: usize) -> Tensor {
+        Tensor::zeros(&[fan_out])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn kaiming_variance_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = Init::KaimingNormal.weight(200, 200, &mut rng);
+        let mean = w.mean();
+        let var = w.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / w.numel() as f32;
+        let expected = 2.0 / 200.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Init::XavierUniform.weight(50, 30, &mut rng);
+        let limit = (6.0f32 / 80.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn zeros_and_bias_are_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(Init::Zeros.weight(3, 3, &mut rng).data().iter().all(|&v| v == 0.0));
+        assert!(Init::KaimingNormal.bias(5).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(
+            Init::KaimingNormal.weight(4, 4, &mut a),
+            Init::KaimingNormal.weight(4, 4, &mut b)
+        );
+    }
+}

@@ -1,0 +1,692 @@
+//! Dense, row-major `f32` tensors.
+//!
+//! [`Tensor`] is the storage type underneath everything in this workspace:
+//! autograd nodes, network parameters, images, embeddings, and prediction
+//! matrices. It is deliberately simple — a shape plus a flat `Vec<f32>` —
+//! because every model in the TAGLETS pipeline reduces to dense 1-D/2-D
+//! linear algebra at reproduction scale.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::TensorError;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// Most operations in this crate are defined for rank-1 and rank-2 tensors;
+/// scalars are represented as rank-1 tensors with a single element (see
+/// [`Tensor::scalar`]).
+///
+/// # Examples
+///
+/// ```
+/// use taglets_tensor::Tensor;
+///
+/// let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.data(), a.data());
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.data.len() <= 16 {
+            write!(f, "Tensor{:?} {:?}", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor{:?} [{:.4}, {:.4}, .. ; {} values]",
+                self.shape,
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// An empty rank-1 tensor with zero elements.
+    fn default() -> Self {
+        Tensor { shape: vec![0], data: Vec::new() }
+    }
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor from a flat buffer and an explicit shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the number of elements
+    /// implied by `shape` does not equal `data.len()`.
+    ///
+    /// ```
+    /// # use taglets_tensor::Tensor;
+    /// # fn main() -> Result<(), taglets_tensor::TensorError> {
+    /// let t = Tensor::from_shape(vec![2, 3], vec![0.0; 6])?;
+    /// assert_eq!(t.rows(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_shape(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let numel: usize = shape.iter().product();
+        if numel != data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected: numel,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor owning `data`.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Tensor { shape: vec![data.len()], data }
+    }
+
+    /// Creates a rank-1 tensor copied from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor::from_vec(data.to_vec())
+    }
+
+    /// Creates a rank-2 tensor from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Tensor { shape: vec![r, c], data }
+    }
+
+    /// A rank-1 tensor holding a single scalar value.
+    pub fn scalar(v: f32) -> Self {
+        Tensor { shape: vec![1], data: vec![v] }
+    }
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let numel = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; numel] }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        let numel = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![1.0; numel] }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let numel = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![value; numel] }
+    }
+
+    /// The `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A tensor with entries drawn i.i.d. from `N(0, std^2)` using the
+    /// Box–Muller transform (so only `rand::Rng` is required).
+    pub fn randn<R: Rng + ?Sized>(shape: &[usize], std: f32, rng: &mut R) -> Self {
+        let numel: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(numel);
+        while data.len() < numel {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < numel {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// A tensor with entries drawn uniformly from `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let numel: usize = shape.iter().product();
+        let data = (0..numel).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// `true` when the tensor holds exactly one element.
+    pub fn is_scalar(&self) -> bool {
+        self.data.len() == 1
+    }
+
+    /// The single element of a scalar tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor does not hold exactly one element.
+    pub fn item(&self) -> f32 {
+        assert!(self.is_scalar(), "item() on non-scalar tensor {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Number of rows of a rank-2 tensor (or the length of a rank-1 tensor).
+    pub fn rows(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Number of columns of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.rank(), 2, "cols() on rank-{} tensor", self.rank());
+        self.shape[1]
+    }
+
+    /// A view of the underlying flat buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// A mutable view of the underlying flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(r, c)` of a rank-2 tensor.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Sets element `(r, c)` of a rank-2 tensor.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert_eq!(self.rank(), 2);
+        let cols = self.shape[1];
+        self.data[r * cols + c] = v;
+    }
+
+    /// Row `r` of a rank-2 tensor as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert_eq!(self.rank(), 2);
+        let c = self.shape[1];
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Mutable row `r` of a rank-2 tensor.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert_eq!(self.rank(), 2);
+        let c = self.shape[1];
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// Iterator over the rows of a rank-2 tensor.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        let c = if self.rank() == 2 { self.shape[1] } else { self.data.len() };
+        self.data.chunks(c.max(1))
+    }
+
+    /// Builds a rank-2 tensor by stacking the given row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have differing lengths.
+    pub fn stack_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "stack_rows needs at least one row");
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        Tensor::from_rows(&refs)
+    }
+
+    /// Vertically concatenates rank-2 tensors with equal column counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn vstack(parts: &[&Tensor]) -> Self {
+        assert!(!parts.is_empty(), "vstack needs at least one tensor");
+        let cols = parts[0].cols();
+        let rows: usize = parts.iter().map(|t| t.rows()).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for t in parts {
+            assert_eq!(t.cols(), cols, "vstack column mismatch");
+            data.extend_from_slice(t.data());
+        }
+        Tensor { shape: vec![rows, cols], data }
+    }
+
+    /// Selects a subset of rows (with repetition allowed) into a new tensor.
+    pub fn gather_rows(&self, indices: &[usize]) -> Self {
+        debug_assert_eq!(self.rank(), 2);
+        let c = self.shape[1];
+        let mut data = Vec::with_capacity(indices.len() * c);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Tensor { shape: vec![indices.len(), c], data }
+    }
+
+    /// Reinterprets the tensor with a new shape (same number of elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count changes.
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.data.len(), "reshape must preserve element count");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise math (allocating and in-place)
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum; shapes must match.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference; shapes must match.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product; shapes must match.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in elementwise op");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += s * other` (axpy).
+    pub fn add_scaled(&mut self, other: &Tensor, s: f32) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+    }
+
+    /// In-place multiply by scalar.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product `self [m,k] × other [k,n] → [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree or either operand is not rank 2.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: streams over contiguous rows of `other`.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Matrix product with transposed rhs: `self [m,k] × otherᵀ [n,k] → [m,n]`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(other.rank(), 2);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Matrix product with transposed lhs: `selfᵀ [k,m] × other [k,n] → [m,n]`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(other.rank(), 2);
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Transposed copy of a rank-2 tensor.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut data = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: vec![n, m], data }
+    }
+
+    /// Inner product of two same-shaped tensors viewed as flat vectors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "dot shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius / L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element of a rank-1 tensor or row slice helper.
+    pub fn argmax(&self) -> usize {
+        argmax_slice(&self.data)
+    }
+
+    /// Per-row argmax of a rank-2 tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        debug_assert_eq!(self.rank(), 2);
+        (0..self.rows()).map(|r| argmax_slice(self.row(r))).collect()
+    }
+
+    /// `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+/// Index of the maximum value in a slice (first index on ties).
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn argmax_slice(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Cosine similarity between two equal-length vectors; 0 if either is zero.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn from_shape_validates_element_count() {
+        assert!(Tensor::from_shape(vec![2, 3], vec![0.0; 6]).is_ok());
+        assert!(Tensor::from_shape(vec![2, 3], vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 4], 1.0, &mut rng);
+        let via_nt = a.matmul_nt(&b);
+        let via_t = a.matmul(&b.transposed());
+        for (x, y) in via_nt.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_then_matmul() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        let via_tn = a.matmul_tn(&b);
+        let via_t = a.transposed().matmul(&b);
+        for (x, y) in via_tn.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(&[3, 7], 1.0, &mut rng);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Tensor::randn(&[100, 100], 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.numel() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let v = Tensor::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), &[3, 2]);
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+        let r = std::panic::catch_unwind(|| {
+            Tensor::vstack(&[&Tensor::zeros(&[1, 2]), &Tensor::zeros(&[1, 3])])
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn gather_rows_selects_and_repeats() {
+        let a = Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.row(0), &[3.0, 3.0]);
+        assert_eq!(g.row(1), &[1.0, 1.0]);
+        assert_eq!(g.row(2), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max_on_tie() {
+        let a = Tensor::from_rows(&[&[1.0, 3.0, 3.0], &[5.0, 0.0, 2.0]]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds_and_zero_vector() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![10.0, 20.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn item_panics_on_matrix() {
+        let a = Tensor::zeros(&[2, 2]);
+        let result = std::panic::catch_unwind(|| a.item());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn eye_matmul_is_identity_map() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn(&[4, 4], 1.0, &mut rng);
+        let i = Tensor::eye(4);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+}

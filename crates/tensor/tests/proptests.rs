@@ -1,0 +1,135 @@
+//! Property-based tests for the tensor/autograd engine.
+
+use proptest::prelude::*;
+
+use taglets_tensor::{softmax_rows, Optimizer, Sgd, SgdConfig, Tape, Tensor};
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |data| Tensor::from_shape(vec![rows, cols], data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_strategy(3, 5),
+        b in tensor_strategy(5, 2),
+    ) {
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let lhs = a.matmul(&b).transposed();
+        let rhs = b.transposed().matmul(&a.transposed());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sum_backward_is_all_ones(a in tensor_strategy(2, 6)) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(a);
+        let loss = tape.sum(x);
+        let grads = tape.backward(loss);
+        prop_assert!(grads.get(x).unwrap().data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn backward_is_linear_in_scale(a in tensor_strategy(3, 3), s in -3.0f32..3.0) {
+        prop_assume!(s.abs() > 1e-3);
+        let grad_of = |scale: f32| {
+            let mut tape = Tape::new();
+            let x = tape.leaf(a.clone());
+            let y = tape.scale(x, scale);
+            let loss = tape.mean(y);
+            let mut grads = tape.backward(loss);
+            grads.take(x).unwrap()
+        };
+        let g1 = grad_of(1.0);
+        let gs = grad_of(s);
+        for (u, v) in g1.data().iter().zip(gs.data()) {
+            prop_assert!((u * s - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in tensor_strategy(2, 5), shift in -10.0f32..10.0) {
+        let shifted = a.map(|v| v + shift);
+        let p1 = softmax_rows(&a);
+        let p2 = softmax_rows(&shifted);
+        for (x, y) in p1.data().iter().zip(p2.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn log_softmax_exponentiates_to_softmax(a in tensor_strategy(3, 4)) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(a.clone());
+        let lp = tape.log_softmax(x);
+        let from_log = tape.value(lp).map(f32::exp);
+        let direct = softmax_rows(&a);
+        for (x, y) in from_log.data().iter().zip(direct.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_and_bounded_at_uniform(
+        a in tensor_strategy(4, 6),
+        labels in prop::collection::vec(0usize..6, 4),
+    ) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(a);
+        let loss = tape.softmax_cross_entropy(x, &labels);
+        prop_assert!(tape.value(loss).item() >= 0.0);
+
+        let mut tape2 = Tape::new();
+        let zero = tape2.leaf(Tensor::zeros(&[4, 6]));
+        let uniform = tape2.softmax_cross_entropy(zero, &labels);
+        prop_assert!((tape2.value(uniform).item() - 6.0f32.ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sgd_with_zero_gradient_is_identity(a in tensor_strategy(2, 3)) {
+        let mut w = a.clone();
+        let mut opt = Sgd::new(SgdConfig { lr: 0.5, momentum: 0.9, ..Default::default() });
+        opt.step(&mut [&mut w], &[Some(Tensor::zeros(a.shape()))]);
+        opt.step(&mut [&mut w], &[Some(Tensor::zeros(a.shape()))]);
+        prop_assert_eq!(w, a);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient(a in tensor_strategy(1, 4)) {
+        let mut w = a.clone();
+        let g = Tensor::from_vec(vec![1.0, -1.0, 2.0, -2.0]).reshaped(&[1, 4]);
+        let mut opt = Sgd::new(SgdConfig { lr: 0.1, ..Default::default() });
+        opt.step(&mut [&mut w], &[Some(g.clone())]);
+        for ((before, after), grad) in a.data().iter().zip(w.data()).zip(g.data()) {
+            prop_assert!((after - (before - 0.1 * grad)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_then_sum_equals_indexed_sum(
+        a in tensor_strategy(5, 3),
+        idx in prop::collection::vec(0usize..5, 1..8),
+    ) {
+        let g = a.gather_rows(&idx);
+        let direct: f32 = idx.iter().map(|&i| a.row(i).iter().sum::<f32>()).sum();
+        prop_assert!((g.sum() - direct).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Extending TAGLETS with a custom module (the extensibility hook of
+//! Sec. 3.2: "other methods can be incorporated on top of the ones we
+//! develop here").
+//!
+//! Implements a nearest-class-prototype taglet — labeled examples plus
+//! SCADS-selected auxiliary images of each target's most related concept
+//! vote for class prototypes in the pretrained feature space — and plugs it
+//! into the system alongside the four standard modules.
+//!
+//! ```sh
+//! cargo run --release --example custom_module
+//! ```
+
+use rand::rngs::StdRng;
+
+use taglets::nn::Classifier;
+use taglets::tensor::Tensor;
+use taglets::{
+    standard_tasks, BackboneKind, ConceptUniverse, CoreError, ModelZoo, ModuleContext,
+    PruneLevel, Taglet, TagletModule, TagletsConfig, TagletsSystem, UniverseConfig, ZooConfig,
+};
+
+/// A taglet that classifies by cosine proximity to class prototypes in the
+/// frozen pretrained feature space.
+struct PrototypeTaglet {
+    encoder: Classifier,
+    prototypes: Tensor, // [C, feat]
+    temperature: f32,
+}
+
+impl Taglet for PrototypeTaglet {
+    fn name(&self) -> &str {
+        PrototypeModule::NAME
+    }
+
+    fn predict_proba(&self, x: &Tensor) -> Tensor {
+        let feats = self.encoder.backbone().features(x);
+        let sims = feats.matmul_nt(&self.prototypes);
+        taglets::tensor::softmax_rows(&sims.scale(1.0 / self.temperature))
+    }
+}
+
+/// The module producing [`PrototypeTaglet`]s.
+struct PrototypeModule;
+
+impl PrototypeModule {
+    const NAME: &'static str = "prototype";
+}
+
+impl TagletModule for PrototypeModule {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn train(
+        &self,
+        ctx: &ModuleContext<'_>,
+        _rng: &mut StdRng,
+    ) -> Result<Box<dyn Taglet>, CoreError> {
+        let pre = ctx.zoo.get(ctx.backbone);
+        let feats = pre.features(&ctx.split.labeled_x);
+        let c = ctx.num_classes();
+        let d = feats.cols();
+        let mut protos = Tensor::zeros(&[c, d]);
+        let mut counts = vec![0f32; c];
+
+        // Labeled examples...
+        for (i, &y) in ctx.split.labeled_y.iter().enumerate() {
+            for k in 0..d {
+                protos.set(y, k, protos.at(y, k) + feats.at(i, k));
+            }
+            counts[y] += 1.0;
+        }
+        // ...plus each target's most related auxiliary concept (from the
+        // shared SCADS selection) — free extra votes for the prototype.
+        for (y, picks) in ctx.selection.per_target.iter().enumerate() {
+            if let Some(&(concept, _)) = picks.first() {
+                for img in ctx.scads.examples(concept).take(5) {
+                    let row = Tensor::from_slice(img).reshaped(&[1, img.len()]);
+                    let f = pre.features(&row);
+                    for k in 0..d {
+                        protos.set(y, k, protos.at(y, k) + f.at(0, k));
+                    }
+                    counts[y] += 1.0;
+                }
+            }
+        }
+        for y in 0..c {
+            let n = counts[y].max(1.0);
+            for k in 0..d {
+                protos.set(y, k, protos.at(y, k) / n);
+            }
+        }
+
+        // A dummy classifier carries the frozen encoder.
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let encoder = Classifier::new(pre.backbone(), c, &mut rng);
+        Ok(Box::new(PrototypeTaglet { encoder, prototypes: protos, temperature: 4.0 }))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut universe = ConceptUniverse::new(UniverseConfig {
+        graph: taglets::graph::SyntheticGraphConfig {
+            num_concepts: 350,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let tasks = standard_tasks(&mut universe);
+    let corpus = universe.build_corpus(15, 0);
+    let scads = universe.build_scads(&corpus);
+    let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+
+    let task = tasks
+        .iter()
+        .find(|t| t.name == "office_home_product")
+        .expect("standard task");
+    let split = task.split(0, 1);
+
+    let config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
+    let standard = TagletsSystem::prepare(&scads, &zoo, config.clone());
+    let zslkg = standard.zslkg().clone();
+    let extended = TagletsSystem::prepare_with_zslkg(&scads, &zoo, config, zslkg)
+        .with_extra_module(Box::new(PrototypeModule));
+
+    println!("active modules (standard): {:?}", standard.active_module_names());
+    println!("active modules (extended): {:?}", extended.active_module_names());
+
+    let base = standard.run(task, &split, PruneLevel::NoPruning, 0)?;
+    let ext = extended.run(task, &split, PruneLevel::NoPruning, 0)?;
+    println!(
+        "\n1-shot {} — end-model accuracy:\n  4 modules: {:.3}\n  5 modules (with `prototype`): {:.3}",
+        task.name,
+        base.end_model.accuracy(&split.test_x, &split.test_y),
+        ext.end_model.accuracy(&split.test_x, &split.test_y)
+    );
+    let proto = ext.taglet(PrototypeModule::NAME).expect("custom module ran");
+    println!(
+        "  the custom taglet alone: {:.3}",
+        proto.accuracy(&split.test_x, &split.test_y)
+    );
+    Ok(())
+}

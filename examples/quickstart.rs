@@ -1,0 +1,89 @@
+//! Quickstart: run the full TAGLETS pipeline on one task and compare the
+//! servable end model against plain fine-tuning.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use taglets::nn::Module as _;
+use taglets::{
+    standard_tasks, BackboneKind, ConceptUniverse, ModelZoo, PruneLevel, TagletsConfig,
+    TagletsSystem, UniverseConfig, ZooConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A reduced synthetic world so the example runs in seconds.
+    println!("building the synthetic universe (graph, tasks, auxiliary corpus)...");
+    let mut universe = ConceptUniverse::new(UniverseConfig {
+        graph: taglets::graph::SyntheticGraphConfig {
+            num_concepts: 350,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let tasks = standard_tasks(&mut universe);
+    let corpus = universe.build_corpus(15, 0);
+    let scads = universe.build_scads(&corpus);
+
+    println!("pretraining the backbone zoo (ResNet-50 / BiT stand-ins)...");
+    let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+
+    println!("preparing TAGLETS (pretrains the ZSL-KG graph encoder)...");
+    let config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
+    let system = TagletsSystem::prepare(&scads, &zoo, config);
+
+    // One labeled example per class on OfficeHome-Clipart: the hardest
+    // setting in the paper, and where TAGLETS helps most.
+    let task = tasks
+        .iter()
+        .find(|t| t.name == "office_home_clipart")
+        .expect("standard task");
+    let split = task.split(/* split seed */ 0, /* shots */ 1);
+    println!(
+        "task `{}`: {} classes, {} labeled / {} unlabeled / {} test images",
+        task.name,
+        task.num_classes(),
+        split.labeled_y.len(),
+        split.unlabeled_y.len(),
+        split.test_y.len()
+    );
+
+    let run = system.run(task, &split, PruneLevel::NoPruning, 0)?;
+    println!(
+        "selected |R| = {} auxiliary images over {} related concepts",
+        run.num_auxiliary_examples, run.num_auxiliary_classes
+    );
+    for taglet in &run.taglets {
+        println!(
+            "  module {:<10} test accuracy {:.3}",
+            taglet.name(),
+            taglet.accuracy(&split.test_x, &split.test_y)
+        );
+    }
+    println!(
+        "  ensemble              test accuracy {:.3}",
+        run.ensemble().accuracy(&split.test_x, &split.test_y)
+    );
+    println!(
+        "  end model (servable)  test accuracy {:.3}  ({} parameters)",
+        run.end_model.accuracy(&split.test_x, &split.test_y),
+        run.end_model.num_parameters()
+    );
+
+    // Baseline for contrast: fine-tuning the same backbone on the same shot.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let baseline = taglets::baselines::fine_tune(
+        &zoo,
+        BackboneKind::ResNet50ImageNet1k,
+        &split,
+        task.num_classes(),
+        &Default::default(),
+        &mut rng,
+    );
+    println!(
+        "  fine-tuning baseline  test accuracy {:.3}  ({} parameters)",
+        baseline.accuracy(&split.test_x, &split.test_y),
+        baseline.num_scalars()
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Shared environment for the integration tests: a reduced synthetic world
+//! built once per test binary.
+
+use std::sync::OnceLock;
+
+use taglets::{
+    standard_tasks, AuxiliaryCorpus, ConceptUniverse, Image, ModelZoo, Scads, Task,
+    UniverseConfig, ZooConfig,
+};
+
+#[allow(dead_code)] // fields vary in use across test binaries
+pub struct TestWorld {
+    pub universe: ConceptUniverse,
+    pub tasks: Vec<Task>,
+    pub corpus: AuxiliaryCorpus,
+    pub scads: Scads<Image>,
+    pub zoo: ModelZoo,
+}
+
+pub fn world() -> &'static TestWorld {
+    static WORLD: OnceLock<TestWorld> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut universe = ConceptUniverse::new(UniverseConfig {
+            graph: taglets::graph::SyntheticGraphConfig {
+                num_concepts: 350,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let tasks = standard_tasks(&mut universe);
+        let corpus = universe.build_corpus(15, 0);
+        let scads = universe.build_scads(&corpus);
+        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+        TestWorld { universe, tasks, corpus, scads, zoo }
+    })
+}
+
+pub fn task(name: &str) -> &'static Task {
+    world()
+        .tasks
+        .iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| panic!("no task named {name}"))
+}

@@ -1,0 +1,244 @@
+//! Property-based tests (proptest) on the system's core invariants.
+
+use proptest::prelude::*;
+
+use taglets::graph::{
+    approximate_embedding, retrofit, ConceptEmbeddings, ConceptGraph, ConceptId, Relation,
+    RetrofitConfig, Taxonomy,
+};
+use taglets::scads::{PruneLevel, Scads};
+use taglets::tensor::{softmax_rows, Tensor};
+use taglets::Augmenter;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// A random rooted tree over `n` nodes given parent choices.
+fn arbitrary_taxonomy(parents: &[usize]) -> Taxonomy {
+    let mut t = Taxonomy::with_root(ConceptId(0));
+    for (i, &p) in parents.iter().enumerate() {
+        let child = ConceptId(i + 1);
+        let parent = ConceptId(p % (i + 1)); // only earlier nodes → acyclic
+        t.add_child(parent, child);
+    }
+    t
+}
+
+/// A random small graph with chain + random extra edges.
+fn arbitrary_graph(n: usize, extra_edges: &[(usize, usize)]) -> ConceptGraph {
+    let mut g = ConceptGraph::new();
+    for i in 0..n {
+        g.add_concept(&format!("c{i}"));
+    }
+    for i in 1..n {
+        g.add_edge(ConceptId(i - 1), ConceptId(i), Relation::IsA);
+    }
+    for &(a, b) in extra_edges {
+        g.add_edge(ConceptId(a % n), ConceptId(b % n), Relation::RelatedTo);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -----------------------------------------------------------------
+    // Softmax / pseudo-label simplex invariants
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn softmax_rows_always_on_simplex(
+        rows in 1usize..6,
+        cols in 1usize..8,
+        values in prop::collection::vec(-50.0f32..50.0, 48),
+    ) {
+        let data: Vec<f32> = values.into_iter().take(rows * cols).collect();
+        prop_assume!(data.len() == rows * cols);
+        let logits = Tensor::from_shape(vec![rows, cols], data).unwrap();
+        let probs = softmax_rows(&logits);
+        for row in probs.rows_iter() {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Pruning set algebra
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn prune_level1_is_superset_of_level0(
+        parents in prop::collection::vec(0usize..100, 1..40),
+        target_raw in 0usize..40,
+    ) {
+        let taxonomy = arbitrary_taxonomy(&parents);
+        let target = ConceptId(target_raw % (parents.len() + 1));
+        let p0 = PruneLevel::Level0.pruned_set(&taxonomy, &[target]);
+        let p1 = PruneLevel::Level1.pruned_set(&taxonomy, &[target]);
+        prop_assert!(p0.is_subset(&p1));
+        prop_assert!(p0.contains(&target));
+        prop_assert!(PruneLevel::NoPruning.pruned_set(&taxonomy, &[target]).is_empty());
+    }
+
+    #[test]
+    fn pruned_set_of_many_targets_is_union_of_singles(
+        parents in prop::collection::vec(0usize..50, 3..20),
+        t1 in 0usize..20,
+        t2 in 0usize..20,
+    ) {
+        let taxonomy = arbitrary_taxonomy(&parents);
+        let n = parents.len() + 1;
+        let a = ConceptId(t1 % n);
+        let b = ConceptId(t2 % n);
+        let joint = PruneLevel::Level1.pruned_set(&taxonomy, &[a, b]);
+        let mut union = PruneLevel::Level1.pruned_set(&taxonomy, &[a]);
+        union.extend(PruneLevel::Level1.pruned_set(&taxonomy, &[b]));
+        prop_assert_eq!(joint, union);
+    }
+
+    // -----------------------------------------------------------------
+    // Retrofitting
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn retrofitting_is_bounded_by_input_hull(
+        n in 3usize..12,
+        extra in prop::collection::vec((0usize..12, 0usize..12), 0..6),
+        values in prop::collection::vec(-2.0f32..2.0, 36),
+    ) {
+        let g = arbitrary_graph(n, &extra);
+        let d = 3;
+        let data: Vec<f32> = values.into_iter().take(n * d).collect();
+        prop_assume!(data.len() == n * d);
+        let base = ConceptEmbeddings::new(Tensor::from_shape(vec![n, d], data).unwrap());
+        let fitted = retrofit(&g, &base, &RetrofitConfig::default(), |_| true).unwrap();
+        // Jacobi averaging keeps every coordinate inside the convex hull of
+        // the base coordinates.
+        let max_in = base.matrix().data().iter().cloned().fold(f32::MIN, f32::max);
+        let min_in = base.matrix().data().iter().cloned().fold(f32::MAX, f32::min);
+        for &v in fitted.matrix().data() {
+            prop_assert!(v <= max_in + 1e-4 && v >= min_in - 1e-4);
+        }
+    }
+
+    #[test]
+    fn approximate_embedding_stays_in_hull(
+        weights in prop::collection::vec(0.1f32..5.0, 1..4),
+    ) {
+        let e = ConceptEmbeddings::new(Tensor::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[-1.0, 0.5],
+        ]));
+        let terms: Vec<(ConceptId, f32)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (ConceptId(i % 3), w))
+            .collect();
+        let v = approximate_embedding(&e, &terms).unwrap();
+        prop_assert!(v.iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    // -----------------------------------------------------------------
+    // SCADS selection bounds
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn selection_respects_cnk_budget(
+        n_concepts in 2usize..6,
+        k in 1usize..5,
+        per_concept in 1usize..8,
+    ) {
+        // Build a tiny scads over a chain graph with `per_concept` items.
+        let g = arbitrary_graph(10, &[]);
+        let mut taxonomy = Taxonomy::with_root(ConceptId(0));
+        for i in 1..10 {
+            taxonomy.add_child(ConceptId(i - 1), ConceptId(i));
+        }
+        let emb = ConceptEmbeddings::new(Tensor::eye(10));
+        let mut scads = Scads::new(g, taxonomy, emb);
+        let items: Vec<(ConceptId, u8)> = (0..10)
+            .flat_map(|c| (0..per_concept).map(move |j| (ConceptId(c), j as u8)))
+            .collect();
+        scads.install_by_id("items", items).unwrap();
+        let targets = [ConceptId(2), ConceptId(7)];
+        let sel = scads.select_related(&targets, n_concepts, k, PruneLevel::NoPruning);
+        prop_assert!(sel.len() <= targets.len() * n_concepts * k);
+        prop_assert!(sel.num_aux_classes() <= targets.len() * n_concepts);
+        // Labels are dense and within range.
+        prop_assert!(sel.examples.iter().all(|(_, l)| *l < sel.num_aux_classes()));
+        // Per-concept budget holds.
+        for class in 0..sel.num_aux_classes() {
+            let count = sel.examples.iter().filter(|(_, l)| *l == class).count();
+            prop_assert!(count <= k);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Augmentation
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn augmentation_preserves_shape_and_is_stochastic(
+        image in prop::collection::vec(-3.0f32..3.0, 8..32),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let aug = Augmenter::default();
+        let w = aug.weak(&image, &mut rng);
+        let s = aug.strong(&image, &mut rng);
+        prop_assert_eq!(w.len(), image.len());
+        prop_assert_eq!(s.len(), image.len());
+        prop_assert!(w.iter().all(|v| v.is_finite()));
+        prop_assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    // -----------------------------------------------------------------
+    // Statistics
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn stats_mean_is_within_range_and_ci_nonnegative(
+        values in prop::collection::vec(0.0f32..1.0, 1..10),
+    ) {
+        let s = taglets::eval::Stats::from_values(&values);
+        let lo = values.iter().cloned().fold(f32::MAX, f32::min);
+        let hi = values.iter().cloned().fold(f32::MIN, f32::max);
+        prop_assert!(s.mean >= lo - 1e-6 && s.mean <= hi + 1e-6);
+        prop_assert!(s.ci95 >= 0.0);
+        prop_assert!(s.contains(s.mean));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Split protocol invariants (deterministic pool → plain tests with many
+// seeds, faster than re-rendering a universe per proptest case)
+// ---------------------------------------------------------------------
+
+#[test]
+fn splits_partition_the_pool_for_every_seed() {
+    let mut universe = taglets::ConceptUniverse::new(taglets::UniverseConfig {
+        graph: taglets::graph::SyntheticGraphConfig { num_concepts: 200, ..Default::default() },
+        ..Default::default()
+    });
+    let tasks = taglets::standard_tasks(&mut universe);
+    let fmd = tasks.iter().find(|t| t.name == "flickr_materials").unwrap();
+    for split_seed in 0..6 {
+        for shots in [1usize, 5, 20] {
+            let s = fmd.split(split_seed, shots);
+            assert_eq!(s.labeled_y.len(), fmd.num_classes() * shots);
+            assert_eq!(s.test_y.len(), fmd.num_classes() * fmd.test_per_class);
+            assert_eq!(
+                s.labeled_y.len() + s.unlabeled_y.len() + s.test_y.len(),
+                fmd.pool_size()
+            );
+            // Every class appears exactly `shots` times in the labeled set.
+            for c in 0..fmd.num_classes() {
+                assert_eq!(s.labeled_y.iter().filter(|&&y| y == c).count(), shots);
+            }
+        }
+    }
+}
