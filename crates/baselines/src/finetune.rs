@@ -31,12 +31,26 @@ pub fn fine_tune(
         .labeled_x
         .rows()
         .div_ceil(cfg.batch_size.min(split.labeled_x.rows()).max(1));
-    let milestones: Vec<usize> =
-        cfg.target_milestones.iter().map(|&e| e * steps_per_epoch).collect();
+    let milestones: Vec<usize> = cfg
+        .target_milestones
+        .iter()
+        .map(|&e| e * steps_per_epoch)
+        .collect();
     let fit = FitConfig::new(cfg.target_epochs, cfg.batch_size, cfg.lr)
         .with_schedule(LrSchedule::milestones(cfg.lr, milestones, 0.1));
-    let mut opt = Sgd::new(SgdConfig { lr: cfg.lr, momentum: 0.9, ..SgdConfig::default() });
-    fit_hard(&mut clf, &split.labeled_x, &split.labeled_y, &fit, &mut opt, rng);
+    let mut opt = Sgd::new(SgdConfig {
+        lr: cfg.lr,
+        momentum: 0.9,
+        ..SgdConfig::default()
+    });
+    fit_hard(
+        &mut clf,
+        &split.labeled_x,
+        &split.labeled_y,
+        &fit,
+        &mut opt,
+        rng,
+    );
     clf
 }
 
@@ -59,8 +73,13 @@ pub fn fine_tune_distilled(
     } else {
         Tensor::zeros(&[0, num_classes])
     };
-    let (inputs, targets) =
-        distillation_set(unlabeled, &pseudo, &split.labeled_x, &split.labeled_y, num_classes);
+    let (inputs, targets) = distillation_set(
+        unlabeled,
+        &pseudo,
+        &split.labeled_x,
+        &split.labeled_y,
+        num_classes,
+    );
     let end = train_end_model(zoo, backbone, &inputs, &targets, num_classes, end_cfg, rng);
     ServableModel::new(end)
 }
@@ -101,7 +120,10 @@ mod tests {
             &mut rng,
         );
         let acc = clf.accuracy(&split.test_x, &split.test_y);
-        assert!(acc > 0.2, "5-shot fine-tuning should beat chance clearly: {acc}");
+        assert!(
+            acc > 0.2,
+            "5-shot fine-tuning should beat chance clearly: {acc}"
+        );
 
         let distilled = fine_tune_distilled(
             &zoo,
@@ -114,6 +136,9 @@ mod tests {
             &mut rng,
         );
         let dacc = distilled.accuracy(&split.test_x, &split.test_y);
-        assert!(dacc > 0.2, "distilled fine-tuning should beat chance clearly: {dacc}");
+        assert!(
+            dacc > 0.2,
+            "distilled fine-tuning should beat chance clearly: {dacc}"
+        );
     }
 }

@@ -25,7 +25,14 @@ pub fn fixmatch_baseline(
     // difference between module and baseline is the SCADS phase).
     let mut opt = Sgd::with_momentum(cfg.pretrain_lr, 0.9);
     let fit = FitConfig::new(10, cfg.batch_size, cfg.pretrain_lr);
-    fit_hard(&mut clf, &split.labeled_x, &split.labeled_y, &fit, &mut opt, rng);
+    fit_hard(
+        &mut clf,
+        &split.labeled_x,
+        &split.labeled_y,
+        &fit,
+        &mut opt,
+        rng,
+    );
 
     fixmatch_train(
         &mut clf,
@@ -71,6 +78,9 @@ mod tests {
             &mut rng,
         );
         let acc = clf.accuracy(&split.test_x, &split.test_y);
-        assert!(acc > 0.2, "fixmatch baseline should beat chance clearly: {acc}");
+        assert!(
+            acc > 0.2,
+            "fixmatch baseline should beat chance clearly: {acc}"
+        );
     }
 }

@@ -110,14 +110,27 @@ pub fn meta_pseudo_labels(
     {
         let mut opt = Sgd::with_momentum(cfg.finetune_lr, 0.9);
         let fit = FitConfig::new(12, cfg.batch_size, cfg.finetune_lr);
-        fit_hard(&mut teacher, &split.labeled_x, &split.labeled_y, &fit, &mut opt, rng);
+        fit_hard(
+            &mut teacher,
+            &split.labeled_x,
+            &split.labeled_y,
+            &fit,
+            &mut opt,
+            rng,
+        );
     }
 
     if unlabeled.rows() > 0 {
-        let mut t_opt =
-            Sgd::new(SgdConfig { lr: cfg.teacher_lr, momentum: 0.9, ..SgdConfig::default() });
-        let mut s_opt =
-            Sgd::new(SgdConfig { lr: cfg.student_lr, momentum: 0.9, ..SgdConfig::default() });
+        let mut t_opt = Sgd::new(SgdConfig {
+            lr: cfg.teacher_lr,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        });
+        let mut s_opt = Sgd::new(SgdConfig {
+            lr: cfg.student_lr,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        });
         let t_schedule = LrSchedule::half_cosine(cfg.teacher_lr, cfg.steps);
         let s_schedule = LrSchedule::half_cosine(cfg.student_lr, cfg.steps);
         let labeled_n = split.labeled_x.rows();
@@ -130,8 +143,9 @@ pub fn meta_pseudo_labels(
             let u = unlabeled.gather_rows(&u_idx);
             let pseudo = teacher.predict(&u);
 
-            let l_idx: Vec<usize> =
-                (0..l_batch_size).map(|_| rng.gen_range(0..labeled_n)).collect();
+            let l_idx: Vec<usize> = (0..l_batch_size)
+                .map(|_| rng.gen_range(0..labeled_n))
+                .collect();
             let lx = split.labeled_x.gather_rows(&l_idx);
             let ly: Vec<usize> = l_idx.iter().map(|&i| split.labeled_y[i]).collect();
 
@@ -167,7 +181,14 @@ pub fn meta_pseudo_labels(
     // Final student fine-tuning on labeled data (paper: fixed 3e-3).
     let mut opt = Sgd::with_momentum(cfg.finetune_lr, 0.9);
     let fit = FitConfig::new(cfg.finetune_epochs, cfg.batch_size, cfg.finetune_lr);
-    fit_hard(&mut student, &split.labeled_x, &split.labeled_y, &fit, &mut opt, rng);
+    fit_hard(
+        &mut student,
+        &split.labeled_x,
+        &split.labeled_y,
+        &fit,
+        &mut opt,
+        rng,
+    );
     student
 }
 

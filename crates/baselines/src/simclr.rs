@@ -85,7 +85,9 @@ fn ntxent_step(
     let mv = tape.constant(mask);
     let logits = tape.add(scaled, mv);
     // Row i's positive is i+b (first half) or i−b (second half).
-    let labels: Vec<usize> = (0..2 * b).map(|i| if i < b { i + b } else { i - b }).collect();
+    let labels: Vec<usize> = (0..2 * b)
+        .map(|i| if i < b { i + b } else { i - b })
+        .collect();
     let loss = tape.softmax_cross_entropy(logits, &labels);
     let value = tape.value(loss).item();
 
@@ -120,7 +122,9 @@ pub fn simclr_lite(
     let mut encoder = Mlp::new(&[input_dim, cfg.hidden, cfg.feature_dim], 0.0, rng);
     let mut projection = Linear::new(cfg.feature_dim, cfg.feature_dim, rng);
     let augmenter = Augmenter::default();
-    let mut report = SimclrReport { contrastive_losses: Vec::new() };
+    let mut report = SimclrReport {
+        contrastive_losses: Vec::new(),
+    };
 
     if unlabeled.rows() >= 4 {
         let mut opt = Sgd::new(SgdConfig {
@@ -149,7 +153,9 @@ pub fn simclr_lite(
                 );
                 batches += 1;
             }
-            report.contrastive_losses.push(epoch_loss / batches.max(1) as f32);
+            report
+                .contrastive_losses
+                .push(epoch_loss / batches.max(1) as f32);
         }
     }
 
@@ -157,7 +163,14 @@ pub fn simclr_lite(
     let mut clf = Classifier::new(encoder, num_classes, rng);
     let mut opt = Sgd::with_momentum(cfg.finetune_lr, 0.9);
     let fit = FitConfig::new(cfg.finetune_epochs, cfg.batch_size, cfg.finetune_lr);
-    fit_hard(&mut clf, &split.labeled_x, &split.labeled_y, &fit, &mut opt, rng);
+    fit_hard(
+        &mut clf,
+        &split.labeled_x,
+        &split.labeled_y,
+        &fit,
+        &mut opt,
+        rng,
+    );
     (clf, report)
 }
 
@@ -194,6 +207,9 @@ mod tests {
         );
         let first = report.contrastive_losses[0];
         let last = *report.contrastive_losses.last().unwrap();
-        assert!(last < first, "NT-Xent loss should decrease: {first} → {last}");
+        assert!(
+            last < first,
+            "NT-Xent loss should decrease: {first} → {last}"
+        );
     }
 }

@@ -10,10 +10,10 @@
 //!    `|R|`.
 
 use taglets_bench::write_results;
+use taglets_core::{SelectionStrategy, TagletsConfig};
 use taglets_data::BackboneKind;
 use taglets_eval::{Experiment, ExperimentScale, Stats, TextTable};
 use taglets_scads::PruneLevel;
-use taglets_core::{SelectionStrategy, TagletsConfig};
 
 fn main() {
     let env = Experiment::standard(ExperimentScale::from_env());
@@ -27,11 +27,14 @@ fn main() {
         "random R".into(),
     ]);
     for task_name in ["office_home_product", "grocery_store"] {
-        let task = env.task(task_name);
+        let task = env.task(task_name).expect("benchmark task exists");
         for shots in [1usize, 5] {
             let split = task.split(0, shots);
             let mut accs = Vec::new();
-            for strategy in [SelectionStrategy::GraphRelated, SelectionStrategy::RandomConcepts] {
+            for strategy in [
+                SelectionStrategy::GraphRelated,
+                SelectionStrategy::RandomConcepts,
+            ] {
                 let mut config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
                 config.selection = strategy;
                 let system = env.system(config);
@@ -49,7 +52,12 @@ fn main() {
                     .collect();
                 accs.push(Stats::from_values(&values).to_string());
             }
-            table.row(vec![task_name.to_string(), shots.to_string(), accs[0].clone(), accs[1].clone()]);
+            table.row(vec![
+                task_name.to_string(),
+                shots.to_string(),
+                accs[0].clone(),
+                accs[1].clone(),
+            ]);
         }
     }
     rendered.push_str(&format!(
@@ -58,7 +66,7 @@ fn main() {
     ));
 
     // Ablation 2: N/K budget sweep on Grocery 1-shot.
-    let task = env.task("grocery_store");
+    let task = env.task("grocery_store").expect("benchmark task exists");
     let split = task.split(0, 1);
     let mut sweep = TextTable::new(vec![
         "N (concepts/class)".into(),
@@ -77,7 +85,9 @@ fn main() {
             .training_seeds()
             .iter()
             .map(|&seed| {
-                let run = system.run(task, &split, PruneLevel::NoPruning, seed).expect("run");
+                let run = system
+                    .run(task, &split, PruneLevel::NoPruning, seed)
+                    .expect("run");
                 size = run.num_auxiliary_examples;
                 run.end_model.accuracy(&split.test_x, &split.test_y)
             })

@@ -23,14 +23,21 @@ fn main() {
         "attention aggregation".into(),
     ]);
     let mean_module = ZslKgModule::pretrain(env.scads(), env.zoo(), &ZslKgConfig::default(), 0);
-    let attn_cfg = ZslKgConfig { aggregation: Aggregation::Attention, ..ZslKgConfig::default() };
+    let attn_cfg = ZslKgConfig {
+        aggregation: Aggregation::Attention,
+        ..ZslKgConfig::default()
+    };
     let attn_module = ZslKgModule::pretrain(env.scads(), env.zoo(), &attn_cfg, 0);
     for task in env.tasks() {
         if task.classes.iter().any(|c| c.concept.is_none()) {
             continue; // grocery needs the extension path; keep this ablation simple
         }
         let split = task.split(0, 1);
-        let concepts: Vec<_> = task.aligned_concepts().into_iter().map(|(_, c)| c).collect();
+        let concepts: Vec<_> = task
+            .aligned_concepts()
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect();
         let accs: Vec<String> = [&mean_module, &attn_module]
             .iter()
             .map(|m| {
@@ -46,10 +53,16 @@ fn main() {
     ));
 
     // 2. Ensemble weighting extension.
-    let task = env.task("office_home_product");
+    let task = env
+        .task("office_home_product")
+        .expect("benchmark task exists");
     let split = task.split(0, 1);
-    let system = env.system(TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k));
-    let run = system.run(task, &split, PruneLevel::NoPruning, 0).expect("run");
+    let system = env.system(TagletsConfig::for_backbone(
+        BackboneKind::ResNet50ImageNet1k,
+    ));
+    let run = system
+        .run(task, &split, PruneLevel::NoPruning, 0)
+        .expect("run");
     let ensemble = run.ensemble();
     let uniform = ensemble.accuracy(&split.test_x, &split.test_y);
     let weights = ensemble.accuracy_weights(&split.labeled_x, &split.labeled_y);

@@ -18,7 +18,7 @@ fn main() {
     for (figure, split_seed) in [(11u32, 0u64), (12, 1), (13, 2)] {
         rendered.push_str(&format!("Figure {figure} — split {split_seed}\n"));
         for task_name in ["office_home_clipart", "flickr_materials", "grocery_store"] {
-            let task = env.task(task_name);
+            let task = env.task(task_name).expect("benchmark task exists");
             let mut table = TextTable::new(vec![
                 "Prune".into(),
                 "Shots".into(),
@@ -44,7 +44,8 @@ fn main() {
                             prune,
                             seed,
                             None,
-                        );
+                        )
+                        .expect("taglets pipeline runs");
                         let m = d.module_mean();
                         means.push(m);
                         ens.push(d.ensemble_accuracy - m);

@@ -14,12 +14,17 @@ use taglets_scads::PruneLevel;
 fn main() {
     let env = Experiment::standard(ExperimentScale::from_env());
     let rendered = module_sweep_table(&env, "office_home_product", 0);
-    write_results("fig4_modules", &format!("Figure 4 — per-module accuracy, OfficeHome-Product (split 0, ResNet-50)\n{rendered}"));
+    write_results(
+        "fig4_modules",
+        &format!(
+            "Figure 4 — per-module accuracy, OfficeHome-Product (split 0, ResNet-50)\n{rendered}"
+        ),
+    );
 }
 
 /// Shared with fig8to10: renders the module sweep for one task/split.
 fn module_sweep_table(env: &Experiment, task_name: &str, split_seed: u64) -> String {
-    let task = env.task(task_name);
+    let task = env.task(task_name).expect("benchmark task exists");
     let modules = ["transfer", "multitask", "fixmatch", "zsl-kg"];
     let mut header = vec!["Prune".to_string(), "Shots".to_string()];
     header.extend(modules.iter().map(|m| m.to_string()));
@@ -40,7 +45,8 @@ fn module_sweep_table(env: &Experiment, task_name: &str, split_seed: u64) -> Str
                     prune,
                     seed,
                     None,
-                );
+                )
+                .expect("taglets pipeline runs");
                 for (i, m) in modules.iter().enumerate() {
                     let acc = d
                         .module_accuracies

@@ -25,7 +25,7 @@ fn main() {
 }
 
 fn ensemble_gain_table(env: &Experiment, task_name: &str, split_seed: u64) -> String {
-    let task = env.task(task_name);
+    let task = env.task(task_name).expect("benchmark task exists");
     let mut table = TextTable::new(vec![
         "Prune".into(),
         "Shots".into(),
@@ -55,7 +55,8 @@ fn ensemble_gain_table(env: &Experiment, task_name: &str, split_seed: u64) -> St
                     prune,
                     seed,
                     None,
-                );
+                )
+                .expect("taglets pipeline runs");
                 let m = d.module_mean();
                 module_means.push(m);
                 bests.push(d.best_module());

@@ -35,18 +35,32 @@ fn main() {
     let mut deltas: Vec<Vec<f32>> = vec![Vec::new(); modules.len()];
     let seed = env.scale().training_seeds()[0];
     for task_name in task_names {
-        let task = env.task(task_name);
+        let task = env.task(task_name).expect("benchmark task exists");
         for backbone in BackboneKind::ALL {
             for shots in [1usize, 5] {
                 let split = task.split(0, shots);
                 let full = run_taglets_detailed(
-                    &env, task, &split, backbone, PruneLevel::NoPruning, seed, None,
+                    &env,
+                    task,
+                    &split,
+                    backbone,
+                    PruneLevel::NoPruning,
+                    seed,
+                    None,
                 )
+                .expect("taglets pipeline runs")
                 .end_model_accuracy;
                 for (i, m) in modules.iter().enumerate() {
                     let ablated = run_taglets_detailed(
-                        &env, task, &split, backbone, PruneLevel::NoPruning, seed, Some(m),
+                        &env,
+                        task,
+                        &split,
+                        backbone,
+                        PruneLevel::NoPruning,
+                        seed,
+                        Some(m),
                     )
+                    .expect("taglets pipeline runs")
                     .end_model_accuracy;
                     deltas[i].push(full - ablated);
                 }
@@ -78,7 +92,7 @@ fn main() {
     }
 
     // SimCLRv2-lite reference (excluded from the paper's tables).
-    let task = env.task("flickr_materials");
+    let task = env.task("flickr_materials").expect("benchmark task exists");
     let split = task.split(0, 5);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     let unlabeled = env.capped_unlabeled(&split, 0);

@@ -32,5 +32,8 @@ fn main() {
          retrieved; prune level 0 removes the class/descendants; level 1 removes the\n\
          parent subtree, leaving only more general or more distant concepts.\n",
     );
-    write_results("fig7_pruning_demo", &format!("Figure 7 — pruning demo\n{rendered}"));
+    write_results(
+        "fig7_pruning_demo",
+        &format!("Figure 7 — pruning demo\n{rendered}"),
+    );
 }

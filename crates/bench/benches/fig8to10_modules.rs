@@ -16,7 +16,7 @@ fn main() {
     for (figure, split_seed) in [(8u32, 0u64), (9, 1), (10, 2)] {
         rendered.push_str(&format!("Figure {figure} — split {split_seed}\n"));
         for task_name in ["office_home_clipart", "flickr_materials", "grocery_store"] {
-            let task = env.task(task_name);
+            let task = env.task(task_name).expect("benchmark task exists");
             let modules = ["transfer", "multitask", "fixmatch", "zsl-kg"];
             let mut header = vec!["Prune".to_string(), "Shots".to_string()];
             header.extend(modules.iter().map(|m| m.to_string()));
@@ -37,7 +37,8 @@ fn main() {
                             prune,
                             seed,
                             None,
-                        );
+                        )
+                        .expect("taglets pipeline runs");
                         for (i, m) in modules.iter().enumerate() {
                             let acc = d
                                 .module_accuracies

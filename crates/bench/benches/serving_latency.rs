@@ -12,7 +12,7 @@ use taglets_tensor::Tensor;
 
 fn bench_serving(c: &mut Criterion) {
     let env = Experiment::standard(ExperimentScale::Smoke);
-    let task = env.task("flickr_materials");
+    let task = env.task("flickr_materials").expect("benchmark task exists");
     let split = task.split(0, 5);
     let system = env.system(taglets_core::TagletsConfig::for_backbone(
         BackboneKind::ResNet50ImageNet1k,
@@ -42,8 +42,12 @@ fn bench_serving(c: &mut Criterion) {
 
 fn bench_selection(c: &mut Criterion) {
     let env = Experiment::standard(ExperimentScale::Smoke);
-    let task = env.task("flickr_materials");
-    let targets: Vec<_> = task.aligned_concepts().into_iter().map(|(_, c)| c).collect();
+    let task = env.task("flickr_materials").expect("benchmark task exists");
+    let targets: Vec<_> = task
+        .aligned_concepts()
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect();
     let scads = env.scads();
 
     let mut group = c.benchmark_group("auxiliary_selection");
@@ -54,7 +58,13 @@ fn bench_selection(c: &mut Criterion) {
     // auxiliary image against every target prototype image.
     let probe: Vec<Vec<f32>> = targets
         .iter()
-        .map(|&t| scads.examples(t).next().expect("concept has images").clone())
+        .map(|&t| {
+            scads
+                .examples(t)
+                .next()
+                .expect("concept has images")
+                .clone()
+        })
         .collect();
     group.bench_function("pairwise_visual_scan", |b| {
         b.iter(|| {

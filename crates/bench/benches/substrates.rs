@@ -28,8 +28,19 @@ fn bench_training_step(c: &mut Criterion) {
         bch.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
             let mut clf = Classifier::from_dims(&[48, 64, 64], 10, 0.0, &mut rng);
-            let mut opt = Sgd::new(SgdConfig { lr: 0.01, momentum: 0.9, ..Default::default() });
-            fit_hard(&mut clf, &x, &y, &FitConfig::new(1, 64, 0.01), &mut opt, &mut rng)
+            let mut opt = Sgd::new(SgdConfig {
+                lr: 0.01,
+                momentum: 0.9,
+                ..Default::default()
+            });
+            fit_hard(
+                &mut clf,
+                &x,
+                &y,
+                &FitConfig::new(1, 64, 0.01),
+                &mut opt,
+                &mut rng,
+            )
         })
     });
     group.finish();
@@ -52,8 +63,13 @@ fn bench_graph(c: &mut Criterion) {
             .expect("valid inputs")
         })
     });
-    let emb = retrofit(&world.graph, &world.word_vectors, &RetrofitConfig::default(), |_| true)
-        .expect("valid inputs");
+    let emb = retrofit(
+        &world.graph,
+        &world.word_vectors,
+        &RetrofitConfig::default(),
+        |_| true,
+    )
+    .expect("valid inputs");
     let a = normalized_adjacency(&world.graph);
     let mut rng = StdRng::seed_from_u64(3);
     let enc = GraphEncoder::new(emb.dim(), 64, 64, &mut rng);

@@ -11,7 +11,8 @@ use taglets_eval::{Experiment, ExperimentScale};
 
 fn main() {
     let env = Experiment::standard(ExperimentScale::from_env());
-    let table = method_table(&env, &["office_home_product", "office_home_clipart"], 0);
+    let table = method_table(&env, &["office_home_product", "office_home_clipart"], 0)
+        .expect("benchmark tasks exist");
     let rendered = format!(
         "Table 1 — OfficeHome-Product & OfficeHome-Clipart (split 0), accuracy % ± 95% CI\n{}",
         table.render()

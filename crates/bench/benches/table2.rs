@@ -12,7 +12,8 @@ use taglets_eval::{Experiment, ExperimentScale};
 
 fn main() {
     let env = Experiment::standard(ExperimentScale::from_env());
-    let table = method_table(&env, &["grocery_store", "flickr_materials"], 0);
+    let table = method_table(&env, &["grocery_store", "flickr_materials"], 0)
+        .expect("benchmark tasks exist");
     let rendered = format!(
         "Table 2 — Grocery Store & Flickr Material (split 0), accuracy % ± 95% CI\n{}",
         table.render()

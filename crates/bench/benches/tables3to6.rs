@@ -9,13 +9,32 @@ fn main() {
     let env = Experiment::standard(ExperimentScale::from_env());
     let mut rendered = String::new();
     for (label, tasks, split) in [
-        ("Table 3 — OfficeHome (split 1)", ["office_home_product", "office_home_clipart"], 1u64),
-        ("Table 4 — OfficeHome (split 2)", ["office_home_product", "office_home_clipart"], 2),
-        ("Table 5 — Grocery & FMD (split 1)", ["grocery_store", "flickr_materials"], 1),
-        ("Table 6 — Grocery & FMD (split 2)", ["grocery_store", "flickr_materials"], 2),
+        (
+            "Table 3 — OfficeHome (split 1)",
+            ["office_home_product", "office_home_clipart"],
+            1u64,
+        ),
+        (
+            "Table 4 — OfficeHome (split 2)",
+            ["office_home_product", "office_home_clipart"],
+            2,
+        ),
+        (
+            "Table 5 — Grocery & FMD (split 1)",
+            ["grocery_store", "flickr_materials"],
+            1,
+        ),
+        (
+            "Table 6 — Grocery & FMD (split 2)",
+            ["grocery_store", "flickr_materials"],
+            2,
+        ),
     ] {
-        let table = method_table(&env, &tasks, split);
-        rendered.push_str(&format!("{label}, accuracy % ± 95% CI\n{}\n", table.render()));
+        let table = method_table(&env, &tasks, split).expect("benchmark tasks exist");
+        rendered.push_str(&format!(
+            "{label}, accuracy % ± 95% CI\n{}\n",
+            table.render()
+        ));
     }
     write_results("tables3to6", &rendered);
 }

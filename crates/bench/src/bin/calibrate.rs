@@ -16,9 +16,11 @@ fn main() {
     let env = Experiment::standard(ExperimentScale::from_env());
     eprintln!("[env built in {:?}]", t0.elapsed());
 
-    let task_names = std::env::args().nth(1).unwrap_or_else(|| "flickr_materials".to_string());
+    let task_names = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "flickr_materials".to_string());
     for task_name in task_names.split(',') {
-        let task = env.task(task_name);
+        let task = env.task(task_name).expect("benchmark task exists");
         let mut table = {
             let mut header = vec!["Method".to_string(), "Backbone".to_string()];
             header.extend(shot_grid(task).iter().map(|s| format!("{s}-shot")));
@@ -27,14 +29,22 @@ fn main() {
         for backbone in BackboneKind::ALL {
             for method in Method::table_rows() {
                 let t = Instant::now();
-                let mut cells =
-                    vec![method.label().to_string(), backbone.display_name().to_string()];
+                let mut cells = vec![
+                    method.label().to_string(),
+                    backbone.display_name().to_string(),
+                ];
                 for shots in shot_grid(task) {
-                    let cell = table_cell(&env, method, backbone, task, 0, shots);
+                    let cell =
+                        table_cell(&env, method, backbone, task, 0, shots).expect("cell evaluates");
                     cells.push(cell.stats.to_string());
                 }
                 table.row(cells);
-                eprintln!("[{} / {} done in {:?}]", method.label(), backbone, t.elapsed());
+                eprintln!(
+                    "[{} / {} done in {:?}]",
+                    method.label(),
+                    backbone,
+                    t.elapsed()
+                );
             }
             table.separator();
         }
@@ -47,8 +57,15 @@ fn main() {
                 BackboneKind::ResNet50ImageNet1k.display_name().to_string(),
             ];
             for shots in shot_grid(task) {
-                let cell =
-                    table_cell(&env, method, BackboneKind::ResNet50ImageNet1k, task, 0, shots);
+                let cell = table_cell(
+                    &env,
+                    method,
+                    BackboneKind::ResNet50ImageNet1k,
+                    task,
+                    0,
+                    shots,
+                )
+                .expect("cell evaluates");
                 cells.push(cell.stats.to_string());
             }
             table.row(cells);

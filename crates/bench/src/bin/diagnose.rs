@@ -9,9 +9,14 @@ use taglets_scads::PruneLevel;
 
 fn main() {
     let env = Experiment::standard(ExperimentScale::from_env());
-    let task_name = std::env::args().nth(1).unwrap_or_else(|| "flickr_materials".into());
-    let task = env.task(&task_name);
-    println!("== {} | modules × prune × shots (ResNet-50, seed 0) ==", task.name);
+    let task_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "flickr_materials".into());
+    let task = env.task(&task_name).expect("benchmark task exists");
+    println!(
+        "== {} | modules × prune × shots (ResNet-50, seed 0) ==",
+        task.name
+    );
     println!(
         "{:<10} {:>5} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9}",
         "prune", "shots", "transfer", "multitask", "fixmatch", "zsl-kg", "ensemble", "end"
@@ -30,7 +35,8 @@ fn main() {
                 prune,
                 0,
                 None,
-            );
+            )
+            .expect("taglets pipeline runs");
             let acc = |name: &str| {
                 d.module_accuracies
                     .iter()

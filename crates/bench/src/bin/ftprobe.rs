@@ -8,7 +8,9 @@ use taglets_tensor::{LrSchedule, Sgd, SgdConfig};
 
 fn main() {
     let env = Experiment::standard(ExperimentScale::from_env());
-    let task = env.task("office_home_product");
+    let task = env
+        .task("office_home_product")
+        .expect("benchmark task exists");
     let split = task.split(0, 1);
     let zoo = env.zoo();
 
@@ -21,7 +23,11 @@ fn main() {
         let t = f_test.row(i);
         let mut best = (f32::INFINITY, 0usize);
         for (j, &ly) in split.labeled_y.iter().enumerate() {
-            let d: f32 = t.iter().zip(f_lab.row(j)).map(|(a, b)| (a - b).powi(2)).sum();
+            let d: f32 = t
+                .iter()
+                .zip(f_lab.row(j))
+                .map(|(a, b)| (a - b).powi(2))
+                .sum();
             if d < best.0 {
                 best = (d, ly);
             }
@@ -30,10 +36,19 @@ fn main() {
             correct += 1;
         }
     }
-    println!("feature-space 1NN: {:.3}", correct as f32 / split.test_y.len() as f32);
+    println!(
+        "feature-space 1NN: {:.3}",
+        correct as f32 / split.test_y.len() as f32
+    );
 
     for (label, lr, epochs, momentum, aug) in [
-        ("paper-ish lr3e-3 m.9 e40 aug", 3e-3f32, 40usize, 0.9f32, true),
+        (
+            "paper-ish lr3e-3 m.9 e40 aug",
+            3e-3f32,
+            40usize,
+            0.9f32,
+            true,
+        ),
         ("lr3e-3 m.9 e40 no-aug", 3e-3, 40, 0.9, false),
         ("lr1e-3 m.9 e40 aug", 1e-3, 40, 0.9, true),
         ("lr3e-4 m.9 e40 aug", 3e-4, 40, 0.9, true),
@@ -45,13 +60,27 @@ fn main() {
     ] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut clf = Classifier::new(pre.backbone(), task.num_classes(), &mut rng);
-        let mut opt = Sgd::new(SgdConfig { lr, momentum, ..SgdConfig::default() });
-        let mut fit = FitConfig::new(epochs, 32, lr)
-            .with_schedule(LrSchedule::milestones(lr, vec![epochs * 2 / 4, epochs * 3 / 4], 0.1));
+        let mut opt = Sgd::new(SgdConfig {
+            lr,
+            momentum,
+            ..SgdConfig::default()
+        });
+        let mut fit = FitConfig::new(epochs, 32, lr).with_schedule(LrSchedule::milestones(
+            lr,
+            vec![epochs * 2 / 4, epochs * 3 / 4],
+            0.1,
+        ));
         if !aug {
             fit = fit.without_augmentation();
         }
-        let report = fit_hard(&mut clf, &split.labeled_x, &split.labeled_y, &fit, &mut opt, &mut rng);
+        let report = fit_hard(
+            &mut clf,
+            &split.labeled_x,
+            &split.labeled_y,
+            &fit,
+            &mut opt,
+            &mut rng,
+        );
         println!(
             "{label}: first-loss {:.3} last-loss {:.3} train-acc {:.3} test-acc {:.3}",
             report.epoch_losses[0],

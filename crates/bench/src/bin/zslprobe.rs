@@ -7,7 +7,9 @@ use taglets_tensor::Tensor;
 
 fn main() {
     let env = Experiment::standard(ExperimentScale::from_env());
-    let task = env.task("office_home_product");
+    let task = env
+        .task("office_home_product")
+        .expect("benchmark task exists");
     let split = task.split(0, 1);
     let source = env.zoo().get(BackboneKind::BitImageNet21k);
     let concepts = task.aligned_concepts();
@@ -38,12 +40,20 @@ fn main() {
 
     // Direct GNN pretraining diagnostics.
     {
-        use taglets_graph::{normalized_adjacency, pretrain_encoder, GnnPretrainConfig, GraphEncoder};
         use rand::SeedableRng;
+        use taglets_graph::{
+            normalized_adjacency, pretrain_encoder, GnnPretrainConfig, GraphEncoder,
+        };
         let targets = source.zslkg_targets();
-        let tnorm: f32 = targets.iter().map(|(_, w)| w.iter().map(|v| v * v).sum::<f32>()).sum::<f32>()
+        let tnorm: f32 = targets
+            .iter()
+            .map(|(_, w)| w.iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
             / targets.len() as f32;
-        println!("mean squared target norm: {tnorm:.4} (per-coord {:.5})", tnorm / feat as f32);
+        println!(
+            "mean squared target norm: {tnorm:.4} (per-coord {:.5})",
+            tnorm / feat as f32
+        );
         for (label, hidden, epochs, lr, wd) in [
             ("base", 64usize, 250usize, 1e-3f32, 5e-4f32),
             ("no-wd", 64, 250, 1e-3, 0.0),
@@ -53,12 +63,26 @@ fn main() {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             let mut enc = GraphEncoder::new(env.scads().embeddings().dim(), hidden, feat, &mut rng);
             let a = normalized_adjacency(env.scads().graph());
-            let report = pretrain_encoder(&mut enc, env.scads().embeddings().matrix(), &a, &targets,
-                &GnnPretrainConfig { epochs, lr, weight_decay: wd, validation_fraction: 0.05, seed: 0 });
+            let report = pretrain_encoder(
+                &mut enc,
+                env.scads().embeddings().matrix(),
+                &a,
+                &targets,
+                &GnnPretrainConfig {
+                    epochs,
+                    lr,
+                    weight_decay: wd,
+                    validation_fraction: 0.05,
+                    seed: 0,
+                },
+            );
             // Accuracy with this encoder:
             let m = taglets_core::ZslKgModule::from_encoder(enc);
-            let c = m.zero_shot_classifier(env.scads(), env.zoo(),
-                &concepts.iter().map(|&(_, c)| c).collect::<Vec<_>>());
+            let c = m.zero_shot_classifier(
+                env.scads(),
+                env.zoo(),
+                &concepts.iter().map(|&(_, c)| c).collect::<Vec<_>>(),
+            );
             println!(
                 "{label}: last train {:.5}, best val {:.5} @ {}, zero-shot {:.3}",
                 report.train_losses.last().unwrap(),
@@ -76,8 +100,11 @@ fn main() {
         &taglets_core::ZslKgConfig::default(),
         0,
     );
-    let gnn_clf = zsl.zero_shot_classifier(env.scads(), env.zoo(),
-        &concepts.iter().map(|&(_, c)| c).collect::<Vec<_>>());
+    let gnn_clf = zsl.zero_shot_classifier(
+        env.scads(),
+        env.zoo(),
+        &concepts.iter().map(|&(_, c)| c).collect::<Vec<_>>(),
+    );
     println!(
         "gnn zero-shot: {:.3}",
         gnn_clf.accuracy(&split.test_x, &split.test_y)

@@ -4,7 +4,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 use taglets_data::{BackboneKind, Task};
-use taglets_eval::{Experiment, Method, Stats};
+use taglets_eval::{EvalError, Experiment, Method, Stats};
 
 /// One evaluated table cell: a method × backbone × task × shots aggregate.
 #[derive(Debug, Clone)]
@@ -23,6 +23,10 @@ pub struct TableCell {
 
 /// Evaluates one cell of a results table: `method` on `task` at `shots`,
 /// averaged over the environment scale's training seeds.
+///
+/// # Errors
+///
+/// Propagates any [`EvalError`] from the method under evaluation.
 pub fn table_cell(
     env: &Experiment,
     method: Method,
@@ -30,29 +34,36 @@ pub fn table_cell(
     task: &Task,
     split_seed: u64,
     shots: usize,
-) -> TableCell {
+) -> Result<TableCell, EvalError> {
     let split = task.split(split_seed, shots);
     let values: Vec<f32> = env
         .scale()
         .training_seeds()
         .iter()
         .map(|&seed| method.evaluate(env, task, &split, backbone, seed))
-        .collect();
-    TableCell {
+        .collect::<Result<_, _>>()?;
+    Ok(TableCell {
         method: method.label(),
         backbone: backbone.display_name(),
         task: task.name.clone(),
         shots,
         stats: Stats::from_values(&values),
-    }
+    })
 }
 
 /// Renders a full paper-style results table (the layout of Tables 1–6) for
 /// a pair of tasks on one split: every method × backbone block, the TAGLETS
 /// pruning rows (ResNet-50 block, as in the paper), and `shots` columns per
 /// task.
-pub fn method_table(env: &Experiment, task_names: &[&str], split_seed: u64) -> taglets_eval::TextTable {
-    let tasks: Vec<&Task> = task_names.iter().map(|n| env.task(n)).collect();
+pub fn method_table(
+    env: &Experiment,
+    task_names: &[&str],
+    split_seed: u64,
+) -> Result<taglets_eval::TextTable, EvalError> {
+    let tasks: Vec<&Task> = task_names
+        .iter()
+        .map(|n| env.task(n))
+        .collect::<Result<_, _>>()?;
     let mut header = vec!["Method".to_string(), "Backbone".to_string()];
     for task in &tasks {
         for shots in shot_grid(task) {
@@ -62,10 +73,13 @@ pub fn method_table(env: &Experiment, task_names: &[&str], split_seed: u64) -> t
     let mut table = taglets_eval::TextTable::new(header);
     for backbone in taglets_data::BackboneKind::ALL {
         for method in Method::table_rows() {
-            let mut cells = vec![method.label().to_string(), backbone.display_name().to_string()];
+            let mut cells = vec![
+                method.label().to_string(),
+                backbone.display_name().to_string(),
+            ];
             for task in &tasks {
                 for shots in shot_grid(task) {
-                    let cell = table_cell(env, method, backbone, task, split_seed, shots);
+                    let cell = table_cell(env, method, backbone, task, split_seed, shots)?;
                     cells.push(cell.stats.to_string());
                 }
             }
@@ -75,16 +89,19 @@ pub fn method_table(env: &Experiment, task_names: &[&str], split_seed: u64) -> t
     }
     for method in Method::pruning_rows() {
         let backbone = taglets_data::BackboneKind::ResNet50ImageNet1k;
-        let mut cells = vec![method.label().to_string(), backbone.display_name().to_string()];
+        let mut cells = vec![
+            method.label().to_string(),
+            backbone.display_name().to_string(),
+        ];
         for task in &tasks {
             for shots in shot_grid(task) {
-                let cell = table_cell(env, method, backbone, task, split_seed, shots);
+                let cell = table_cell(env, method, backbone, task, split_seed, shots)?;
                 cells.push(cell.stats.to_string());
             }
         }
         table.row(cells);
     }
-    table
+    Ok(table)
 }
 
 /// The shot counts a task supports, in paper order (Grocery skips 20-shot).

@@ -26,10 +26,22 @@ pub fn distillation_set(
     labeled_y: &[usize],
     num_classes: usize,
 ) -> (Tensor, Tensor) {
-    assert_eq!(unlabeled_x.rows(), pseudo_labels.rows(), "one pseudo label per row");
-    assert_eq!(labeled_x.rows(), labeled_y.len(), "one label per labeled row");
+    assert_eq!(
+        unlabeled_x.rows(),
+        pseudo_labels.rows(),
+        "one pseudo label per row"
+    );
+    assert_eq!(
+        labeled_x.rows(),
+        labeled_y.len(),
+        "one label per labeled row"
+    );
     if unlabeled_x.rows() > 0 {
-        assert_eq!(pseudo_labels.cols(), num_classes, "pseudo-label width mismatch");
+        assert_eq!(
+            pseudo_labels.cols(),
+            num_classes,
+            "pseudo-label width mismatch"
+        );
     }
     let total = unlabeled_x.rows() + labeled_x.rows();
     assert!(total > 0, "distillation needs at least one example");
@@ -66,7 +78,11 @@ pub fn train_end_model(
     let steps_per_epoch = inputs
         .rows()
         .div_ceil(cfg.batch_size.min(inputs.rows()).max(1));
-    let milestones: Vec<usize> = cfg.milestones.iter().map(|&e| e * steps_per_epoch).collect();
+    let milestones: Vec<usize> = cfg
+        .milestones
+        .iter()
+        .map(|&e| e * steps_per_epoch)
+        .collect();
     let fit = FitConfig::new(cfg.epochs, cfg.batch_size, cfg.lr)
         .with_schedule(LrSchedule::milestones(cfg.lr, milestones, 0.1));
     let mut opt = Adam::new(AdamConfig {
@@ -110,7 +126,10 @@ mod tests {
         use taglets_graph::SyntheticGraphConfig;
 
         let universe = ConceptUniverse::new(UniverseConfig {
-            graph: SyntheticGraphConfig { num_concepts: 60, ..Default::default() },
+            graph: SyntheticGraphConfig {
+                num_concepts: 60,
+                ..Default::default()
+            },
             ..Default::default()
         });
         let corpus = universe.build_corpus(8, 0);

@@ -77,7 +77,10 @@ impl<'a> Ensemble<'a> {
     /// all weights are zero.
     pub fn predict_proba_weighted(&self, x: &Tensor, weights: &[f32]) -> Tensor {
         assert_eq!(weights.len(), self.taglets.len(), "one weight per taglet");
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
         let total: f32 = weights.iter().sum();
         assert!(total > 0.0, "at least one weight must be positive");
         let mut acc = Tensor::zeros(&[x.rows(), self.taglets[0].predict_proba(x).cols()]);

@@ -69,6 +69,11 @@ pub enum CoreError {
     },
     /// Every module was disabled before running.
     NoModules,
+    /// An active module name did not match any registered module.
+    UnknownModule {
+        /// The unmatched module name.
+        name: String,
+    },
     /// A SCADS operation failed (e.g. extending the graph for an
     /// out-of-vocabulary class).
     Scads(ScadsError),
@@ -81,6 +86,9 @@ impl fmt::Display for CoreError {
                 write!(f, "module `{module}` requires labeled target data")
             }
             CoreError::NoModules => write!(f, "no active modules; nothing to ensemble"),
+            CoreError::UnknownModule { name } => {
+                write!(f, "active module `{name}` is not registered")
+            }
             CoreError::Scads(e) => write!(f, "scads error: {e}"),
         }
     }

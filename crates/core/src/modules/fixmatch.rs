@@ -29,7 +29,10 @@ pub struct FixMatchModule {
 
 impl Default for FixMatchModule {
     fn default() -> Self {
-        FixMatchModule { use_scads_pretraining: true, augmenter: Augmenter::default() }
+        FixMatchModule {
+            use_scads_pretraining: true,
+            augmenter: Augmenter::default(),
+        }
     }
 }
 
@@ -45,7 +48,10 @@ impl FixMatchModule {
     /// The plain FixMatch algorithm (paper Sec. 4.2 baseline): pretrained
     /// encoder but no SCADS phase.
     pub fn without_scads_pretraining() -> Self {
-        FixMatchModule { use_scads_pretraining: false, ..FixMatchModule::default() }
+        FixMatchModule {
+            use_scads_pretraining: false,
+            ..FixMatchModule::default()
+        }
     }
 
     /// Overrides the augmentation policy.
@@ -91,7 +97,14 @@ impl TagletModule for FixMatchModule {
         {
             let mut opt = Sgd::with_momentum(cfg.pretrain_lr, 0.9);
             let fit = FitConfig::new(10, cfg.batch_size, cfg.pretrain_lr);
-            fit_hard(&mut clf, &ctx.split.labeled_x, &ctx.split.labeled_y, &fit, &mut opt, rng);
+            fit_hard(
+                &mut clf,
+                &ctx.split.labeled_x,
+                &ctx.split.labeled_y,
+                &fit,
+                &mut opt,
+                rng,
+            );
         }
 
         fixmatch_train(

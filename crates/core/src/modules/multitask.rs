@@ -67,10 +67,17 @@ impl TagletModule for MultiTaskModule {
 
         let mut shared = backbone;
         let mut aux_head = zero_head(ctx.selection.num_aux_classes());
-        let mut opt = Sgd::new(SgdConfig { lr: cfg.lr, momentum: 0.9, ..SgdConfig::default() });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: cfg.lr,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        });
         let steps_per_epoch = aux_x.rows().div_ceil(cfg.batch_size);
-        let milestones: Vec<usize> =
-            cfg.milestones.iter().map(|&e| e * steps_per_epoch).collect();
+        let milestones: Vec<usize> = cfg
+            .milestones
+            .iter()
+            .map(|&e| e * steps_per_epoch)
+            .collect();
         let schedule = LrSchedule::milestones(cfg.lr, milestones, 0.1);
 
         let labeled_n = ctx.split.labeled_x.rows();

@@ -42,8 +42,7 @@ impl TagletModule for TransferModule {
         // selection — the module degrades to plain fine-tuning).
         let mut clf = match ctx.auxiliary_training_set() {
             Some((aux_x, aux_y)) => {
-                let mut clf =
-                    Classifier::new(backbone, ctx.selection.num_aux_classes(), rng);
+                let mut clf = Classifier::new(backbone, ctx.selection.num_aux_classes(), rng);
                 let mut opt = Sgd::with_momentum(cfg.lr, 0.9);
                 let fit = FitConfig::new(cfg.aux_epochs, cfg.batch_size, cfg.lr);
                 fit_hard(&mut clf, &aux_x, &aux_y, &fit, &mut opt, rng);
@@ -59,13 +58,26 @@ impl TagletModule for TransferModule {
             .labeled_x
             .rows()
             .div_ceil(cfg.batch_size.min(ctx.split.labeled_x.rows()).max(1));
-        let milestones: Vec<usize> =
-            cfg.target_milestones.iter().map(|&e| e * steps_per_epoch).collect();
+        let milestones: Vec<usize> = cfg
+            .target_milestones
+            .iter()
+            .map(|&e| e * steps_per_epoch)
+            .collect();
         let schedule = LrSchedule::milestones(cfg.lr, milestones, 0.1);
-        let fit = FitConfig::new(cfg.target_epochs, cfg.batch_size, cfg.lr)
-            .with_schedule(schedule);
-        let mut opt = Sgd::new(SgdConfig { lr: cfg.lr, momentum: 0.9, ..SgdConfig::default() });
-        fit_hard(&mut clf, &ctx.split.labeled_x, &ctx.split.labeled_y, &fit, &mut opt, rng);
+        let fit = FitConfig::new(cfg.target_epochs, cfg.batch_size, cfg.lr).with_schedule(schedule);
+        let mut opt = Sgd::new(SgdConfig {
+            lr: cfg.lr,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        });
+        fit_hard(
+            &mut clf,
+            &ctx.split.labeled_x,
+            &ctx.split.labeled_y,
+            &fit,
+            &mut opt,
+            rng,
+        );
 
         Ok(Box::new(ClassifierTaglet::new(Self::NAME, clf)))
     }

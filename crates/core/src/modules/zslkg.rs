@@ -13,9 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use taglets_data::{BackboneKind, Image, ModelZoo};
-use taglets_graph::{
-    normalized_adjacency, pretrain_encoder, GnnPretrainConfig, GraphEncoder,
-};
+use taglets_graph::{normalized_adjacency, pretrain_encoder, GnnPretrainConfig, GraphEncoder};
 use taglets_nn::{Classifier, Linear};
 use taglets_scads::Scads;
 use taglets_tensor::Tensor;

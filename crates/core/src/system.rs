@@ -91,7 +91,14 @@ impl<'a> TagletsSystem<'a> {
     /// encoder against the zoo's ImageNet-1k-style classifier.
     pub fn prepare(scads: &'a Scads<Image>, zoo: &'a ModelZoo, config: TagletsConfig) -> Self {
         let zslkg = ZslKgModule::pretrain(scads, zoo, &config.zslkg, 0);
-        TagletsSystem { scads, zoo, config, zslkg, extra_modules: Vec::new(), disabled: Vec::new() }
+        TagletsSystem {
+            scads,
+            zoo,
+            config,
+            zslkg,
+            extra_modules: Vec::new(),
+            disabled: Vec::new(),
+        }
     }
 
     /// Prepares the system reusing an existing pretrained ZSL-KG module
@@ -102,7 +109,14 @@ impl<'a> TagletsSystem<'a> {
         config: TagletsConfig,
         zslkg: ZslKgModule,
     ) -> Self {
-        TagletsSystem { scads, zoo, config, zslkg, extra_modules: Vec::new(), disabled: Vec::new() }
+        TagletsSystem {
+            scads,
+            zoo,
+            config,
+            zslkg,
+            extra_modules: Vec::new(),
+            disabled: Vec::new(),
+        }
     }
 
     /// The system configuration.
@@ -253,7 +267,9 @@ impl<'a> TagletsSystem<'a> {
                         .extra_modules
                         .iter()
                         .find(|m| m.name() == other)
-                        .expect("active names come from registered modules");
+                        .ok_or_else(|| CoreError::UnknownModule {
+                            name: other.to_string(),
+                        })?;
                     modules.push(&**m);
                 }
             }
@@ -262,7 +278,8 @@ impl<'a> TagletsSystem<'a> {
         let mut module_seconds = Vec::with_capacity(modules.len());
         for module in modules {
             let mut rng = StdRng::seed_from_u64(seed ^ name_hash(module.name()));
-            let start = std::time::Instant::now();
+            // Wall-clock telemetry only; never feeds training.
+            let start = std::time::Instant::now(); // lint: allow(TL003)
             taglets.push(module.train(&ctx, &mut rng)?);
             module_seconds.push((module.name().to_string(), start.elapsed().as_secs_f32()));
         }
@@ -284,7 +301,7 @@ impl<'a> TagletsSystem<'a> {
             task.num_classes(),
         );
         let mut rng = StdRng::seed_from_u64(seed ^ name_hash("end-model"));
-        let end_start = std::time::Instant::now();
+        let end_start = std::time::Instant::now(); // lint: allow(TL003)
         let end = distillation::train_end_model(
             self.zoo,
             self.config.backbone,

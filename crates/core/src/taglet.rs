@@ -56,7 +56,10 @@ pub struct ClassifierTaglet {
 impl ClassifierTaglet {
     /// Wraps a trained classifier as a named taglet.
     pub fn new(name: impl Into<String>, classifier: Classifier) -> Self {
-        ClassifierTaglet { name: name.into(), classifier }
+        ClassifierTaglet {
+            name: name.into(),
+            classifier,
+        }
     }
 
     /// The underlying classifier.
@@ -117,8 +120,12 @@ impl ModuleContext<'_> {
         if self.selection.is_empty() {
             return None;
         }
-        let rows: Vec<Vec<f32>> =
-            self.selection.examples.iter().map(|(img, _)| img.clone()).collect();
+        let rows: Vec<Vec<f32>> = self
+            .selection
+            .examples
+            .iter()
+            .map(|(img, _)| img.clone())
+            .collect();
         let labels: Vec<usize> = self.selection.examples.iter().map(|(_, l)| *l).collect();
         Some((Tensor::stack_rows(&rows), labels))
     }
@@ -136,7 +143,11 @@ pub trait TagletModule: Send + Sync {
     ///
     /// Implementations return [`CoreError`] when required inputs are missing
     /// (e.g. no labeled data for a supervised module).
-    fn train(&self, ctx: &ModuleContext<'_>, rng: &mut StdRng) -> Result<Box<dyn Taglet>, CoreError>;
+    fn train(
+        &self,
+        ctx: &ModuleContext<'_>,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn Taglet>, CoreError>;
 }
 
 #[cfg(test)]

@@ -12,7 +12,10 @@ use taglets_scads::PruneLevel;
 #[ignore = "diagnostic only"]
 fn end_model_diagnostics() {
     let mut universe = ConceptUniverse::new(UniverseConfig {
-        graph: SyntheticGraphConfig { num_concepts: 400, ..SyntheticGraphConfig::default() },
+        graph: SyntheticGraphConfig {
+            num_concepts: 400,
+            ..SyntheticGraphConfig::default()
+        },
         ..UniverseConfig::default()
     });
     let tasks = standard_tasks(&mut universe);
@@ -51,23 +54,43 @@ fn end_model_diagnostics() {
         ("default", config.end_model.clone()),
         (
             "lr=2e-3",
-            taglets_core::EndModelConfig { lr: 2e-3, ..config.end_model.clone() },
+            taglets_core::EndModelConfig {
+                lr: 2e-3,
+                ..config.end_model.clone()
+            },
         ),
         (
             "epochs=60",
-            taglets_core::EndModelConfig { epochs: 60, ..config.end_model.clone() },
+            taglets_core::EndModelConfig {
+                epochs: 60,
+                ..config.end_model.clone()
+            },
         ),
         (
             "lr=2e-3 epochs=60",
-            taglets_core::EndModelConfig { lr: 2e-3, epochs: 60, ..config.end_model.clone() },
+            taglets_core::EndModelConfig {
+                lr: 2e-3,
+                epochs: 60,
+                ..config.end_model.clone()
+            },
         ),
         (
             "lr=2e-3 epochs=40 ms30",
-            taglets_core::EndModelConfig { lr: 2e-3, epochs: 40, milestones: vec![30], ..config.end_model.clone() },
+            taglets_core::EndModelConfig {
+                lr: 2e-3,
+                epochs: 40,
+                milestones: vec![30],
+                ..config.end_model.clone()
+            },
         ),
         (
             "lr=3e-3 epochs=40 ms30",
-            taglets_core::EndModelConfig { lr: 3e-3, epochs: 40, milestones: vec![30], ..config.end_model.clone() },
+            taglets_core::EndModelConfig {
+                lr: 3e-3,
+                epochs: 40,
+                milestones: vec![30],
+                ..config.end_model.clone()
+            },
         ),
     ] {
         let clf = train_end_model(

@@ -15,7 +15,13 @@ fn blobs(n_per: usize, seed: u64) -> (Tensor, Vec<usize>) {
         let center = if class == 0 { 2.5 } else { -2.5 };
         for _ in 0..n_per {
             let noise = Tensor::randn(&[6], 0.6, &mut rng);
-            rows.push(noise.data().iter().map(|v| v + center).collect::<Vec<f32>>());
+            rows.push(
+                noise
+                    .data()
+                    .iter()
+                    .map(|v| v + center)
+                    .collect::<Vec<f32>>(),
+            );
             labels.push(class);
         }
     }
@@ -98,7 +104,10 @@ fn unlabeled_data_improves_a_weak_classifier() {
         with >= without,
         "fixmatch must not hurt on cleanly clustered data: {with} vs {without}"
     );
-    assert!(with > 0.9, "two distant blobs should be nearly solved: {with}");
+    assert!(
+        with > 0.9,
+        "two distant blobs should be nearly solved: {with}"
+    );
 }
 
 #[test]
@@ -108,7 +117,11 @@ fn confidence_threshold_gates_the_unlabeled_loss() {
     let mut rng = StdRng::seed_from_u64(7);
     let (labeled_x, labeled_y) = blobs(2, 8);
     let (unlabeled, _) = blobs(20, 9);
-    let cfg = FixMatchConfig { tau: 1.0, epochs: 2, ..FixMatchConfig::default() };
+    let cfg = FixMatchConfig {
+        tau: 1.0,
+        epochs: 2,
+        ..FixMatchConfig::default()
+    };
     let mut clf = Classifier::from_dims(&[6, 8], 2, 0.0, &mut rng);
     let before_params: Vec<Tensor> = clf.parameters().into_iter().cloned().collect();
     fixmatch_train(

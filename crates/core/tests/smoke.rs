@@ -13,7 +13,10 @@ use taglets_scads::PruneLevel;
 fn full_pipeline_produces_a_working_end_model() {
     let t0 = Instant::now();
     let mut universe = ConceptUniverse::new(UniverseConfig {
-        graph: SyntheticGraphConfig { num_concepts: 400, ..SyntheticGraphConfig::default() },
+        graph: SyntheticGraphConfig {
+            num_concepts: 400,
+            ..SyntheticGraphConfig::default()
+        },
         ..UniverseConfig::default()
     });
     let tasks = standard_tasks(&mut universe);
@@ -40,16 +43,26 @@ fn full_pipeline_produces_a_working_end_model() {
     let chance = 1.0 / fmd.num_classes() as f32;
     eprintln!("end model accuracy: {acc}");
     for t in &run.taglets {
-        eprintln!("  {}: {}", t.name(), t.accuracy(&split.test_x, &split.test_y));
+        eprintln!(
+            "  {}: {}",
+            t.name(),
+            t.accuracy(&split.test_x, &split.test_y)
+        );
     }
-    eprintln!("  ensemble: {}", run.ensemble().accuracy(&split.test_x, &split.test_y));
+    eprintln!(
+        "  ensemble: {}",
+        run.ensemble().accuracy(&split.test_x, &split.test_y)
+    );
     assert!(acc > 2.0 * chance, "end model must beat chance: {acc}");
 }
 
 #[test]
 fn grocery_oov_classes_are_handled_via_scads_extension() {
     let mut universe = ConceptUniverse::new(UniverseConfig {
-        graph: SyntheticGraphConfig { num_concepts: 400, ..SyntheticGraphConfig::default() },
+        graph: SyntheticGraphConfig {
+            num_concepts: 400,
+            ..SyntheticGraphConfig::default()
+        },
         ..UniverseConfig::default()
     });
     let tasks = standard_tasks(&mut universe);
@@ -62,7 +75,9 @@ fn grocery_oov_classes_are_handled_via_scads_extension() {
     let system = TagletsSystem::prepare(&scads, &zoo, config);
     let grocery = tasks.iter().find(|t| t.name == "grocery_store").unwrap();
     let split = grocery.split(0, 1);
-    let run = system.run(grocery, &split, PruneLevel::NoPruning, 0).unwrap();
+    let run = system
+        .run(grocery, &split, PruneLevel::NoPruning, 0)
+        .unwrap();
     let acc = run.end_model.accuracy(&split.test_x, &split.test_y);
     eprintln!("grocery 1-shot end model accuracy: {acc}");
     assert!(acc > 2.0 / 42.0, "must beat chance on grocery: {acc}");

@@ -61,7 +61,11 @@ impl TaskSummary {
             }
         }
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
         };
         let mut total = 0.0;
         let mut min = f32::INFINITY;
@@ -138,7 +142,10 @@ mod tests {
     #[test]
     fn summaries_reflect_task_design() {
         let mut universe = ConceptUniverse::new(UniverseConfig {
-            graph: SyntheticGraphConfig { num_concepts: 400, ..Default::default() },
+            graph: SyntheticGraphConfig {
+                num_concepts: 400,
+                ..Default::default()
+            },
             ..Default::default()
         });
         let tasks = standard_tasks(&mut universe);

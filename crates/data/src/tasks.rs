@@ -125,14 +125,18 @@ impl Task {
     ///
     /// Panics if `shots` is 0 or exceeds [`Task::max_shots`].
     pub fn split(&self, split_seed: u64, shots: usize) -> TaskSplit {
-        assert!(shots >= 1, "at least one labeled example per class required");
+        assert!(
+            shots >= 1,
+            "at least one labeled example per class required"
+        );
         assert!(
             shots <= self.max_shots,
             "task {} supports at most {}-shot (requested {shots})",
             self.name,
             self.max_shots
         );
-        let mut rng = StdRng::seed_from_u64(split_seed.wrapping_mul(0x9e37_79b9) ^ hash(&self.name));
+        let mut rng =
+            StdRng::seed_from_u64(split_seed.wrapping_mul(0x9e37_79b9) ^ hash(&self.name));
 
         let mut train: Vec<(usize, &(Image, usize))>; // (pool index, entry)
         let mut test: Vec<&(Image, usize)> = Vec::new();
@@ -205,27 +209,118 @@ fn hash(s: &str) -> u64 {
 }
 
 const FMD_CLASSES: [&str; 10] = [
-    "fabric", "foliage", "glass", "leather", "metal", "paper", "plastic", "stone", "water",
-    "wood",
+    "fabric", "foliage", "glass", "leather", "metal", "paper", "plastic", "stone", "water", "wood",
 ];
 
 const OFFICE_HOME_CLASSES: [&str; 65] = [
-    "alarm_clock", "backpack", "batteries", "bed", "bike", "bottle", "bucket", "calculator",
-    "calendar", "candles", "chair", "clipboards", "computer", "couch", "curtains", "desk_lamp",
-    "drill", "eraser", "exit_sign", "fan", "file_cabinet", "flipflops", "flowers", "folder",
-    "fork", "glasses", "hammer", "helmet", "kettle", "keyboard", "knives", "lamp_shade",
-    "laptop", "marker", "monitor", "mop", "mouse", "mug", "notebook", "oven", "pan",
-    "paper_clip", "pen", "pencil", "postit_notes", "printer", "push_pin", "radio",
-    "refrigerator", "ruler", "scissors", "screwdriver", "shelf", "sink", "sneakers", "soda",
-    "speaker", "spoon", "table", "telephone", "toothbrush", "toys", "trash_can", "tv", "webcam",
+    "alarm_clock",
+    "backpack",
+    "batteries",
+    "bed",
+    "bike",
+    "bottle",
+    "bucket",
+    "calculator",
+    "calendar",
+    "candles",
+    "chair",
+    "clipboards",
+    "computer",
+    "couch",
+    "curtains",
+    "desk_lamp",
+    "drill",
+    "eraser",
+    "exit_sign",
+    "fan",
+    "file_cabinet",
+    "flipflops",
+    "flowers",
+    "folder",
+    "fork",
+    "glasses",
+    "hammer",
+    "helmet",
+    "kettle",
+    "keyboard",
+    "knives",
+    "lamp_shade",
+    "laptop",
+    "marker",
+    "monitor",
+    "mop",
+    "mouse",
+    "mug",
+    "notebook",
+    "oven",
+    "pan",
+    "paper_clip",
+    "pen",
+    "pencil",
+    "postit_notes",
+    "printer",
+    "push_pin",
+    "radio",
+    "refrigerator",
+    "ruler",
+    "scissors",
+    "screwdriver",
+    "shelf",
+    "sink",
+    "sneakers",
+    "soda",
+    "speaker",
+    "spoon",
+    "table",
+    "telephone",
+    "toothbrush",
+    "toys",
+    "trash_can",
+    "tv",
+    "webcam",
 ];
 
 const GROCERY_ALIGNED: [&str; 40] = [
-    "apple", "avocado", "banana", "kiwi", "lemon", "lime", "mango", "melon", "nectarine",
-    "orange", "papaya", "passion_fruit", "peach", "pear", "pineapple", "plum", "pomegranate",
-    "grapefruit", "satsumas", "asparagus", "aubergine", "cabbage", "carrot", "cucumber",
-    "garlic", "ginger", "leek", "mushroom", "onion", "pepper", "potato", "red_beet", "tomato",
-    "zucchini", "juice", "milk", "oat_milk", "sour_cream", "soy_milk", "yoghurt",
+    "apple",
+    "avocado",
+    "banana",
+    "kiwi",
+    "lemon",
+    "lime",
+    "mango",
+    "melon",
+    "nectarine",
+    "orange",
+    "papaya",
+    "passion_fruit",
+    "peach",
+    "pear",
+    "pineapple",
+    "plum",
+    "pomegranate",
+    "grapefruit",
+    "satsumas",
+    "asparagus",
+    "aubergine",
+    "cabbage",
+    "carrot",
+    "cucumber",
+    "garlic",
+    "ginger",
+    "leek",
+    "mushroom",
+    "onion",
+    "pepper",
+    "potato",
+    "red_beet",
+    "tomato",
+    "zucchini",
+    "juice",
+    "milk",
+    "oat_milk",
+    "sour_cream",
+    "soy_milk",
+    "yoghurt",
 ];
 
 /// The two Grocery classes absent from the graph, with the links a SCADS
@@ -261,13 +356,15 @@ pub fn standard_tasks(universe: &mut ConceptUniverse) -> Vec<Task> {
         "universe too small for the grocery task ({} fine-grained leaves)",
         grocery_leaves.len()
     );
-    let grocery_concepts: Vec<ConceptId> =
-        pick_spread(&grocery_leaves, GROCERY_ALIGNED.len());
+    let grocery_concepts: Vec<ConceptId> = pick_spread(&grocery_leaves, GROCERY_ALIGNED.len());
 
     // FMD: materials are mutually confusable mid-level categories, so its
     // ten classes live inside one (different) subtree rather than being
     // spread across the world.
-    let (_, fmd_leaves) = subtrees.get(1).expect("root has at least two subtrees").clone();
+    let (_, fmd_leaves) = subtrees
+        .get(1)
+        .expect("root has at least two subtrees")
+        .clone();
     assert!(
         fmd_leaves.len() >= FMD_CLASSES.len(),
         "universe too small for the material task ({} leaves)",
@@ -317,9 +414,7 @@ fn pick_spread(candidates: &[ConceptId], n: usize) -> Vec<ConceptId> {
     assert!(candidates.len() >= n, "not enough candidates");
     let mut sorted = candidates.to_vec();
     sorted.sort();
-    (0..n)
-        .map(|i| sorted[i * sorted.len() / n])
-        .collect()
+    (0..n).map(|i| sorted[i * sorted.len() / n]).collect()
 }
 
 fn aligned_specs(universe: &ConceptUniverse, concepts: &[ConceptId]) -> Vec<ClassSpec> {
@@ -369,11 +464,7 @@ fn build_fmd(universe: &ConceptUniverse, concepts: &[ConceptId]) -> Task {
 
 /// OfficeHome stand-in for one domain: 65 daily-object classes with 38–70
 /// images per class.
-fn build_office_home(
-    universe: &ConceptUniverse,
-    concepts: &[ConceptId],
-    domain: Domain,
-) -> Task {
+fn build_office_home(universe: &ConceptUniverse, concepts: &[ConceptId], domain: Domain) -> Task {
     let (name, min_images) = match domain {
         Domain::Product => ("office_home_product", 38),
         Domain::Clipart => ("office_home_clipart", 39),
@@ -410,7 +501,12 @@ fn build_grocery(universe: &ConceptUniverse, aligned: &[ConceptId]) -> Task {
     for (name, links) in GROCERY_OOV {
         let link_ids: Vec<ConceptId> = links
             .iter()
-            .map(|l| universe.graph().require(l).expect("grocery links were renamed"))
+            .map(|l| {
+                universe
+                    .graph()
+                    .require(l)
+                    .expect("grocery links were renamed")
+            })
             .collect();
         let dim = universe.semantics_of(link_ids[0]).len();
         let mut sem = vec![0.0f32; dim];
@@ -478,7 +574,10 @@ mod tests {
 
     fn universe() -> ConceptUniverse {
         ConceptUniverse::new(UniverseConfig {
-            graph: SyntheticGraphConfig { num_concepts: 500, ..SyntheticGraphConfig::default() },
+            graph: SyntheticGraphConfig {
+                num_concepts: 500,
+                ..SyntheticGraphConfig::default()
+            },
             ..UniverseConfig::default()
         })
     }
@@ -505,8 +604,14 @@ mod tests {
     fn office_variants_share_concepts_but_differ_in_domain() {
         let mut u = universe();
         let tasks = standard_tasks(&mut u);
-        let product = tasks.iter().find(|t| t.name == "office_home_product").unwrap();
-        let clipart = tasks.iter().find(|t| t.name == "office_home_clipart").unwrap();
+        let product = tasks
+            .iter()
+            .find(|t| t.name == "office_home_product")
+            .unwrap();
+        let clipart = tasks
+            .iter()
+            .find(|t| t.name == "office_home_clipart")
+            .unwrap();
         let pc: Vec<_> = product.aligned_concepts();
         let cc: Vec<_> = clipart.aligned_concepts();
         assert_eq!(pc, cc);
@@ -518,12 +623,19 @@ mod tests {
         let mut u = universe();
         let tasks = standard_tasks(&mut u);
         let grocery = tasks.iter().find(|t| t.name == "grocery_store").unwrap();
-        let oov: Vec<&ClassSpec> =
-            grocery.classes.iter().filter(|c| c.concept.is_none()).collect();
+        let oov: Vec<&ClassSpec> = grocery
+            .classes
+            .iter()
+            .filter(|c| c.concept.is_none())
+            .collect();
         assert_eq!(oov.len(), 2);
         for spec in oov {
             assert!(!spec.graph_links.is_empty());
-            assert!(u.graph().find(&spec.name).is_none(), "{} must be absent", spec.name);
+            assert!(
+                u.graph().find(&spec.name).is_none(),
+                "{} must be absent",
+                spec.name
+            );
             for (link, _) in &spec.graph_links {
                 assert!(u.graph().find(link).is_some(), "link {link} must exist");
             }
@@ -582,7 +694,10 @@ mod tests {
         let grocery = tasks.iter().find(|t| t.name == "grocery_store").unwrap();
         let a = grocery.split(0, 1);
         let b = grocery.split(7, 1);
-        assert_eq!(a.test_x, b.test_x, "grocery test set must not vary with seed");
+        assert_eq!(
+            a.test_x, b.test_x,
+            "grocery test set must not vary with seed"
+        );
         assert_ne!(a.labeled_x, b.labeled_x);
     }
 

@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use taglets_graph::{
-    generate, retrofit, ConceptEmbeddings, ConceptGraph, ConceptId, RetrofitConfig,
-    SyntheticGraph, SyntheticGraphConfig, Taxonomy,
+    generate, retrofit, ConceptEmbeddings, ConceptGraph, ConceptId, RetrofitConfig, SyntheticGraph,
+    SyntheticGraphConfig, Taxonomy,
 };
 use taglets_scads::Scads;
 use taglets_tensor::Tensor;
@@ -99,13 +99,8 @@ impl ConceptUniverse {
     /// `cfg.graph.seed`).
     pub fn new(cfg: UniverseConfig) -> Self {
         let world = generate(&cfg.graph);
-        let scads_embeddings = retrofit(
-            &world.graph,
-            &world.word_vectors,
-            &cfg.retrofit,
-            |_| true,
-        )
-        .expect("generated embeddings match the generated graph");
+        let scads_embeddings = retrofit(&world.graph, &world.word_vectors, &cfg.retrofit, |_| true)
+            .expect("generated embeddings match the generated graph");
         let mut rng = StdRng::seed_from_u64(cfg.graph.seed ^ 0x5eed_cafe);
         let w_vis = Tensor::randn(
             &[cfg.graph.semantic_dim, cfg.image_dim],
@@ -119,7 +114,9 @@ impl ConceptUniverse {
             .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
             .collect();
         let clipart_bias = Tensor::randn(&[cfg.image_dim], 0.8, &mut rng).into_vec();
-        let product_scale = (0..cfg.image_dim).map(|_| rng.gen_range(0.8..1.2)).collect();
+        let product_scale = (0..cfg.image_dim)
+            .map(|_| rng.gen_range(0.8..1.2))
+            .collect();
         let product_bias = Tensor::randn(&[cfg.image_dim], 0.15, &mut rng).into_vec();
         ConceptUniverse {
             world,
@@ -137,7 +134,10 @@ impl ConceptUniverse {
     /// A universe with default settings and the given seed.
     pub fn with_seed(seed: u64) -> Self {
         ConceptUniverse::new(UniverseConfig {
-            graph: SyntheticGraphConfig { seed, ..SyntheticGraphConfig::default() },
+            graph: SyntheticGraphConfig {
+                seed,
+                ..SyntheticGraphConfig::default()
+            },
             ..UniverseConfig::default()
         })
     }
@@ -228,7 +228,11 @@ impl ConceptUniverse {
 
     /// Applies a domain transform to a Natural-domain image.
     pub fn apply_domain(&self, image: &[f32], domain: Domain) -> Image {
-        assert_eq!(image.len(), self.cfg.image_dim, "image dimensionality mismatch");
+        assert_eq!(
+            image.len(),
+            self.cfg.image_dim,
+            "image dimensionality mismatch"
+        );
         match domain {
             Domain::Natural => image.to_vec(),
             Domain::Product => image
@@ -313,9 +317,7 @@ impl ConceptUniverse {
             .per_concept
             .iter()
             .enumerate()
-            .flat_map(|(i, images)| {
-                images.iter().map(move |img| (ConceptId(i), img.clone()))
-            })
+            .flat_map(|(i, images)| images.iter().map(move |img| (ConceptId(i), img.clone())))
             .collect();
         scads
             .install_by_id("imagenet21k-sim", items)
@@ -363,7 +365,11 @@ impl AuxiliaryCorpus {
                 labels.push(label);
             }
         }
-        CorpusTrainingSet { x: Tensor::stack_rows(&rows), labels, concepts }
+        CorpusTrainingSet {
+            x: Tensor::stack_rows(&rows),
+            labels,
+            concepts,
+        }
     }
 }
 
@@ -384,7 +390,10 @@ mod tests {
 
     fn small_universe() -> ConceptUniverse {
         ConceptUniverse::new(UniverseConfig {
-            graph: SyntheticGraphConfig { num_concepts: 80, ..SyntheticGraphConfig::default() },
+            graph: SyntheticGraphConfig {
+                num_concepts: 80,
+                ..SyntheticGraphConfig::default()
+            },
             ..UniverseConfig::default()
         })
     }
@@ -412,11 +421,18 @@ mod tests {
         let grandchild = t.children(child).first().copied().unwrap_or(child);
         let deep = *t.leaves_under(root).last().unwrap();
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f32>()
+                .sqrt()
         };
         let near = dist(&u.prototype(child), &u.prototype(grandchild));
         let far = dist(&u.prototype(child), &u.prototype(deep));
-        assert!(near < far, "taxonomic proximity must imply visual proximity: {near} vs {far}");
+        assert!(
+            near < far,
+            "taxonomic proximity must imply visual proximity: {near} vs {far}"
+        );
     }
 
     #[test]
@@ -426,8 +442,14 @@ mod tests {
         for d in Domain::ALL {
             assert_eq!(u.apply_domain(&img, d).len(), u.image_dim());
         }
-        assert_ne!(u.apply_domain(&img, Domain::Natural), u.apply_domain(&img, Domain::Clipart));
-        assert_ne!(u.apply_domain(&img, Domain::Natural), u.apply_domain(&img, Domain::Product));
+        assert_ne!(
+            u.apply_domain(&img, Domain::Natural),
+            u.apply_domain(&img, Domain::Clipart)
+        );
+        assert_ne!(
+            u.apply_domain(&img, Domain::Natural),
+            u.apply_domain(&img, Domain::Product)
+        );
     }
 
     #[test]
@@ -435,7 +457,11 @@ mod tests {
         let u = small_universe();
         let img = u.prototype(ConceptId(3));
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f32>()
+                .sqrt()
         };
         let natural = u.apply_domain(&img, Domain::Natural);
         assert!(
@@ -509,7 +535,9 @@ mod multi_dataset_tests {
         let natural = u.build_corpus(3, 0);
         let catalog = u.build_corpus_in_domain(2, 1, Domain::Product);
         let mut scads = u.build_scads(&natural);
-        let id = u.install_corpus(&mut scads, &catalog, "product-catalog-sim").unwrap();
+        let id = u
+            .install_corpus(&mut scads, &catalog, "product-catalog-sim")
+            .unwrap();
         assert_eq!(scads.installed_datasets().len(), 2);
         assert_eq!(scads.num_examples(), 60 * 3 + 60 * 2);
         scads.remove_dataset(id).unwrap();

@@ -31,8 +31,10 @@ pub enum BackboneKind {
 
 impl BackboneKind {
     /// Both backbones, in the order the paper's tables list them.
-    pub const ALL: [BackboneKind; 2] =
-        [BackboneKind::BitImageNet21k, BackboneKind::ResNet50ImageNet1k];
+    pub const ALL: [BackboneKind; 2] = [
+        BackboneKind::BitImageNet21k,
+        BackboneKind::ResNet50ImageNet1k,
+    ];
 
     /// The display name used in the paper's tables.
     pub fn display_name(self) -> &'static str {
@@ -229,7 +231,11 @@ impl ModelZoo {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ kind as u64);
         let dims = [universe.image_dim(), hidden, cfg.feature_dim];
         let mut clf = Classifier::from_dims(&dims, concepts.len(), 0.0, &mut rng);
-        let mut opt = Sgd::new(SgdConfig { lr: cfg.lr, momentum: 0.9, ..SgdConfig::default() });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: cfg.lr,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        });
         let steps_per_epoch = set.x.rows().div_ceil(cfg.batch_size);
         let total_steps = epochs * steps_per_epoch;
         let fit_cfg = FitConfig::new(epochs, cfg.batch_size, cfg.lr).with_schedule(
@@ -237,7 +243,12 @@ impl ModelZoo {
         );
         fit_hard(&mut clf, &set.x, &labels, &fit_cfg, &mut opt, &mut rng);
         let train_accuracy = clf.accuracy(&set.x, &labels);
-        PretrainedModel { kind, classifier: clf, class_concepts: concepts, train_accuracy }
+        PretrainedModel {
+            kind,
+            classifier: clf,
+            class_concepts: concepts,
+            train_accuracy,
+        }
     }
 
     /// The pretrained model of the requested kind.
@@ -257,7 +268,10 @@ mod tests {
 
     fn small_zoo() -> (ConceptUniverse, AuxiliaryCorpus, ModelZoo) {
         let universe = ConceptUniverse::new(UniverseConfig {
-            graph: SyntheticGraphConfig { num_concepts: 90, ..SyntheticGraphConfig::default() },
+            graph: SyntheticGraphConfig {
+                num_concepts: 90,
+                ..SyntheticGraphConfig::default()
+            },
             ..UniverseConfig::default()
         });
         let corpus = universe.build_corpus(20, 0);
@@ -314,6 +328,9 @@ mod tests {
             BackboneKind::ResNet50ImageNet1k.display_name(),
             "ResNet-50 (ImageNet-1k)"
         );
-        assert_eq!(BackboneKind::BitImageNet21k.display_name(), "BiT (ImageNet-21k)");
+        assert_eq!(
+            BackboneKind::BitImageNet21k.display_name(),
+            "BiT (ImageNet-21k)"
+        );
     }
 }

@@ -23,7 +23,10 @@ impl ConfusionMatrix {
         assert_eq!(predictions.len(), labels.len(), "one prediction per label");
         let mut counts = vec![vec![0usize; num_classes]; num_classes];
         for (&p, &y) in predictions.iter().zip(labels) {
-            assert!(p < num_classes && y < num_classes, "class index out of range");
+            assert!(
+                p < num_classes && y < num_classes,
+                "class index out of range"
+            );
             counts[y][p] += 1;
         }
         ConfusionMatrix { counts }
@@ -183,11 +186,7 @@ mod tests {
 
     #[test]
     fn top_confusions_sorted() {
-        let m = ConfusionMatrix::from_predictions(
-            &[1, 1, 1, 2, 0, 0],
-            &[0, 0, 0, 0, 0, 0],
-            3,
-        );
+        let m = ConfusionMatrix::from_predictions(&[1, 1, 1, 2, 0, 0], &[0, 0, 0, 0, 0, 0], 3);
         let top = m.top_confusions(2);
         assert_eq!(top[0], (0, 1, 3));
         assert_eq!(top[1], (0, 2, 1));

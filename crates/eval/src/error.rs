@@ -1,0 +1,70 @@
+//! Error type for the experiment runner.
+
+use std::error::Error;
+use std::fmt;
+
+use taglets_core::CoreError;
+
+/// Errors produced while configuring or running an evaluation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// A task name did not match any task in the environment.
+    UnknownTask {
+        /// The requested task name.
+        name: String,
+        /// The names that exist, for the error message.
+        available: Vec<String>,
+    },
+    /// The TAGLETS system failed while running a method.
+    System(CoreError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownTask { name, available } => {
+                write!(
+                    f,
+                    "no task named `{name}` (available: {})",
+                    available.join(", ")
+                )
+            }
+            EvalError::System(e) => write!(f, "taglets system error: {e}"),
+        }
+    }
+}
+
+impl Error for EvalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvalError::System(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EvalError {
+    fn from(e: CoreError) -> Self {
+        EvalError::System(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_type_is_well_behaved() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<EvalError>();
+        let e = EvalError::UnknownTask {
+            name: "nope".into(),
+            available: vec!["flickr_materials".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("nope") && msg.contains("flickr_materials"));
+        let wrapped = EvalError::from(CoreError::NoModules);
+        assert!(wrapped.source().is_some());
+    }
+}

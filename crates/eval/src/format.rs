@@ -23,7 +23,10 @@ pub struct TextTable {
 impl TextTable {
     /// A table with the given column headers.
     pub fn new(header: Vec<String>) -> Self {
-        TextTable { header, rows: Vec::new() }
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -32,7 +35,11 @@ impl TextTable {
     ///
     /// Panics on column-count mismatch.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
         self.rows.push(cells);
     }
 

@@ -11,11 +11,13 @@
 #![warn(missing_docs)]
 
 mod confusion;
+mod error;
 mod format;
 mod metrics;
 mod runner;
 
 pub use confusion::ConfusionMatrix;
+pub use error::EvalError;
 pub use format::{fmt_delta_pct, fmt_stats, TextTable};
 pub use metrics::{mean, Stats};
 pub use runner::{run_taglets_detailed, Experiment, ExperimentScale, Method, TagletsDetail};

@@ -28,10 +28,13 @@ impl Stats {
         if n == 1 {
             return Stats { mean, ci95: 0.0, n };
         }
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (n - 1) as f32;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (n - 1) as f32;
         let sem = (var / n as f32).sqrt();
-        Stats { mean, ci95: 1.96 * sem, n }
+        Stats {
+            mean,
+            ci95: 1.96 * sem,
+            n,
+        }
     }
 
     /// `true` when `other`'s mean lies inside this interval — the paper's
@@ -96,7 +99,11 @@ mod tests {
 
     #[test]
     fn contains_uses_interval_half_width() {
-        let s = Stats { mean: 0.5, ci95: 0.05, n: 3 };
+        let s = Stats {
+            mean: 0.5,
+            ci95: 0.05,
+            n: 3,
+        };
         assert!(s.contains(0.54));
         assert!(!s.contains(0.56));
     }

@@ -17,6 +17,8 @@ use taglets_graph::SyntheticGraphConfig;
 use taglets_scads::{PruneLevel, Scads};
 use taglets_tensor::Tensor;
 
+use crate::error::EvalError;
+
 /// How big an experiment to run. `Paper` matches the shapes reported in
 /// EXPERIMENTS.md; `Smoke` is for quick iteration and CI.
 ///
@@ -103,9 +105,16 @@ impl Experiment {
         let corpus = universe.build_corpus(scale.corpus_per_concept(), 0);
         let scads = universe.build_scads(&corpus);
         let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
-        let zslkg =
-            ZslKgModule::pretrain(&scads, &zoo, &taglets_core::ZslKgConfig::default(), 0);
-        Experiment { universe, tasks, corpus, scads, zoo, zslkg, scale }
+        let zslkg = ZslKgModule::pretrain(&scads, &zoo, &taglets_core::ZslKgConfig::default(), 0);
+        Experiment {
+            universe,
+            tasks,
+            corpus,
+            scads,
+            zoo,
+            zslkg,
+            scale,
+        }
     }
 
     /// The evaluation tasks (FMD, OfficeHome-Product, OfficeHome-Clipart,
@@ -116,14 +125,18 @@ impl Experiment {
 
     /// Looks a task up by name.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no task carries the name.
-    pub fn task(&self, name: &str) -> &Task {
+    /// [`EvalError::UnknownTask`] if no task carries the name; the error
+    /// lists the names that do exist.
+    pub fn task(&self, name: &str) -> Result<&Task, EvalError> {
         self.tasks
             .iter()
             .find(|t| t.name == name)
-            .unwrap_or_else(|| panic!("no task named `{name}`"))
+            .ok_or_else(|| EvalError::UnknownTask {
+                name: name.to_string(),
+                available: self.tasks.iter().map(|t| t.name.clone()).collect(),
+            })
     }
 
     /// The SCADS shared by all runs.
@@ -220,6 +233,12 @@ impl Method {
 
     /// Evaluates the method on one task split with one training seed,
     /// returning test accuracy in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::System`] when the TAGLETS pipeline fails (e.g. an
+    /// invalid split or a SCADS extension error); the pure baselines are
+    /// infallible.
     pub fn evaluate(
         self,
         env: &Experiment,
@@ -227,7 +246,7 @@ impl Method {
         split: &TaskSplit,
         backbone: BackboneKind,
         seed: u64,
-    ) -> f32 {
+    ) -> Result<f32, EvalError> {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
         let num_classes = task.num_classes();
         let unlabeled = env.capped_unlabeled(split, seed);
@@ -241,7 +260,7 @@ impl Method {
                     &taglets_core::TransferConfig::default(),
                     &mut rng,
                 );
-                clf.accuracy(&split.test_x, &split.test_y)
+                Ok(clf.accuracy(&split.test_x, &split.test_y))
             }
             Method::FineTuningDistilled => {
                 let model = fine_tune_distilled(
@@ -254,7 +273,7 @@ impl Method {
                     &taglets_core::EndModelConfig::default(),
                     &mut rng,
                 );
-                model.accuracy(&split.test_x, &split.test_y)
+                Ok(model.accuracy(&split.test_x, &split.test_y))
             }
             Method::FixMatch => {
                 let clf = fixmatch_baseline(
@@ -266,7 +285,7 @@ impl Method {
                     &taglets_core::FixMatchConfig::default(),
                     &mut rng,
                 );
-                clf.accuracy(&split.test_x, &split.test_y)
+                Ok(clf.accuracy(&split.test_x, &split.test_y))
             }
             Method::MetaPseudoLabels => {
                 let student = meta_pseudo_labels(
@@ -278,14 +297,12 @@ impl Method {
                     &MplConfig::default(),
                     &mut rng,
                 );
-                student.accuracy(&split.test_x, &split.test_y)
+                Ok(student.accuracy(&split.test_x, &split.test_y))
             }
             Method::Taglets(prune) => {
                 let system = env.system(TagletsConfig::for_backbone(backbone));
-                let run = system
-                    .run(task, split, prune, seed)
-                    .expect("taglets run on a valid split");
-                run.end_model.accuracy(&split.test_x, &split.test_y)
+                let run = system.run(task, split, prune, seed)?;
+                Ok(run.end_model.accuracy(&split.test_x, &split.test_y))
             }
         }
     }
@@ -325,6 +342,11 @@ impl TagletsDetail {
 
 /// Runs TAGLETS and reports per-module, ensemble, and end-model test
 /// accuracies (Figures 4, 5, 8–13).
+///
+/// # Errors
+///
+/// [`EvalError::System`] when the pipeline fails (e.g. every module was
+/// disabled, or SCADS could not be extended for the task).
 pub fn run_taglets_detailed(
     env: &Experiment,
     task: &Task,
@@ -333,24 +355,27 @@ pub fn run_taglets_detailed(
     prune: PruneLevel,
     seed: u64,
     disabled_module: Option<&str>,
-) -> TagletsDetail {
+) -> Result<TagletsDetail, EvalError> {
     let mut system = env.system(TagletsConfig::for_backbone(backbone));
     if let Some(name) = disabled_module {
         system = system.without_module(name);
     }
-    let run = system
-        .run(task, split, prune, seed)
-        .expect("taglets run on a valid split");
+    let run = system.run(task, split, prune, seed)?;
     let module_accuracies = run
         .taglets
         .iter()
-        .map(|t| (t.name().to_string(), t.accuracy(&split.test_x, &split.test_y)))
+        .map(|t| {
+            (
+                t.name().to_string(),
+                t.accuracy(&split.test_x, &split.test_y),
+            )
+        })
         .collect();
-    TagletsDetail {
+    Ok(TagletsDetail {
         module_accuracies,
         ensemble_accuracy: run.ensemble().accuracy(&split.test_x, &split.test_y),
         end_model_accuracy: run.end_model.accuracy(&split.test_x, &split.test_y),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -371,14 +396,15 @@ mod tests {
             ]
         );
         let pruning: Vec<&str> = Method::pruning_rows().iter().map(|m| m.label()).collect();
-        assert_eq!(pruning, vec!["TAGLETS prune-level 0", "TAGLETS prune-level 1"]);
+        assert_eq!(
+            pruning,
+            vec!["TAGLETS prune-level 0", "TAGLETS prune-level 1"]
+        );
     }
 
     #[test]
     fn scale_parameters_are_ordered() {
-        assert!(
-            ExperimentScale::Smoke.num_concepts() < ExperimentScale::Paper.num_concepts()
-        );
+        assert!(ExperimentScale::Smoke.num_concepts() < ExperimentScale::Paper.num_concepts());
         assert!(
             ExperimentScale::Smoke.corpus_per_concept()
                 < ExperimentScale::Paper.corpus_per_concept()
@@ -389,11 +415,7 @@ mod tests {
     #[test]
     fn taglets_detail_summaries() {
         let d = TagletsDetail {
-            module_accuracies: vec![
-                ("a".into(), 0.2),
-                ("b".into(), 0.6),
-                ("c".into(), 0.4),
-            ],
+            module_accuracies: vec![("a".into(), 0.2), ("b".into(), 0.6), ("c".into(), 0.4)],
             ensemble_accuracy: 0.7,
             end_model_accuracy: 0.65,
         };

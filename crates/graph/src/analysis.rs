@@ -98,7 +98,11 @@ pub fn to_dot(graph: &ConceptGraph, center: ConceptId, radius: usize) -> String 
     let in_ball = |c: ConceptId| dist[c.0].is_some_and(|d| d <= radius);
     let mut out = String::from("graph scads {\n  node [shape=box, fontsize=10];\n");
     for c in graph.concepts().filter(|&c| in_ball(c)) {
-        let style = if c == center { ", style=filled, fillcolor=lightblue" } else { "" };
+        let style = if c == center {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "  q{} [label=\"{}\"{}];", c.0, graph.name(c), style);
     }
     for c in graph.concepts().filter(|&c| in_ball(c)) {

@@ -71,8 +71,8 @@ impl ConceptEmbeddings {
         let d = self.dim();
         let mut data = std::mem::take(&mut self.vectors).into_vec();
         data.extend_from_slice(vector);
-        self.vectors = Tensor::from_shape(vec![n + 1, d], data)
-            .expect("dimension arithmetic is consistent");
+        self.vectors =
+            Tensor::from_shape(vec![n + 1, d], data).expect("dimension arithmetic is consistent");
         ConceptId(n)
     }
 
@@ -107,7 +107,10 @@ pub struct RetrofitConfig {
 
 impl Default for RetrofitConfig {
     fn default() -> Self {
-        RetrofitConfig { alpha: 1.0, iterations: 10 }
+        RetrofitConfig {
+            alpha: 1.0,
+            iterations: 10,
+        }
     }
 }
 
@@ -217,11 +220,8 @@ mod tests {
     #[test]
     fn retrofitting_pulls_neighbors_together() {
         let g = line_graph(3);
-        let base = ConceptEmbeddings::new(Tensor::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[-1.0, 0.0],
-        ]));
+        let base =
+            ConceptEmbeddings::new(Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[-1.0, 0.0]]));
         let fitted = retrofit(&g, &base, &RetrofitConfig::default(), |_| true).unwrap();
         let before = cosine_similarity(base.get(ConceptId(0)), base.get(ConceptId(1)));
         let after = cosine_similarity(fitted.get(ConceptId(0)), fitted.get(ConceptId(1)));
@@ -237,7 +237,10 @@ mod tests {
             &[100.0, 100.0], // garbage base vector, must be ignored
             &[0.0, 2.0],
         ]));
-        let cfg = RetrofitConfig { alpha: 1.0, iterations: 50 };
+        let cfg = RetrofitConfig {
+            alpha: 1.0,
+            iterations: 50,
+        };
         let fitted = retrofit(&g, &base, &cfg, |id| id != ConceptId(1)).unwrap();
         let v = fitted.get(ConceptId(1));
         let n0 = fitted.get(ConceptId(0));
@@ -250,7 +253,10 @@ mod tests {
     fn zero_iterations_returns_base() {
         let g = line_graph(4);
         let base = ConceptEmbeddings::new(Tensor::eye(4));
-        let cfg = RetrofitConfig { alpha: 1.0, iterations: 0 };
+        let cfg = RetrofitConfig {
+            alpha: 1.0,
+            iterations: 0,
+        };
         let fitted = retrofit(&g, &base, &cfg, |_| true).unwrap();
         assert_eq!(fitted.matrix(), base.matrix());
     }
@@ -264,11 +270,7 @@ mod tests {
 
     #[test]
     fn most_similar_orders_and_excludes() {
-        let e = ConceptEmbeddings::new(Tensor::from_rows(&[
-            &[1.0, 0.0],
-            &[0.9, 0.1],
-            &[0.0, 1.0],
-        ]));
+        let e = ConceptEmbeddings::new(Tensor::from_rows(&[&[1.0, 0.0], &[0.9, 0.1], &[0.0, 1.0]]));
         let hits = e.most_similar(&[1.0, 0.0], 2, |id| id == ConceptId(0));
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].0, ConceptId(1));
@@ -278,8 +280,7 @@ mod tests {
     #[test]
     fn approximate_embedding_is_weighted_average() {
         let e = ConceptEmbeddings::new(Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
-        let v =
-            approximate_embedding(&e, &[(ConceptId(0), 3.0), (ConceptId(1), 1.0)]).unwrap();
+        let v = approximate_embedding(&e, &[(ConceptId(0), 3.0), (ConceptId(1), 1.0)]).unwrap();
         assert!((v[0] - 0.75).abs() < 1e-6);
         assert!((v[1] - 0.25).abs() < 1e-6);
         assert!(approximate_embedding(&e, &[]).is_err());

@@ -55,12 +55,7 @@ pub struct GraphEncoder {
 impl GraphEncoder {
     /// Builds an encoder `in_dim → hidden → hidden → out_dim` with mean
     /// aggregation.
-    pub fn new<R: Rng + ?Sized>(
-        in_dim: usize,
-        hidden: usize,
-        out_dim: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden: usize, out_dim: usize, rng: &mut R) -> Self {
         GraphEncoder::with_aggregation(in_dim, hidden, out_dim, Aggregation::Mean, rng)
     }
 
@@ -75,10 +70,10 @@ impl GraphEncoder {
         let attn = match aggregation {
             Aggregation::Mean => None,
             Aggregation::Attention => Some([
-                Linear::new(in_dim, hidden, rng),  // q1
-                Linear::new(in_dim, hidden, rng),  // k1
-                Linear::new(hidden, hidden, rng),  // q2
-                Linear::new(hidden, hidden, rng),  // k2
+                Linear::new(in_dim, hidden, rng), // q1
+                Linear::new(in_dim, hidden, rng), // k1
+                Linear::new(hidden, hidden, rng), // q2
+                Linear::new(hidden, hidden, rng), // k2
             ]),
         };
         GraphEncoder {
@@ -140,7 +135,9 @@ impl GraphEncoder {
         };
         let scale = |hidden: usize| 1.0 / (hidden as f32).sqrt();
 
-        let aggregate = |tape: &mut Tape, h: Var, qk: Option<(&Linear, &Linear, &[Var], &[Var])>| {
+        let aggregate = |tape: &mut Tape,
+                         h: Var,
+                         qk: Option<(&Linear, &Linear, &[Var], &[Var])>| {
             match (self.aggregation, qk, mask) {
                 (Aggregation::Mean, _, _) => tape.matmul(a_norm, h),
                 (Aggregation::Attention, Some((qw, kw, qv, kv)), Some(mask)) => {
@@ -159,20 +156,23 @@ impl GraphEncoder {
 
         match &self.attn {
             None => {
-                let layer = |tape: &mut Tape,
-                             s: &Linear,
-                             n: &Linear,
-                             sv: &[Var],
-                             nv: &[Var],
-                             h: Var| {
-                    let agg = tape.matmul(a_norm, h);
-                    let hs = s.forward(tape, sv, h);
-                    let hn = n.forward(tape, nv, agg);
-                    let sum = tape.add(hs, hn);
-                    tape.tanh(sum)
-                };
+                let layer =
+                    |tape: &mut Tape, s: &Linear, n: &Linear, sv: &[Var], nv: &[Var], h: Var| {
+                        let agg = tape.matmul(a_norm, h);
+                        let hs = s.forward(tape, sv, h);
+                        let hn = n.forward(tape, nv, agg);
+                        let sum = tape.add(hs, hn);
+                        tape.tanh(sum)
+                    };
                 let h1 = layer(tape, &self.self1, &self.neigh1, &vars[0..2], &vars[2..4], x);
-                let h2 = layer(tape, &self.self2, &self.neigh2, &vars[4..6], &vars[6..8], h1);
+                let h2 = layer(
+                    tape,
+                    &self.self2,
+                    &self.neigh2,
+                    &vars[4..6],
+                    &vars[6..8],
+                    h1,
+                );
                 self.out.forward(tape, &vars[8..10], h2)
             }
             Some([q1, k1, q2, k2]) => {
@@ -206,11 +206,16 @@ impl GraphEncoder {
 
 impl Module for GraphEncoder {
     fn parameters(&self) -> Vec<&Tensor> {
-        let mut p: Vec<&Tensor> =
-            [&self.self1, &self.neigh1, &self.self2, &self.neigh2, &self.out]
-                .iter()
-                .flat_map(|l| l.parameters())
-                .collect();
+        let mut p: Vec<&Tensor> = [
+            &self.self1,
+            &self.neigh1,
+            &self.self2,
+            &self.neigh2,
+            &self.out,
+        ]
+        .iter()
+        .flat_map(|l| l.parameters())
+        .collect();
         if let Some(attn) = &self.attn {
             for l in attn {
                 p.extend(l.parameters());
@@ -220,7 +225,15 @@ impl Module for GraphEncoder {
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
-        let GraphEncoder { self1, neigh1, self2, neigh2, out, attn, .. } = self;
+        let GraphEncoder {
+            self1,
+            neigh1,
+            self2,
+            neigh2,
+            out,
+            attn,
+            ..
+        } = self;
         let mut p = self1.parameters_mut();
         p.extend(neigh1.parameters_mut());
         p.extend(self2.parameters_mut());
@@ -312,7 +325,10 @@ pub fn pretrain_encoder(
     targets: &[(ConceptId, Vec<f32>)],
     cfg: &GnnPretrainConfig,
 ) -> GnnPretrainReport {
-    assert!(!targets.is_empty(), "ZSL-KG pretraining needs target classes");
+    assert!(
+        !targets.is_empty(),
+        "ZSL-KG pretraining needs target classes"
+    );
     assert!(
         targets.iter().all(|(_, w)| w.len() == encoder.output_dim()),
         "target width must equal encoder output dim"
@@ -366,12 +382,15 @@ pub fn pretrain_encoder(
         }
     }
 
-    let (best_validation_loss, best_epoch, snapshot) =
-        best.expect("at least one epoch ran");
+    let (best_validation_loss, best_epoch, snapshot) = best.expect("at least one epoch ran");
     for (param, saved) in encoder.parameters_mut().into_iter().zip(snapshot) {
         *param = saved;
     }
-    GnnPretrainReport { best_validation_loss, best_epoch, train_losses }
+    GnnPretrainReport {
+        best_validation_loss,
+        best_epoch,
+        train_losses,
+    }
 }
 
 #[cfg(test)]
@@ -422,7 +441,10 @@ mod tests {
                 (id, f.matmul(&proj).into_vec())
             })
             .collect();
-        let cfg = GnnPretrainConfig { epochs: 60, ..GnnPretrainConfig::default() };
+        let cfg = GnnPretrainConfig {
+            epochs: 60,
+            ..GnnPretrainConfig::default()
+        };
         let report = pretrain_encoder(&mut enc, s.word_vectors.matrix(), &a, &targets, &cfg);
         assert!(
             report.train_losses.last().unwrap() < &report.train_losses[0],
@@ -439,8 +461,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mean_enc = GraphEncoder::new(8, 16, 4, &mut rng);
         let mut rng2 = StdRng::seed_from_u64(5);
-        let attn_enc =
-            GraphEncoder::with_aggregation(8, 16, 4, Aggregation::Attention, &mut rng2);
+        let attn_enc = GraphEncoder::with_aggregation(8, 16, 4, Aggregation::Attention, &mut rng2);
         let a = normalized_adjacency(&s.graph);
         let zm = mean_enc.encode(s.word_vectors.matrix(), &a);
         let za = attn_enc.encode(s.word_vectors.matrix(), &a);
@@ -453,8 +474,7 @@ mod tests {
     fn attention_encoder_pretrains() {
         let s = tiny_graph();
         let mut rng = StdRng::seed_from_u64(6);
-        let mut enc =
-            GraphEncoder::with_aggregation(8, 16, 4, Aggregation::Attention, &mut rng);
+        let mut enc = GraphEncoder::with_aggregation(8, 16, 4, Aggregation::Attention, &mut rng);
         let a = normalized_adjacency(&s.graph);
         let proj = Tensor::randn(&[8, 4], 0.5, &mut rng);
         let targets: Vec<(ConceptId, Vec<f32>)> = (0..30)
@@ -464,7 +484,10 @@ mod tests {
                 (id, f.matmul(&proj).into_vec())
             })
             .collect();
-        let cfg = GnnPretrainConfig { epochs: 25, ..GnnPretrainConfig::default() };
+        let cfg = GnnPretrainConfig {
+            epochs: 25,
+            ..GnnPretrainConfig::default()
+        };
         let report = pretrain_encoder(&mut enc, s.word_vectors.matrix(), &a, &targets, &cfg);
         assert!(
             report.train_losses.last().unwrap() < &report.train_losses[0],

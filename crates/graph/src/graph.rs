@@ -129,13 +129,24 @@ impl ConceptGraph {
         relation: Relation,
         weight: f32,
     ) {
-        assert!(a.0 < self.len() && b.0 < self.len(), "edge endpoint out of range");
+        assert!(
+            a.0 < self.len() && b.0 < self.len(),
+            "edge endpoint out of range"
+        );
         assert!(weight > 0.0, "edge weight must be positive");
         if a == b || self.adjacency[a.0].iter().any(|e| e.to == b) {
             return;
         }
-        self.adjacency[a.0].push(Edge { to: b, relation, weight });
-        self.adjacency[b.0].push(Edge { to: a, relation, weight });
+        self.adjacency[a.0].push(Edge {
+            to: b,
+            relation,
+            weight,
+        });
+        self.adjacency[b.0].push(Edge {
+            to: a,
+            relation,
+            weight,
+        });
     }
 
     /// The concept's name.
@@ -155,8 +166,9 @@ impl ConceptGraph {
     ///
     /// [`GraphError::UnknownConcept`] when no node carries the name.
     pub fn require(&self, name: &str) -> Result<ConceptId, GraphError> {
-        self.find(name)
-            .ok_or_else(|| GraphError::UnknownConcept { name: name.to_string() })
+        self.find(name).ok_or_else(|| GraphError::UnknownConcept {
+            name: name.to_string(),
+        })
     }
 
     /// Renames a concept (e.g. giving a generated node the target-task name).
@@ -167,7 +179,9 @@ impl ConceptGraph {
     pub fn rename(&mut self, id: ConceptId, name: &str) -> Result<(), GraphError> {
         if let Some(&other) = self.by_name.get(name) {
             if other != id {
-                return Err(GraphError::DuplicateName { name: name.to_string() });
+                return Err(GraphError::DuplicateName {
+                    name: name.to_string(),
+                });
             }
             return Ok(());
         }

@@ -86,10 +86,16 @@ impl fmt::Display for GraphError {
                 write!(f, "a concept named `{name}` already exists")
             }
             GraphError::EmbeddingShape { concepts, rows } => {
-                write!(f, "embedding matrix has {rows} rows but the graph has {concepts} concepts")
+                write!(
+                    f,
+                    "embedding matrix has {rows} rows but the graph has {concepts} concepts"
+                )
             }
             GraphError::EmptyApproximation => {
-                write!(f, "embedding approximation requires at least one weighted term")
+                write!(
+                    f,
+                    "embedding approximation requires at least one weighted term"
+                )
             }
         }
     }

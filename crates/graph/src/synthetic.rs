@@ -97,7 +97,10 @@ impl SyntheticGraph {
 /// `branch_min == 0`.
 pub fn generate(cfg: &SyntheticGraphConfig) -> SyntheticGraph {
     assert!(cfg.num_concepts > 0, "need at least one concept");
-    assert!(cfg.branch_min > 0 && cfg.branch_min <= cfg.branch_max, "bad branching range");
+    assert!(
+        cfg.branch_min > 0 && cfg.branch_min <= cfg.branch_max,
+        "bad branching range"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut graph = ConceptGraph::new();
     let mut semantics: Vec<Vec<f32>> = Vec::with_capacity(cfg.num_concepts);
@@ -147,9 +150,7 @@ pub fn generate(cfg: &SyntheticGraphConfig) -> SyntheticGraph {
             let mut best: Option<(ConceptId, f32)> = None;
             for _ in 0..12 {
                 let cand = ConceptId(rng.gen_range(0..n));
-                if cand == id
-                    || graph.neighbors(id).iter().any(|e| e.to == cand)
-                {
+                if cand == id || graph.neighbors(id).iter().any(|e| e.to == cand) {
                     continue;
                 }
                 let sim = cosine_similarity(semantics.get(id), semantics.get(cand));
@@ -167,7 +168,12 @@ pub fn generate(cfg: &SyntheticGraphConfig) -> SyntheticGraph {
     let noise = Tensor::randn(&[n, cfg.semantic_dim], cfg.word_noise, &mut rng);
     let word_vectors = ConceptEmbeddings::new(semantics.matrix().add(&noise));
 
-    SyntheticGraph { graph, taxonomy, semantics, word_vectors }
+    SyntheticGraph {
+        graph,
+        taxonomy,
+        semantics,
+        word_vectors,
+    }
 }
 
 #[cfg(test)]
@@ -248,7 +254,10 @@ mod tests {
     fn cross_edges_exist_beyond_the_tree() {
         let s = small();
         // A tree on n nodes has n-1 edges; cross edges add more.
-        assert!(s.graph.num_edges() > 119, "expected RelatedTo edges on top of the tree");
+        assert!(
+            s.graph.num_edges() > 119,
+            "expected RelatedTo edges on top of the tree"
+        );
     }
 
     #[test]
@@ -256,7 +265,10 @@ mod tests {
         let s = small();
         let mut sims = Vec::new();
         for id in s.graph.concepts() {
-            sims.push(cosine_similarity(s.semantics.get(id), s.word_vectors.get(id)));
+            sims.push(cosine_similarity(
+                s.semantics.get(id),
+                s.word_vectors.get(id),
+            ));
         }
         let mean = sims.iter().sum::<f32>() / sims.len() as f32;
         assert!(mean > 0.8, "word vectors should track semantics: {mean}");

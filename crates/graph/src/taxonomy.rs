@@ -161,8 +161,7 @@ impl Taxonomy {
         if !self.contains(a) || !self.contains(b) {
             return None;
         }
-        let up_a: std::collections::HashSet<ConceptId> =
-            self.ancestors(a).into_iter().collect();
+        let up_a: std::collections::HashSet<ConceptId> = self.ancestors(a).into_iter().collect();
         self.ancestors(b).into_iter().find(|x| up_a.contains(x))
     }
 

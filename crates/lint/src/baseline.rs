@@ -1,0 +1,163 @@
+//! Baseline bookkeeping: the ratchet that lets the lint gate a codebase
+//! with pre-existing violations.
+//!
+//! `lint-baseline.txt` records, per `(rule, file)`, how many violations are
+//! tolerated. `--check` fails only when a count *exceeds* its baseline (new
+//! violations); counts below baseline are reported as ratchet opportunities.
+//! `--update-baseline` rewrites the file from the current tree, which is how
+//! burn-down work locks in its progress.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{Rule, Violation};
+
+/// Violation counts keyed by `(rule code, workspace-relative file)`.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Aggregates raw violations into baseline counts.
+pub fn count(violations: &[Violation]) -> Counts {
+    let mut counts = Counts::new();
+    for v in violations {
+        *counts
+            .entry((v.rule.code().to_string(), v.file.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Renders counts in the checked-in baseline format.
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# TAGLETS lint baseline: tolerated violation counts per (rule, file).\n\
+         # Regenerate with `cargo run -p taglets-lint -- --update-baseline`.\n\
+         # `--check` fails only when a count exceeds its entry here.\n",
+    );
+    for ((rule, file), n) in counts {
+        let _ = writeln!(out, "{rule} {file} {n}");
+    }
+    out
+}
+
+/// Parses the baseline format; returns `Err` with a message on bad lines.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (rule, file, n) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(r), Some(f), Some(n), None) => (r, f, n),
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected `RULE FILE COUNT`",
+                    idx + 1
+                ))
+            }
+        };
+        if Rule::from_code(rule).is_none() {
+            return Err(format!("baseline line {}: unknown rule `{rule}`", idx + 1));
+        }
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{n}`", idx + 1))?;
+        counts.insert((rule.to_string(), file.to_string()), n);
+    }
+    Ok(counts)
+}
+
+/// The outcome of diffing current counts against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// `(rule, file, current, baseline)` where current > baseline.
+    pub regressions: Vec<(String, String, usize, usize)>,
+    /// `(rule, file, current, baseline)` where current < baseline.
+    pub improvements: Vec<(String, String, usize, usize)>,
+}
+
+/// Compares current counts to the baseline.
+pub fn diff(current: &Counts, baseline: &Counts) -> Diff {
+    let mut d = Diff::default();
+    for ((rule, file), &n) in current {
+        let base = baseline
+            .get(&(rule.clone(), file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n > base {
+            d.regressions.push((rule.clone(), file.clone(), n, base));
+        } else if n < base {
+            d.improvements.push((rule.clone(), file.clone(), n, base));
+        }
+    }
+    for ((rule, file), &base) in baseline {
+        if base > 0 && !current.contains_key(&(rule.clone(), file.clone())) {
+            d.improvements.push((rule.clone(), file.clone(), 0, base));
+        }
+    }
+    d
+}
+
+/// True when a regression involves a non-advisory rule (fails `--check`).
+pub fn has_blocking_regression(d: &Diff) -> bool {
+    d.regressions.iter().any(|(rule, ..)| {
+        Rule::from_code(rule)
+            .map(|r| !r.is_advisory())
+            .unwrap_or(true)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: Rule, file: &str, line: usize) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            excerpt: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let violations = vec![
+            v(Rule::Tl001, "crates/a/src/lib.rs", 3),
+            v(Rule::Tl001, "crates/a/src/lib.rs", 9),
+            v(Rule::Tl002, "crates/b/src/lib.rs", 1),
+        ];
+        let counts = count(&violations);
+        let parsed = parse(&render(&counts)).expect("round trip");
+        assert_eq!(parsed, counts);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("TL001 missing-count\n").is_err());
+        assert!(parse("TL999 file.rs 1\n").is_err());
+        assert!(parse("TL001 file.rs not-a-number\n").is_err());
+        assert!(parse("# comment only\n\n")
+            .map(|c| c.is_empty())
+            .unwrap_or(false));
+    }
+
+    #[test]
+    fn diff_classifies_regressions_and_improvements() {
+        let current = count(&[v(Rule::Tl001, "a.rs", 1), v(Rule::Tl001, "a.rs", 2)]);
+        let baseline = count(&[v(Rule::Tl001, "a.rs", 1), v(Rule::Tl002, "b.rs", 1)]);
+        let d = diff(&current, &baseline);
+        assert_eq!(d.regressions, vec![("TL001".into(), "a.rs".into(), 2, 1)]);
+        assert_eq!(d.improvements, vec![("TL002".into(), "b.rs".into(), 0, 1)]);
+        assert!(has_blocking_regression(&d));
+    }
+
+    #[test]
+    fn advisory_regressions_do_not_block() {
+        let current = count(&[v(Rule::Tl005, "crates/tensor/src/lib.rs", 1)]);
+        let d = diff(&current, &Counts::new());
+        assert!(!d.regressions.is_empty());
+        assert!(!has_blocking_regression(&d));
+    }
+}

@@ -1,0 +1,122 @@
+//! `taglets-lint`: a dependency-free static-analysis pass for the TAGLETS
+//! workspace.
+//!
+//! The engine scans every library source file (`crates/*/src/**/*.rs` plus
+//! the root `src/`), strips comments and literal contents with a small
+//! Rust-aware scanner, and applies the TL rule set:
+//!
+//! | rule  | checks |
+//! |-------|--------|
+//! | TL001 | `unwrap()` / `expect()` in non-test library code |
+//! | TL002 | `panic!` / `todo!` / `unreachable!` / `unimplemented!` |
+//! | TL003 | nondeterminism sources (`thread_rng`, `rand::random`, `Instant::now`, `SystemTime`) |
+//! | TL004 | `==` / `!=` on float expressions |
+//! | TL005 | missing doc comment on `pub fn` in `tensor`/`core` (advisory) |
+//!
+//! Pre-existing violations live in `lint-baseline.txt` as per-(rule, file)
+//! counts; `--check` fails only on *new* violations and `--update-baseline`
+//! locks in burn-down progress. Individual intentional sites can be
+//! suppressed with a trailing `// lint: allow(TL002)` comment.
+//!
+//! The crate is deliberately std-only so the gate builds and runs with
+//! `cargo run -p taglets-lint -- --check` even when the crate registry is
+//! unreachable.
+
+pub mod baseline;
+pub mod rules;
+pub mod scanner;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{Rule, Violation, ALL_RULES};
+
+/// Name of the checked-in baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// Directory components never scanned (generated, vendored, or test-only).
+const SKIP_DIRS: [&str; 6] = ["target", "vendor", ".git", "tests", "benches", "examples"];
+
+/// Scans the workspace rooted at `root` and returns all violations, sorted
+/// by (file, line, rule).
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rust_files(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rust_files(&root_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let source = fs::read_to_string(file)?;
+        let rel = relative_path(root, file);
+        let lines = scanner::scan(&source);
+        violations.extend(rules::check_file(&rel, &lines));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(violations)
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`].
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                collect_rust_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators (stable across platforms).
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locates the workspace root: walks up from `start` looking for the
+/// baseline file or a `Cargo.toml` declaring `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join(BASELINE_FILE).is_file() {
+            return Some(d);
+        }
+        if let Ok(manifest) = fs::read_to_string(d.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Loads the baseline at `root`, treating a missing file as empty.
+pub fn load_baseline(root: &Path) -> Result<baseline::Counts, String> {
+    let path = root.join(BASELINE_FILE);
+    match fs::read_to_string(&path) {
+        Ok(text) => baseline::parse(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(baseline::Counts::new()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}

@@ -1,0 +1,183 @@
+//! CLI for the workspace lint: `cargo run -p taglets-lint -- [FLAGS]`.
+//!
+//! * `--check` (default): scan and diff against `lint-baseline.txt`; exit 1
+//!   on new non-advisory violations.
+//! * `--update-baseline`: regenerate `lint-baseline.txt` from the current
+//!   tree (how burn-down progress is locked in).
+//! * `--list`: print every current violation (including baselined ones).
+//! * `--root <dir>`: override workspace-root autodetection.
+
+use std::collections::BTreeMap;
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use taglets_lint::{baseline, find_workspace_root, load_baseline, scan_workspace};
+use taglets_lint::{Rule, Violation, ALL_RULES, BASELINE_FILE};
+
+enum Mode {
+    Check,
+    UpdateBaseline,
+    List,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("taglets-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut mode = Mode::Check;
+    let mut root_override: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--update-baseline" => mode = Mode::UpdateBaseline,
+            "--list" => mode = Mode::List,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory argument")?;
+                root_override = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                print_help();
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+
+    let root = match root_override {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("cannot locate workspace root (run from the repo or pass --root)")?
+        }
+    };
+
+    let violations =
+        scan_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let current = baseline::count(&violations);
+
+    match mode {
+        Mode::List => {
+            for v in &violations {
+                println!(
+                    "{} {}:{} {} | {}",
+                    v.rule.code(),
+                    v.file,
+                    v.line,
+                    v.rule.description(),
+                    v.excerpt
+                );
+            }
+            print_totals(&violations);
+            Ok(ExitCode::SUCCESS)
+        }
+        Mode::UpdateBaseline => {
+            let path = root.join(BASELINE_FILE);
+            fs::write(&path, baseline::render(&current))
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!(
+                "wrote {} ({} violations across {} rule/file entries)",
+                path.display(),
+                violations.len(),
+                current.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Mode::Check => {
+            let base = load_baseline(&root)?;
+            let diff = baseline::diff(&current, &base);
+            report_check(&violations, &diff);
+            if baseline::has_blocking_regression(&diff) {
+                Ok(ExitCode::FAILURE)
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+    }
+}
+
+/// Prints new violations (with their sites) and ratchet opportunities.
+fn report_check(violations: &[Violation], diff: &baseline::Diff) {
+    let mut by_key: BTreeMap<(&str, &str), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        by_key
+            .entry((v.rule.code(), v.file.as_str()))
+            .or_default()
+            .push(v);
+    }
+    let mut blocking = 0usize;
+    for (rule, file, current, base) in &diff.regressions {
+        let advisory = Rule::from_code(rule)
+            .map(Rule::is_advisory)
+            .unwrap_or(false);
+        let label = if advisory { "advisory" } else { "NEW" };
+        println!("{label}: {rule} {file}: {current} violation(s), baseline allows {base}");
+        if let Some(sites) = by_key.get(&(rule.as_str(), file.as_str())) {
+            for v in sites {
+                println!("    {}:{} | {}", v.file, v.line, v.excerpt);
+            }
+        }
+        if !advisory {
+            blocking += 1;
+        }
+    }
+    for (rule, file, current, base) in &diff.improvements {
+        println!("stale baseline: {rule} {file}: {current} < {base} — run --update-baseline to ratchet down");
+    }
+    if blocking > 0 {
+        println!(
+            "lint check FAILED: {blocking} rule/file entr{} above baseline",
+            if blocking == 1 { "y" } else { "ies" }
+        );
+    } else {
+        println!(
+            "lint check passed ({} baselined violations tolerated)",
+            violations.len()
+        );
+    }
+}
+
+fn print_totals(violations: &[Violation]) {
+    let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for v in violations {
+        *per_rule.entry(v.rule.code()).or_insert(0) += 1;
+    }
+    let summary: Vec<String> = ALL_RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "{} {}",
+                r.code(),
+                per_rule.get(r.code()).copied().unwrap_or(0)
+            )
+        })
+        .collect();
+    println!(
+        "totals: {} ({} violations)",
+        summary.join(", "),
+        violations.len()
+    );
+}
+
+fn print_help() {
+    println!(
+        "taglets-lint: std-only static analysis for the TAGLETS workspace\n\
+         \n\
+         USAGE: cargo run -p taglets-lint -- [--check | --update-baseline | --list] [--root DIR]\n\
+         \n\
+         --check            diff violations against {BASELINE_FILE}; exit 1 on new ones (default)\n\
+         --update-baseline  regenerate {BASELINE_FILE} from the current tree\n\
+         --list             print every violation, including baselined ones\n\
+         --root DIR         workspace root (default: walk up from the current directory)"
+    );
+}

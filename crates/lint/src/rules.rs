@@ -1,0 +1,382 @@
+//! The TL rule set.
+//!
+//! Each rule is a line-level matcher over the cleaned source produced by
+//! [`crate::scanner`]. Rules are scoped: TL001/TL002 apply to all library
+//! code, TL003 skips the bench crate (timing is its purpose), and TL005 is
+//! an advisory documentation rule limited to the `tensor` and `core` crates.
+
+use crate::scanner::SourceLine;
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `unwrap()` / `expect()` in non-test library code.
+    Tl001,
+    /// `panic!` / `todo!` / `unreachable!` / `unimplemented!` in library code.
+    Tl002,
+    /// Nondeterminism sources in training/module code.
+    Tl003,
+    /// `==` / `!=` on float expressions.
+    Tl004,
+    /// Missing doc comment on `pub fn` in `tensor`/`core` (advisory).
+    Tl005,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: [Rule; 5] = [
+    Rule::Tl001,
+    Rule::Tl002,
+    Rule::Tl003,
+    Rule::Tl004,
+    Rule::Tl005,
+];
+
+impl Rule {
+    /// Stable code used in reports, baselines, and allow directives.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Tl001 => "TL001",
+            Rule::Tl002 => "TL002",
+            Rule::Tl003 => "TL003",
+            Rule::Tl004 => "TL004",
+            Rule::Tl005 => "TL005",
+        }
+    }
+
+    /// One-line description shown in reports.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::Tl001 => "unwrap()/expect() in non-test library code",
+            Rule::Tl002 => "panic!/todo!/unreachable!/unimplemented! in library code",
+            Rule::Tl003 => "nondeterminism source (thread_rng/random/Instant/SystemTime)",
+            Rule::Tl004 => "==/!= comparison on float expressions",
+            Rule::Tl005 => "missing doc comment on pub fn (advisory)",
+        }
+    }
+
+    /// Advisory rules are reported but never fail `--check`.
+    pub fn is_advisory(self) -> bool {
+        matches!(self, Rule::Tl005)
+    }
+
+    /// Parses a rule code like `TL001`.
+    pub fn from_code(code: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.code() == code)
+    }
+
+    /// Whether this rule applies to the file at workspace-relative `path`.
+    pub fn applies_to(self, path: &str) -> bool {
+        match self {
+            // Binary targets may fail loudly at the top level; the panic
+            // rules police *library* code.
+            Rule::Tl001 | Rule::Tl002 => !is_binary_target(path),
+            // Benchmarks time things and seed from entropy by design.
+            Rule::Tl003 => !path.starts_with("crates/bench/"),
+            Rule::Tl004 => true,
+            Rule::Tl005 => {
+                path.starts_with("crates/tensor/src/") || path.starts_with("crates/core/src/")
+            }
+        }
+    }
+}
+
+/// True for executable entry points (`src/bin/*`, `src/main.rs`), where a
+/// top-level `expect` on user input is idiomatic.
+fn is_binary_target(path: &str) -> bool {
+    path.contains("/bin/") || path == "src/main.rs" || path.ends_with("/src/main.rs")
+}
+
+/// A single rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source excerpt for the report.
+    pub excerpt: String,
+}
+
+/// Runs every applicable rule over one scanned file.
+pub fn check_file(path: &str, lines: &[SourceLine]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for rule in ALL_RULES {
+            if !rule.applies_to(path) || line.allows(rule.code()) {
+                continue;
+            }
+            let hit = match rule {
+                Rule::Tl001 => hits_tl001(&line.code),
+                Rule::Tl002 => hits_tl002(&line.code),
+                Rule::Tl003 => hits_tl003(&line.code),
+                Rule::Tl004 => hits_tl004(&line.code),
+                Rule::Tl005 => hits_tl005(lines, idx),
+            };
+            if hit {
+                out.push(Violation {
+                    rule,
+                    file: path.to_string(),
+                    line: line.number,
+                    excerpt: excerpt(&line.raw),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn excerpt(raw: &str) -> String {
+    let trimmed = raw.trim();
+    if trimmed.chars().count() > 90 {
+        let head: String = trimmed.chars().take(87).collect();
+        format!("{head}...")
+    } else {
+        trimmed.to_string()
+    }
+}
+
+/// `.unwrap()` or `.expect(` — but not `.unwrap_or*` / `.expect_err`.
+fn hits_tl001(code: &str) -> bool {
+    contains_method_call(code, "unwrap", true) || contains_method_call(code, "expect", false)
+}
+
+/// Finds `.name(` (or `.name()` when `empty_args`), requiring the full
+/// method name so `.unwrap_or()` and `.expect_err()` do not match.
+fn contains_method_call(code: &str, name: &str, empty_args: bool) -> bool {
+    let needle = format!(".{name}(");
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(&needle) {
+        let at = start + pos;
+        let after = at + needle.len();
+        if empty_args {
+            if code[after..].starts_with(')') {
+                return true;
+            }
+        } else {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// Panic-family macro invocations at a word boundary.
+fn hits_tl002(code: &str) -> bool {
+    ["panic!", "todo!", "unreachable!", "unimplemented!"]
+        .iter()
+        .any(|m| contains_word(code, m))
+}
+
+/// Nondeterminism sources.
+fn hits_tl003(code: &str) -> bool {
+    [
+        "thread_rng",
+        "rand::random",
+        "Instant::now",
+        "SystemTime::",
+        "from_entropy",
+    ]
+    .iter()
+    .any(|m| contains_word(code, m))
+}
+
+/// Substring match where the preceding character is not part of an
+/// identifier (so `debug_assert!` does not hit `assert!`-style needles).
+fn contains_word(code: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let boundary = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .map(|c| c.is_alphanumeric() || c == '_')
+                .unwrap_or(false);
+        if boundary {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// `==` / `!=` where either operand looks like a float expression.
+fn hits_tl004(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &code[i..i + 2];
+        let is_eq = two == "==";
+        let is_ne = two == "!=";
+        if is_eq || is_ne {
+            let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+            let next = if i + 2 < bytes.len() {
+                bytes[i + 2]
+            } else {
+                b' '
+            };
+            // Skip `<=`, `>=`, `=>`-adjacent, `===`-style runs, and `!=`'s
+            // `=` being part of `!==` (not Rust, but cheap to exclude).
+            let operator = !matches!(prev, b'<' | b'>' | b'=' | b'!') && next != b'=';
+            let operator = operator && (is_ne || prev != b'=');
+            if operator {
+                let left = operand_before(code, i);
+                let right = operand_after(code, i + 2);
+                if looks_float(left) || looks_float(right) {
+                    return true;
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+fn operand_before(code: &str, end: usize) -> &str {
+    let boundary = code[..end]
+        .rfind(|c: char| matches!(c, '(' | '{' | '[' | ',' | ';' | '&' | '|'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    &code[boundary..end]
+}
+
+fn operand_after(code: &str, start: usize) -> &str {
+    let rest = &code[start..];
+    let boundary = rest
+        .find(|c: char| matches!(c, ')' | '}' | ']' | ',' | ';' | '&' | '|'))
+        .unwrap_or(rest.len());
+    &rest[..boundary]
+}
+
+/// Float-ness heuristic: a `1.5`-style literal or an `f32`/`f64` token.
+fn looks_float(operand: &str) -> bool {
+    if contains_word(operand, "f32") || contains_word(operand, "f64") {
+        return true;
+    }
+    let chars: Vec<char> = operand.chars().collect();
+    chars
+        .windows(3)
+        .any(|w| w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit())
+}
+
+/// `pub fn` without a doc comment in the contiguous attribute/doc block
+/// directly above it.
+fn hits_tl005(lines: &[SourceLine], idx: usize) -> bool {
+    let trimmed = lines[idx].code.trim_start();
+    let is_pub_fn = [
+        "pub fn ",
+        "pub const fn ",
+        "pub unsafe fn ",
+        "pub async fn ",
+    ]
+    .iter()
+    .any(|p| trimmed.starts_with(p));
+    if !is_pub_fn {
+        return false;
+    }
+    // Walk upwards over attributes and doc lines.
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let line = &lines[j];
+        if line.is_doc {
+            return false;
+        }
+        let t = line.code.trim();
+        let is_attr = t.starts_with("#[") || t.ends_with("]") && t.contains("#[");
+        if is_attr || (t.is_empty() && !line.raw.trim().is_empty()) {
+            // attribute (possibly multi-line) or a pure-comment line
+            continue;
+        }
+        return true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn violations(path: &str, src: &str) -> Vec<(Rule, usize)> {
+        check_file(path, &scan(src))
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn tl001_flags_unwrap_and_expect_only() {
+        let src = "fn f() {\n    a.unwrap();\n    b.expect(\"msg\");\n    c.unwrap_or(0);\n    d.unwrap_or_else(|| 0);\n    e.expect_err(\"msg\");\n}\n";
+        let v = violations("crates/x/src/lib.rs", src);
+        assert_eq!(v, vec![(Rule::Tl001, 2), (Rule::Tl001, 3)]);
+    }
+
+    #[test]
+    fn tl001_skips_test_code_and_comments() {
+        let src = "// a.unwrap() in a comment\n#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); }\n}\n";
+        assert!(violations("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tl002_flags_panic_family() {
+        let src = "fn f() {\n    panic!(\"boom\");\n    todo!();\n    unreachable!();\n    unimplemented!();\n    debug_assert!(true);\n}\n";
+        let v = violations("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|(r, _)| *r == Rule::Tl002));
+    }
+
+    #[test]
+    fn tl003_flags_nondeterminism_outside_bench() {
+        let src = "fn f() {\n    let r = thread_rng();\n    let t = Instant::now();\n}\n";
+        assert_eq!(violations("crates/nn/src/lib.rs", src).len(), 2);
+        assert!(violations("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tl004_flags_float_comparisons() {
+        let src =
+            "fn f() {\n    if x == 0.0 {}\n    if y as f32 != z {}\n    if n == 0 {}\n    if v[0] == w[1] {}\n}\n";
+        let v = violations("crates/x/src/lib.rs", src);
+        assert_eq!(v, vec![(Rule::Tl004, 2), (Rule::Tl004, 3)]);
+    }
+
+    #[test]
+    fn tl004_ignores_pattern_arrows_and_orderings() {
+        let src =
+            "fn f() {\n    if a <= 1.0 {}\n    if b >= 2.0 {}\n    match c { _ => 3.0 };\n}\n";
+        assert!(violations("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tl005_only_in_tensor_and_core() {
+        let src = "pub fn undocumented() {}\n";
+        assert_eq!(
+            violations("crates/tensor/src/lib.rs", src),
+            vec![(Rule::Tl005, 1)]
+        );
+        assert_eq!(
+            violations("crates/core/src/lib.rs", src),
+            vec![(Rule::Tl005, 1)]
+        );
+        assert!(violations("crates/nn/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tl005_accepts_docs_above_attributes() {
+        let src = "/// Documented.\n#[must_use]\npub fn documented() {}\n";
+        assert!(violations("crates/tensor/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let src = "fn f() {\n    panic!(\"guard\"); // lint: allow(TL002)\n}\n";
+        assert!(violations("crates/x/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,444 @@
+//! A small comment/string-aware scanner for Rust source.
+//!
+//! The rule set only needs line-level pattern matching, but naive substring
+//! search would fire on comments, doc examples, and string literals. This
+//! scanner produces a *cleaned* view of each line — comments removed and
+//! string/char literal contents blanked out — together with the metadata the
+//! rules need: whether the line is a doc comment, whether it lives inside
+//! test-only code (`#[cfg(test)]` / `#[test]` items), and any inline
+//! `lint: allow(...)` suppressions found in trailing comments.
+//!
+//! The scanner is deliberately not a full lexer: it tracks exactly the state
+//! needed to distinguish code from non-code (line comments, nested block
+//! comments, string/raw-string/byte-string literals, char literals vs
+//! lifetimes) and leaves everything else to the per-rule matchers.
+
+/// One source line plus the metadata rules match against.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// 1-based line number in the original file.
+    pub number: usize,
+    /// The original line, verbatim (used for excerpts in reports).
+    pub raw: String,
+    /// The line with comments removed and literal contents blanked.
+    pub code: String,
+    /// True when the line carries outer/inner doc comments (`///`, `//!`,
+    /// `/** .. */`, `/*! .. */`).
+    pub is_doc: bool,
+    /// True when any part of the line is inside test-only code.
+    pub in_test: bool,
+    /// Rule codes suppressed on this line via `lint: allow(TLxxx, ...)`.
+    pub allows: Vec<String>,
+}
+
+impl SourceLine {
+    /// Whether `rule_code` is suppressed on this line.
+    pub fn allows(&self, rule_code: &str) -> bool {
+        self.allows.iter().any(|a| a == rule_code)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Block comment nesting depth; `doc` marks `/**` / `/*!` forms.
+    Block {
+        depth: usize,
+        doc: bool,
+    },
+    Str,
+    RawStr {
+        hashes: usize,
+    },
+    Char,
+}
+
+/// Scans `source` into cleaned, annotated lines.
+pub fn scan(source: &str) -> Vec<SourceLine> {
+    let mut lines = clean(source);
+    mark_test_regions(&mut lines);
+    propagate_standalone_allows(&mut lines);
+    lines
+}
+
+/// Pass 3: a directive on a comment-only line also suppresses the next line
+/// carrying code. Trailing same-line directives remain the primary form, but
+/// rustfmt wraps long statements, which would detach a trailing comment from
+/// the construct it suppresses; a standalone comment directly above survives
+/// reformatting.
+fn propagate_standalone_allows(lines: &mut [SourceLine]) {
+    let mut pending: Vec<String> = Vec::new();
+    for line in lines.iter_mut() {
+        if line.code.trim().is_empty() {
+            pending.extend(line.allows.iter().cloned());
+        } else if !pending.is_empty() {
+            line.allows.append(&mut pending);
+        }
+    }
+}
+
+/// Pass 1: strip comments, blank literal contents, collect doc/allow info.
+fn clean(source: &str) -> Vec<SourceLine> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for (idx, raw) in source.lines().enumerate() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment_text = String::new();
+        let mut is_doc = false;
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => {
+                    if c == '/' && next == Some('/') {
+                        // Line comment; `///` and `//!` are doc comments.
+                        let third = chars.get(i + 2).copied();
+                        if third == Some('/') && chars.get(i + 3).copied() != Some('/') {
+                            is_doc = true;
+                        }
+                        if third == Some('!') {
+                            is_doc = true;
+                        }
+                        comment_text.push_str(&chars[i..].iter().collect::<String>());
+                        break;
+                    } else if c == '/' && next == Some('*') {
+                        let third = chars.get(i + 2).copied();
+                        let doc = third == Some('*') && chars.get(i + 3).copied() != Some('*')
+                            || third == Some('!');
+                        if doc {
+                            is_doc = true;
+                        }
+                        state = State::Block { depth: 1, doc };
+                        i += 2;
+                        continue;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                        continue;
+                    } else if is_raw_string_start(&chars, i) {
+                        // r"..."  r#"..."#  br##"..."##  (b consumed earlier)
+                        let mut j = i + 1; // skip the `r`
+                        let mut hashes = 0;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        code.push_str(&"r".to_string());
+                        code.push_str(&"#".repeat(hashes));
+                        code.push('"');
+                        state = State::RawStr { hashes };
+                        i = j + 1;
+                        continue;
+                    } else if c == '\'' {
+                        if is_lifetime(&chars, i) {
+                            code.push(c);
+                            i += 1;
+                            continue;
+                        }
+                        code.push('\'');
+                        state = State::Char;
+                        i += 1;
+                        continue;
+                    }
+                    code.push(c);
+                    i += 1;
+                }
+                State::Block { depth, doc } => {
+                    if c == '*' && next == Some('/') {
+                        if depth == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::Block {
+                                depth: depth - 1,
+                                doc,
+                            };
+                        }
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::Block {
+                            depth: depth + 1,
+                            doc,
+                        };
+                        i += 2;
+                    } else {
+                        if doc {
+                            is_doc = true;
+                        }
+                        comment_text.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        i += 2; // skip the escaped character
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr { hashes } => {
+                    if c == '"' && raw_string_closes(&chars, i, hashes) {
+                        code.push('"');
+                        code.push_str(&"#".repeat(hashes));
+                        state = State::Code;
+                        i += 1 + hashes;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Char => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '\'' {
+                        code.push('\'');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Unterminated single-line states fall back to code at end of line
+        // (strings can span lines only in raw/regular multiline form, which
+        // the state machine already carries across the loop).
+        if state == State::Char {
+            state = State::Code;
+        }
+        let allows = parse_allows(&comment_text);
+        out.push(SourceLine {
+            number: idx + 1,
+            raw: raw.to_string(),
+            code,
+            is_doc,
+            in_test: false,
+            allows,
+        });
+    }
+    out
+}
+
+/// True when `chars[i]` starts a raw (or raw byte) string literal.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if chars[i] != 'r' {
+        return false;
+    }
+    // `r` must be its own token, not the tail of an identifier like `var`.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            // allow the `b` of a raw byte string prefix
+            if !(prev == 'b' && (i < 2 || !is_ident(chars[i - 2]))) {
+                return false;
+            }
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// True when the `"` at `chars[i]` is followed by `hashes` `#` characters.
+fn raw_string_closes(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes `'a` (lifetime) from `'a'` (char literal) at a `'`.
+fn is_lifetime(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some(&c) if c.is_alphabetic() || c == '_' => chars.get(i + 2) != Some(&'\''),
+        _ => false,
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Extracts rule codes from `lint: allow(TL001, TL002)` comment directives.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let mut allows = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:") {
+        rest = &rest[pos + 5..];
+        let trimmed = rest.trim_start();
+        if let Some(args) = trimmed.strip_prefix("allow(") {
+            if let Some(end) = args.find(')') {
+                for code in args[..end].split(',') {
+                    let code = code.trim();
+                    if !code.is_empty() {
+                        allows.push(code.to_string());
+                    }
+                }
+            }
+        }
+    }
+    allows
+}
+
+/// Pass 2: mark lines belonging to `#[cfg(test)]` / `#[test]` items.
+///
+/// Tracks brace depth over the cleaned text; when a test attribute is seen,
+/// the next brace-delimited item at the same depth is marked as test code.
+fn mark_test_regions(lines: &mut [SourceLine]) {
+    let mut depth: usize = 0;
+    let mut armed = false;
+    let mut test_floor: Option<usize> = None;
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        if test_floor.is_some() {
+            line.in_test = true;
+        }
+        if test_floor.is_none() && (code.contains("#[cfg(test)]") || has_test_attr(&code)) {
+            armed = true;
+            line.in_test = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        test_floor = Some(depth);
+                        armed = false;
+                        line.in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if let Some(floor) = test_floor {
+                        if depth <= floor {
+                            test_floor = None;
+                        }
+                    }
+                }
+                ';' if armed && depth == 0 => {
+                    // e.g. `#[cfg(test)] use helpers;` — no body to skip.
+                    armed = false;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Matches the `#[test]` attribute (not `#[testsomething]`).
+fn has_test_attr(code: &str) -> bool {
+    code.contains("#[test]") || code.contains("#[bench]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let c = codes("let x = 1; // note: unwrap() here is fine\n");
+        assert_eq!(c[0], "let x = 1; ");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* outer /* inner */ still comment */ b\nc /* open\nclose */ d\n";
+        let c = codes(src);
+        assert_eq!(c[0], "a  b");
+        assert_eq!(c[1], "c ");
+        assert_eq!(c[2], " d");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = codes("let s = \"call .unwrap() now\"; s.len();\n");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains(".len()"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let c = codes("let s = \"a\\\"b.unwrap()\"; x()\n");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("x()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let c = codes("let s = r#\"panic!(\"no\")\"#; go()\n");
+        assert!(!c[0].contains("panic"));
+        assert!(c[0].contains("go()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = codes("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert_eq!(c[0], "fn f<'a>(x: &'a str) -> &'a str { x }");
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let c = codes("let q = '\\''; let z = 'z'; done()\n");
+        assert!(c[0].contains("done()"));
+        assert!(!c[0].contains("'z'"), "char contents blanked: {}", c[0]);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let lines = scan("/// docs\npub fn f() {}\n//! inner\n");
+        assert!(lines[0].is_doc);
+        assert!(!lines[1].is_doc);
+        assert!(lines[2].is_doc);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn after() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn test_attr_function_is_marked() {
+        let src = "#[test]\nfn check() {\n    y.unwrap();\n}\nfn lib() {}\n";
+        let lines = scan(src);
+        assert!(lines[2].in_test);
+        assert!(!lines[4].in_test);
+    }
+
+    #[test]
+    fn allow_directives_are_parsed() {
+        let lines = scan("panic!(\"bad\"); // lint: allow(TL002, TL001)\n");
+        assert!(lines[0].allows("TL002"));
+        assert!(lines[0].allows("TL001"));
+        assert!(!lines[0].allows("TL003"));
+    }
+
+    #[test]
+    fn standalone_allow_comment_suppresses_next_code_line() {
+        let src = "// lint: allow(TL002)\npanic!(\"bad\");\nafter();\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[1].allows("TL002"));
+        assert!(
+            !lines[2].allows("TL002"),
+            "directive must not leak past one code line"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Runs the lint engine over the actual workspace so `cargo test` enforces
+//! the baseline: any new non-advisory violation fails this test with the
+//! offending sites listed.
+
+use std::path::Path;
+
+use taglets_lint::{baseline, scan_workspace, Rule};
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels below the workspace root")
+}
+
+#[test]
+fn workspace_has_no_new_violations() {
+    let root = workspace_root();
+    let violations = scan_workspace(root).expect("workspace scan succeeds");
+    let current = baseline::count(&violations);
+    let base = taglets_lint::load_baseline(root).expect("baseline parses");
+    let diff = baseline::diff(&current, &base);
+
+    let mut message = String::new();
+    for (rule, file, current, allowed) in &diff.regressions {
+        let advisory = Rule::from_code(rule)
+            .map(Rule::is_advisory)
+            .unwrap_or(false);
+        if advisory {
+            continue;
+        }
+        message.push_str(&format!(
+            "\n{rule} {file}: {current} violations, baseline allows {allowed}:"
+        ));
+        for v in violations
+            .iter()
+            .filter(|v| v.rule.code() == rule && &v.file == file)
+        {
+            message.push_str(&format!("\n    {}:{} | {}", v.file, v.line, v.excerpt));
+        }
+    }
+    assert!(
+        !baseline::has_blocking_regression(&diff),
+        "new lint violations (fix them or run `cargo run -p taglets-lint -- --update-baseline`):{message}"
+    );
+}
+
+#[test]
+fn workspace_scan_finds_library_sources() {
+    // Guards against the scanner silently scanning nothing (e.g. a layout
+    // change): the workspace has well over a thousand lines of library code
+    // and a known baselined rule surface.
+    let root = workspace_root();
+    let violations = scan_workspace(root).expect("workspace scan succeeds");
+    // The tree keeps at least some baselined violations (see
+    // lint-baseline.txt); an empty scan would mean the walker broke.
+    assert!(
+        !violations.is_empty(),
+        "expected the scan to visit library sources and report baselined sites"
+    );
+}

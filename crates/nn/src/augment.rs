@@ -16,7 +16,6 @@ use taglets_tensor::Tensor;
 /// `taglets-data`, which re-exports this type).
 pub type Image = Vec<f32>;
 
-
 /// Stochastic augmentation policy over flat images.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Augmenter {
@@ -32,7 +31,12 @@ pub struct Augmenter {
 
 impl Default for Augmenter {
     fn default() -> Self {
-        Augmenter { weak_noise: 0.12, strong_noise: 0.45, mask_prob: 0.15, gain: 0.06 }
+        Augmenter {
+            weak_noise: 0.12,
+            strong_noise: 0.45,
+            mask_prob: 0.15,
+            gain: 0.06,
+        }
     }
 }
 
@@ -98,7 +102,11 @@ mod tests {
     use rand::{rngs::StdRng, SeedableRng};
 
     fn l2(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f32>()
+            .sqrt()
     }
 
     #[test]
@@ -138,7 +146,10 @@ mod tests {
     #[test]
     fn strong_masks_roughly_mask_prob_coordinates() {
         let mut rng = StdRng::seed_from_u64(3);
-        let aug = Augmenter { mask_prob: 0.3, ..Augmenter::default() };
+        let aug = Augmenter {
+            mask_prob: 0.3,
+            ..Augmenter::default()
+        };
         let img = vec![5.0f32; 4000];
         let out = aug.strong(&img, &mut rng);
         let masked = out.iter().filter(|&&v| v == 0.0).count() as f32 / 4000.0;

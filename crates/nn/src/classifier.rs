@@ -125,7 +125,9 @@ impl Classifier {
         rng: &mut R,
     ) -> Var {
         let split = 2 * self.backbone.depth();
-        let feats = self.backbone.forward(tape, &vars[..split], x, training, rng);
+        let feats = self
+            .backbone
+            .forward(tape, &vars[..split], x, training, rng);
         self.head.forward(tape, &vars[split..], feats)
     }
 
@@ -192,7 +194,11 @@ impl Module for Classifier {
 ///
 /// Panics if lengths differ.
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
-    assert_eq!(predictions.len(), labels.len(), "prediction/label count mismatch");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction/label count mismatch"
+    );
     if labels.is_empty() {
         return 0.0;
     }

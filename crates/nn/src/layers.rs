@@ -27,7 +27,10 @@ pub trait Module {
 
     /// Pushes every parameter onto `tape` as a trainable leaf.
     fn bind(&self, tape: &mut Tape) -> Vec<Var> {
-        self.parameters().into_iter().map(|p| tape.leaf(p.clone())).collect()
+        self.parameters()
+            .into_iter()
+            .map(|p| tape.leaf(p.clone()))
+            .collect()
     }
 
     /// Pushes every parameter onto `tape` as a constant (no gradients).
@@ -77,7 +80,10 @@ impl Linear {
         init: Init,
         rng: &mut R,
     ) -> Self {
-        Linear { w: init.weight(fan_in, fan_out, rng), b: init.bias(fan_out) }
+        Linear {
+            w: init.weight(fan_in, fan_out, rng),
+            b: init.bias(fan_out),
+        }
     }
 
     /// Builds a layer from explicit weight and bias tensors.
@@ -118,7 +124,11 @@ impl Linear {
     ///
     /// Panics if the new weight's shape differs.
     pub fn set_weight(&mut self, w: Tensor) {
-        assert_eq!(w.shape(), self.w.shape(), "replacement weight shape mismatch");
+        assert_eq!(
+            w.shape(),
+            self.w.shape(),
+            "replacement weight shape mismatch"
+        );
         self.w = w;
     }
 
@@ -187,13 +197,20 @@ impl Mlp {
         activation: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         assert!((0.0..1.0).contains(&dropout), "dropout must be in [0,1)");
         let layers = dims
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
             .collect();
-        Mlp { layers, dropout, activation }
+        Mlp {
+            layers,
+            dropout,
+            activation,
+        }
     }
 
     /// Assembles an MLP from explicit layers (used by deserialization).
@@ -206,9 +223,17 @@ impl Mlp {
         assert!(!layers.is_empty(), "an MLP needs at least one layer");
         assert!((0.0..1.0).contains(&dropout), "dropout must be in [0,1)");
         for pair in layers.windows(2) {
-            assert_eq!(pair[0].fan_out(), pair[1].fan_in(), "layer widths must chain");
+            assert_eq!(
+                pair[0].fan_out(),
+                pair[1].fan_in(),
+                "layer widths must chain"
+            );
         }
-        Mlp { layers, dropout, activation }
+        Mlp {
+            layers,
+            dropout,
+            activation,
+        }
     }
 
     /// Input width.
@@ -238,7 +263,11 @@ impl Mlp {
         training: bool,
         rng: &mut R,
     ) -> Var {
-        debug_assert_eq!(vars.len(), 2 * self.layers.len(), "MLP binds 2 vars per layer");
+        debug_assert_eq!(
+            vars.len(),
+            2 * self.layers.len(),
+            "MLP binds 2 vars per layer"
+        );
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward(tape, &vars[2 * i..2 * i + 2], h);
@@ -271,7 +300,10 @@ impl Module for Mlp {
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
-        self.layers.iter_mut().flat_map(|l| l.parameters_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.parameters_mut())
+            .collect()
     }
 }
 

@@ -50,13 +50,19 @@ pub fn load_classifier<R: Read>(mut r: R) -> io::Result<Classifier> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a TAGLETS model file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a TAGLETS model file",
+        ));
     }
     let mut u32buf = [0u8; 4];
     r.read_exact(&mut u32buf)?;
     let n_dims = u32::from_le_bytes(u32buf) as usize;
     if !(3..=64).contains(&n_dims) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible layer count"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible layer count",
+        ));
     }
     let mut dims = Vec::with_capacity(n_dims);
     for _ in 0..n_dims {
@@ -64,7 +70,10 @@ pub fn load_classifier<R: Read>(mut r: R) -> io::Result<Classifier> {
         dims.push(u32::from_le_bytes(u32buf) as usize);
     }
     if dims.iter().any(|&d| d == 0) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero-width layer"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero-width layer",
+        ));
     }
 
     let mut read_tensor = |shape: &[usize]| -> io::Result<Tensor> {
@@ -91,7 +100,10 @@ pub fn load_classifier<R: Read>(mut r: R) -> io::Result<Classifier> {
     let head_b = read_tensor(&[dims[dims.len() - 1]])?;
 
     let backbone = Mlp::from_layers(layers, 0.0, Activation::Relu);
-    Ok(Classifier::from_parts(backbone, Linear::from_parts(head_w, head_b)))
+    Ok(Classifier::from_parts(
+        backbone,
+        Linear::from_parts(head_w, head_b),
+    ))
 }
 
 #[cfg(test)]

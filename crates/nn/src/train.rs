@@ -153,8 +153,7 @@ pub fn fit<R: Rng + ?Sized>(
             };
             epoch_loss += tape.value(loss).item();
             let mut grads = tape.backward(loss);
-            let grad_vec: Vec<Option<Tensor>> =
-                vars.iter().map(|&v| grads.take(v)).collect();
+            let grad_vec: Vec<Option<Tensor>> = vars.iter().map(|&v| grads.take(v)).collect();
             opt.set_lr(cfg.schedule.lr_at(report.steps));
             opt.step(&mut clf.parameters_mut(), &grad_vec);
             report.steps += 1;
@@ -216,8 +215,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let (x, y) = blobs(20, 1);
         let mut clf = Classifier::from_dims(&[4, 8], 2, 0.0, &mut rng);
-        let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, ..SgdConfig::default() });
-        let report = fit_hard(&mut clf, &x, &y, &FitConfig::new(20, 8, 0.05), &mut opt, &mut rng);
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        });
+        let report = fit_hard(
+            &mut clf,
+            &x,
+            &y,
+            &FitConfig::new(20, 8, 0.05),
+            &mut opt,
+            &mut rng,
+        );
         assert!(clf.accuracy(&x, &y) > 0.95);
         assert!(report.final_loss().unwrap() < report.epoch_losses[0]);
     }
@@ -231,8 +241,19 @@ mod tests {
             one_hot.set(i, c, 1.0);
         }
         let mut clf = Classifier::from_dims(&[4, 8], 2, 0.0, &mut rng);
-        let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, ..SgdConfig::default() });
-        fit_soft(&mut clf, &x, &one_hot, &FitConfig::new(20, 8, 0.05), &mut opt, &mut rng);
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        });
+        fit_soft(
+            &mut clf,
+            &x,
+            &one_hot,
+            &FitConfig::new(20, 8, 0.05),
+            &mut opt,
+            &mut rng,
+        );
         assert!(clf.accuracy(&x, &y) > 0.9);
     }
 
@@ -243,7 +264,14 @@ mod tests {
         let mut clf = Classifier::from_dims(&[4, 8], 2, 0.0, &mut rng);
         let before = clf.clone();
         let mut opt = Sgd::new(SgdConfig::default());
-        let report = fit_hard(&mut clf, &x, &y, &FitConfig::new(0, 8, 0.01), &mut opt, &mut rng);
+        let report = fit_hard(
+            &mut clf,
+            &x,
+            &y,
+            &FitConfig::new(0, 8, 0.01),
+            &mut opt,
+            &mut rng,
+        );
         assert_eq!(report.steps, 0);
         assert_eq!(clf, before);
     }
@@ -263,8 +291,8 @@ mod tests {
         let (x, y) = blobs(8, 8);
         let mut clf = Classifier::from_dims(&[4, 4], 2, 0.0, &mut rng);
         let mut opt = Sgd::new(SgdConfig::default());
-        let cfg = FitConfig::new(2, 4, 1.0)
-            .with_schedule(LrSchedule::milestones(1.0, vec![2], 0.1));
+        let cfg =
+            FitConfig::new(2, 4, 1.0).with_schedule(LrSchedule::milestones(1.0, vec![2], 0.1));
         fit_hard(&mut clf, &x, &y, &cfg, &mut opt, &mut rng);
         // After 8 steps the last applied LR must reflect the milestone.
         assert!((opt.lr() - 0.1).abs() < 1e-6);

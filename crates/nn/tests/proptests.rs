@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 
-use taglets_nn::{
-    accuracy, fit_hard, shuffled_batches, Classifier, FitConfig, Mlp, Module,
-};
+use taglets_nn::{accuracy, fit_hard, shuffled_batches, Classifier, FitConfig, Mlp, Module};
 use taglets_tensor::{Sgd, SgdConfig, Tensor};
 
 proptest! {

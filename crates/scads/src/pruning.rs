@@ -27,8 +27,11 @@ pub enum PruneLevel {
 
 impl PruneLevel {
     /// All levels, in increasing severity (handy for sweeps).
-    pub const ALL: [PruneLevel; 3] =
-        [PruneLevel::NoPruning, PruneLevel::Level0, PruneLevel::Level1];
+    pub const ALL: [PruneLevel; 3] = [
+        PruneLevel::NoPruning,
+        PruneLevel::Level0,
+        PruneLevel::Level1,
+    ];
 
     /// Short label used in result tables ("none", "0", "1").
     pub fn label(self) -> &'static str {
@@ -93,15 +96,18 @@ mod tests {
     #[test]
     fn no_pruning_removes_nothing() {
         let t = taxonomy();
-        assert!(PruneLevel::NoPruning.pruned_set(&t, &[ConceptId(2)]).is_empty());
+        assert!(PruneLevel::NoPruning
+            .pruned_set(&t, &[ConceptId(2)])
+            .is_empty());
     }
 
     #[test]
     fn level0_removes_target_and_descendants() {
         let t = taxonomy();
         let p = PruneLevel::Level0.pruned_set(&t, &[ConceptId(1)]);
-        let expected: HashSet<ConceptId> =
-            [ConceptId(1), ConceptId(2), ConceptId(3)].into_iter().collect();
+        let expected: HashSet<ConceptId> = [ConceptId(1), ConceptId(2), ConceptId(3)]
+            .into_iter()
+            .collect();
         assert_eq!(p, expected);
     }
 
@@ -110,8 +116,9 @@ mod tests {
         let t = taxonomy();
         let p = PruneLevel::Level1.pruned_set(&t, &[ConceptId(2)]);
         // Parent of 2 is 1; subtree of 1 = {1,2,3}. Node 2's own descendants ⊂ that.
-        let expected: HashSet<ConceptId> =
-            [ConceptId(1), ConceptId(2), ConceptId(3)].into_iter().collect();
+        let expected: HashSet<ConceptId> = [ConceptId(1), ConceptId(2), ConceptId(3)]
+            .into_iter()
+            .collect();
         assert_eq!(p, expected);
         // Sibling branch under 4 untouched.
         assert!(!p.contains(&ConceptId(4)));
@@ -123,7 +130,10 @@ mod tests {
         for target in [ConceptId(1), ConceptId(2), ConceptId(5)] {
             let p0 = PruneLevel::Level0.pruned_set(&t, &[target]);
             let p1 = PruneLevel::Level1.pruned_set(&t, &[target]);
-            assert!(p0.is_subset(&p1), "level 1 must remove at least level 0's set");
+            assert!(
+                p0.is_subset(&p1),
+                "level 1 must remove at least level 0's set"
+            );
         }
     }
 

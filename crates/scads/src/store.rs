@@ -72,7 +72,13 @@ impl<X: Clone> Scads<X> {
             "one embedding per graph concept required"
         );
         let store = (0..graph.len()).map(|_| Vec::new()).collect();
-        Scads { graph, taxonomy, embeddings, store, datasets: Vec::new() }
+        Scads {
+            graph,
+            taxonomy,
+            embeddings,
+            store,
+            datasets: Vec::new(),
+        }
     }
 
     /// The underlying knowledge graph.
@@ -139,7 +145,9 @@ impl<X: Clone> Scads<X> {
         items: Vec<(ConceptId, X)>,
     ) -> Result<DatasetId, ScadsError> {
         if items.is_empty() {
-            return Err(ScadsError::EmptyDataset { name: name.to_string() });
+            return Err(ScadsError::EmptyDataset {
+                name: name.to_string(),
+            });
         }
         let id = DatasetId(self.datasets.len());
         self.datasets.push(Some(name.to_string()));
@@ -188,9 +196,11 @@ impl<X: Clone> Scads<X> {
         links: &[(&str, Relation)],
     ) -> Result<ConceptId, ScadsError> {
         if self.graph.find(name).is_some() {
-            return Err(ScadsError::Graph(taglets_graph::GraphError::DuplicateName {
-                name: name.to_string(),
-            }));
+            return Err(ScadsError::Graph(
+                taglets_graph::GraphError::DuplicateName {
+                    name: name.to_string(),
+                },
+            ));
         }
         let mut link_ids = Vec::with_capacity(links.len());
         for (link_name, relation) in links {
@@ -272,7 +282,11 @@ impl<X: Clone> Scads<X> {
                 examples.push((x.clone(), aux_label));
             }
         }
-        AuxiliarySelection { examples, concepts: candidates, per_target: Vec::new() }
+        AuxiliarySelection {
+            examples,
+            concepts: candidates,
+            per_target: Vec::new(),
+        }
     }
 
     /// Selects the task-related auxiliary set `R` for the given target
@@ -305,7 +319,11 @@ impl<X: Clone> Scads<X> {
                 examples.push((x.clone(), aux_label));
             }
         }
-        AuxiliarySelection { examples, concepts, per_target }
+        AuxiliarySelection {
+            examples,
+            concepts,
+            per_target,
+        }
     }
 }
 
@@ -346,7 +364,10 @@ mod tests {
         assert_eq!(scads.installed_datasets(), vec!["aux"]);
         scads.remove_dataset(id).unwrap();
         assert_eq!(scads.num_examples(), 0);
-        assert!(scads.remove_dataset(id).is_err(), "double removal is an error");
+        assert!(
+            scads.remove_dataset(id).is_err(),
+            "double removal is an error"
+        );
     }
 
     #[test]
@@ -395,7 +416,10 @@ mod tests {
             let pruned = prune.pruned_set(scads.taxonomy(), &[target]);
             let related = scads.related_concepts(target, 10, prune, &[target]);
             for (c, _) in related {
-                assert!(!pruned.contains(&c), "{c} was pruned but selected at {prune}");
+                assert!(
+                    !pruned.contains(&c),
+                    "{c} was pruned but selected at {prune}"
+                );
             }
         }
     }
@@ -431,7 +455,9 @@ mod tests {
     fn concepts_without_data_are_skipped() {
         let mut scads = build(40);
         // Only concept 7 has data.
-        scads.install_by_id("one", vec![(ConceptId(7), 1u32)]).unwrap();
+        scads
+            .install_by_id("one", vec![(ConceptId(7), 1u32)])
+            .unwrap();
         let related = scads.related_concepts(ConceptId(3), 10, PruneLevel::NoPruning, &[]);
         assert_eq!(related.len(), 1);
         assert_eq!(related[0].0, ConceptId(7));
@@ -446,7 +472,10 @@ mod tests {
         let id = scads
             .add_concept(
                 "oatghurt",
-                &[(yoghurt.as_str(), Relation::RelatedTo), (carton.as_str(), Relation::RelatedTo)],
+                &[
+                    (yoghurt.as_str(), Relation::RelatedTo),
+                    (carton.as_str(), Relation::RelatedTo),
+                ],
             )
             .unwrap();
         assert_eq!(scads.graph().find("oatghurt"), Some(id));
@@ -501,7 +530,11 @@ mod tests {
         let targets = [kids[0], kids[1]];
         let sel = scads.select_related(&targets, 6, 2, PruneLevel::NoPruning);
         let unique: HashSet<ConceptId> = sel.concepts.iter().copied().collect();
-        assert_eq!(unique.len(), sel.concepts.len(), "aux classes must be unique");
+        assert_eq!(
+            unique.len(),
+            sel.concepts.len(),
+            "aux classes must be unique"
+        );
         assert!(sel.examples.iter().all(|(_, l)| *l < sel.num_aux_classes()));
     }
 }

@@ -33,8 +33,33 @@ impl Var {
     }
 }
 
-#[derive(Debug)]
-enum Op {
+/// Declares [`Op`] and, from the same variant list, its stable diagnostic
+/// name and the public op catalog. Because all three are generated from one
+/// list, adding an op automatically extends [`Tape::op_catalog`] — which the
+/// gradient-audit sweep (`tests/grad_audit.rs`) cross-checks, so a new
+/// differentiable op without a finite-difference entry fails that test.
+macro_rules! declare_ops {
+    ($( $(#[$meta:meta])* $name:ident $(($($payload:ty),+ $(,)?))? ,)+) => {
+        #[derive(Debug)]
+        enum Op {
+            $( $(#[$meta])* $name $(($($payload),+))? ,)+
+        }
+
+        impl Op {
+            /// Stable per-variant name used in invariant diagnostics.
+            fn name(&self) -> &'static str {
+                match self {
+                    $( Op::$name { .. } => stringify!($name), )+
+                }
+            }
+        }
+
+        /// Every op variant name, in declaration order.
+        const OP_CATALOG: &[&str] = &[ $( stringify!($name), )+ ];
+    };
+}
+
+declare_ops! {
     /// Trainable input; receives a gradient.
     Leaf,
     /// Non-trainable input; never receives a gradient.
@@ -72,6 +97,18 @@ enum Op {
     Exp(Var),
 }
 
+/// A deliberate corruption of the next backward pass, used by tests to prove
+/// the `strict-numerics` invariant layer fails fast (see
+/// [`Tape::inject_backward_fault`]).
+#[cfg(feature = "strict-numerics")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackwardFault {
+    /// Replace the seed gradient with NaN.
+    NanGradient,
+    /// Replace the seed gradient with a wrong-shaped tensor.
+    ShapeMismatch,
+}
+
 struct Node {
     value: Tensor,
     op: Op,
@@ -84,6 +121,8 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    #[cfg(feature = "strict-numerics")]
+    fault: Option<BackwardFault>,
 }
 
 impl std::fmt::Debug for Tape {
@@ -115,7 +154,26 @@ impl Gradients {
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape::default()
+    }
+
+    /// Names of every op the tape can record, in declaration order.
+    ///
+    /// The gradient-audit sweep uses this to guarantee each differentiable
+    /// op has a finite-difference check; it grows automatically when a new
+    /// op variant is declared.
+    pub fn op_catalog() -> &'static [&'static str] {
+        OP_CATALOG
+    }
+
+    /// Corrupts the seed gradient of the next [`Tape::backward`] call.
+    ///
+    /// Test-only hook for the `strict-numerics` invariant layer: the first
+    /// backward step then trips the per-op gradient validation, proving the
+    /// guards fire inside a realistic training step.
+    #[cfg(feature = "strict-numerics")]
+    pub fn inject_backward_fault(&mut self, fault: BackwardFault) {
+        self.fault = Some(fault);
     }
 
     /// Number of nodes recorded so far.
@@ -134,8 +192,18 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
-        debug_assert!(!value.has_non_finite(), "non-finite value from {op:?}");
-        self.nodes.push(Node { value, op, requires_grad });
+        #[cfg(feature = "strict-numerics")]
+        crate::checks::enforce_forward_finite(op.name(), &value);
+        debug_assert!(
+            !value.has_non_finite(),
+            "non-finite value from op `{}`",
+            op.name()
+        );
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -274,14 +342,23 @@ impl Tape {
         training: bool,
         rng: &mut R,
     ) -> Var {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         if !training || p == 0.0 {
             return a;
         }
         let keep = 1.0 - p;
         let x = self.value(a);
         let mask: Vec<f32> = (0..x.numel())
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut value = x.clone();
         for (v, &m) in value.data_mut().iter_mut().zip(mask.iter()) {
@@ -346,7 +423,11 @@ impl Tape {
     /// `log q` is `log_probs` and `p` is the constant `targets` distribution.
     pub fn nll_soft(&mut self, log_probs: Var, targets: &Tensor) -> Var {
         let lp = self.value(log_probs);
-        assert_eq!(lp.shape(), targets.shape(), "targets must match log-probs shape");
+        assert_eq!(
+            lp.shape(),
+            targets.shape(),
+            "targets must match log-probs shape"
+        );
         let m = lp.rows().max(1) as f32;
         let total: f32 = lp
             .data()
@@ -456,9 +537,19 @@ impl Tape {
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
+        #[cfg(feature = "strict-numerics")]
+        if let Some(fault) = self.fault {
+            grads[loss.0] = Some(match fault {
+                BackwardFault::NanGradient => Tensor::scalar(f32::NAN),
+                BackwardFault::ShapeMismatch => Tensor::ones(&[3, 3]),
+            });
+        }
+
         for idx in (0..=loss.0).rev() {
             let Some(g) = grads[idx].take() else { continue };
             let node = &self.nodes[idx];
+            #[cfg(feature = "strict-numerics")]
+            crate::checks::enforce_backward_invariants(node.op.name(), idx, &g, node.value.shape());
             if !node.requires_grad {
                 // Still re-store for Leaf retrieval semantics below.
                 if matches!(node.op, Op::Leaf) {
@@ -550,8 +641,10 @@ impl Tape {
                     // dL/dx = g - softmax(x) * rowsum(g)
                     let cols = node.value.cols();
                     let mut da = g.clone();
-                    for (g_row, y_row) in
-                        da.data_mut().chunks_mut(cols).zip(node.value.data().chunks(cols))
+                    for (g_row, y_row) in da
+                        .data_mut()
+                        .chunks_mut(cols)
+                        .zip(node.value.data().chunks(cols))
                     {
                         let row_sum: f32 = g_row.iter().sum();
                         for (gv, &ly) in g_row.iter_mut().zip(y_row) {
@@ -756,7 +849,13 @@ mod tests {
         assert!((t1.value(hard).item() - t2.value(soft).item()).abs() < 1e-5);
         let g1 = t1.backward(hard);
         let g2 = t2.backward(soft);
-        for (a, b) in g1.get(l1).unwrap().data().iter().zip(g2.get(l2).unwrap().data()) {
+        for (a, b) in g1
+            .get(l1)
+            .unwrap()
+            .data()
+            .iter()
+            .zip(g2.get(l2).unwrap().data())
+        {
             assert!((a - b).abs() < 1e-5);
         }
     }
@@ -789,7 +888,10 @@ mod tests {
         let x = tape.constant(Tensor::ones(&[50, 50]));
         let y = tape.dropout(x, 0.3, true, &mut rng);
         let mean = tape.value(y).mean();
-        assert!((mean - 1.0).abs() < 0.08, "inverted dropout keeps E[x]: {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.08,
+            "inverted dropout keeps E[x]: {mean}"
+        );
     }
 
     #[test]

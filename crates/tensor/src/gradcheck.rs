@@ -75,7 +75,10 @@ pub fn check_gradients(
             max_rel = rel;
         }
     }
-    GradCheckReport { max_rel_error: max_rel, coords_checked: param.numel() }
+    GradCheckReport {
+        max_rel_error: max_rel,
+        coords_checked: param.numel(),
+    }
 }
 
 #[cfg(test)]

@@ -57,7 +57,10 @@ mod tests {
         let mean = w.mean();
         let var = w.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / w.numel() as f32;
         let expected = 2.0 / 200.0;
-        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]
@@ -71,7 +74,11 @@ mod tests {
     #[test]
     fn zeros_and_bias_are_zero() {
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(Init::Zeros.weight(3, 3, &mut rng).data().iter().all(|&v| v == 0.0));
+        assert!(Init::Zeros
+            .weight(3, 3, &mut rng)
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
         assert!(Init::KaimingNormal.bias(5).data().iter().all(|&v| v == 0.0));
     }
 

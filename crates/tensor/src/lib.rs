@@ -8,7 +8,10 @@
 //! fully-tested engine sufficient for every model in the pipeline (MLP
 //! backbones, classifier heads, graph neural networks, contrastive encoders).
 //! Gradients of every op are validated against finite differences (see
-//! [`check_gradients`]).
+//! [`check_gradients`]), and the optional `strict-numerics` cargo feature
+//! adds runtime guards that validate gradient shape and finiteness on every
+//! backward step and optimizer update (see the [`checks`](crate::validate_shape)
+//! helpers).
 //!
 //! ## Example: one SGD step on a linear classifier
 //!
@@ -42,13 +45,17 @@
 #![warn(missing_docs)]
 
 mod autograd;
+mod checks;
 mod gradcheck;
 mod init;
 mod optim;
 mod schedule;
 mod tensor;
 
+#[cfg(feature = "strict-numerics")]
+pub use autograd::BackwardFault;
 pub use autograd::{confidence_rows, softmax_rows, Gradients, Tape, Var};
+pub use checks::validate_shape;
 pub use gradcheck::{check_gradients, GradCheckReport};
 pub use init::Init;
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd, SgdConfig};
@@ -75,7 +82,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeMismatch { expected, actual } => {
-                write!(f, "shape expects {expected} elements but buffer has {actual}")
+                write!(
+                    f,
+                    "shape expects {expected} elements but buffer has {actual}"
+                )
             }
         }
     }

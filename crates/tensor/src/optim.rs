@@ -54,7 +54,12 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { lr: 0.01, momentum: 0.0, nesterov: false, weight_decay: 0.0 }
+        SgdConfig {
+            lr: 0.01,
+            momentum: 0.0,
+            nesterov: false,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -69,13 +74,23 @@ impl Sgd {
     /// Creates an SGD optimizer with the given configuration.
     pub fn new(cfg: SgdConfig) -> Self {
         assert!(cfg.lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&cfg.momentum), "momentum must be in [0,1)");
-        Sgd { cfg, velocity: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&cfg.momentum),
+            "momentum must be in [0,1)"
+        );
+        Sgd {
+            cfg,
+            velocity: Vec::new(),
+        }
     }
 
     /// The paper's most common setting: lr with momentum 0.9.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd::new(SgdConfig { lr, momentum, ..SgdConfig::default() })
+        Sgd::new(SgdConfig {
+            lr,
+            momentum,
+            ..SgdConfig::default()
+        })
     }
 }
 
@@ -86,8 +101,11 @@ impl Optimizer for Sgd {
             self.velocity = vec![None; params.len()];
         }
         assert_eq!(self.velocity.len(), params.len(), "parameter count changed");
-        for ((param, grad), vel) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
+        let slots = params.iter_mut().zip(grads).zip(self.velocity.iter_mut());
+        for (_slot, ((param, grad), vel)) in slots.enumerate() {
             let Some(grad) = grad else { continue };
+            #[cfg(feature = "strict-numerics")]
+            crate::checks::enforce_optimizer_invariants("SGD", _slot, param, grad);
             assert_eq!(param.shape(), grad.shape(), "gradient shape mismatch");
             let mut g = grad.clone();
             if self.cfg.weight_decay > 0.0 {
@@ -134,7 +152,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -152,12 +176,20 @@ impl Adam {
     /// Creates an Adam optimizer with the given configuration.
     pub fn new(cfg: AdamConfig) -> Self {
         assert!(cfg.lr > 0.0, "learning rate must be positive");
-        Adam { cfg, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            cfg,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Adam with a learning rate and the standard β defaults.
     pub fn with_lr(lr: f32) -> Self {
-        Adam::new(AdamConfig { lr, ..AdamConfig::default() })
+        Adam::new(AdamConfig {
+            lr,
+            ..AdamConfig::default()
+        })
     }
 }
 
@@ -174,6 +206,8 @@ impl Optimizer for Adam {
         let b2t = 1.0 - self.cfg.beta2.powi(self.t as i32);
         for (i, (param, grad)) in params.iter_mut().zip(grads).enumerate() {
             let Some(grad) = grad else { continue };
+            #[cfg(feature = "strict-numerics")]
+            crate::checks::enforce_optimizer_invariants("Adam", i, param, grad);
             assert_eq!(param.shape(), grad.shape(), "gradient shape mismatch");
             let mut g = grad.clone();
             if self.cfg.weight_decay > 0.0 {
@@ -188,12 +222,7 @@ impl Optimizer for Adam {
             v.add_scaled(&g2, 1.0 - self.cfg.beta2);
             let lr = self.cfg.lr;
             let eps = self.cfg.eps;
-            for ((p, mv), vv) in param
-                .data_mut()
-                .iter_mut()
-                .zip(m.data())
-                .zip(v.data())
-            {
+            for ((p, mv), vv) in param.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let m_hat = mv / b1t;
                 let v_hat = vv / b2t;
                 *p -= lr * m_hat / (v_hat.sqrt() + eps);
@@ -224,7 +253,10 @@ mod tests {
     #[test]
     fn sgd_converges_on_quadratic() {
         let mut w = Tensor::from_vec(vec![0.0, 10.0, -4.0]);
-        let mut opt = Sgd::new(SgdConfig { lr: 0.1, ..SgdConfig::default() });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            ..SgdConfig::default()
+        });
         for _ in 0..200 {
             let g = quadratic_grad(&w);
             opt.step(&mut [&mut w], &[Some(g)]);
@@ -236,7 +268,11 @@ mod tests {
     fn momentum_accelerates_over_plain_sgd() {
         let run = |momentum: f32| {
             let mut w = Tensor::from_vec(vec![10.0]);
-            let mut opt = Sgd::new(SgdConfig { lr: 0.02, momentum, ..SgdConfig::default() });
+            let mut opt = Sgd::new(SgdConfig {
+                lr: 0.02,
+                momentum,
+                ..SgdConfig::default()
+            });
             for _ in 0..50 {
                 let g = quadratic_grad(&w);
                 opt.step(&mut [&mut w], &[Some(g)]);
@@ -261,7 +297,11 @@ mod tests {
     fn weight_decay_shrinks_parameters_without_gradient_signal() {
         let mut w = Tensor::from_vec(vec![5.0]);
         let zero = Tensor::zeros(&[1]);
-        let mut opt = Sgd::new(SgdConfig { lr: 0.1, weight_decay: 0.1, ..SgdConfig::default() });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            weight_decay: 0.1,
+            ..SgdConfig::default()
+        });
         for _ in 0..10 {
             opt.step(&mut [&mut w], &[Some(zero.clone())]);
         }

@@ -71,7 +71,11 @@ impl LrSchedule {
 
     /// Milestone decay schedule.
     pub fn milestones(base_lr: f32, milestones: Vec<usize>, gamma: f32) -> Self {
-        LrSchedule::Milestones { base_lr, milestones, gamma }
+        LrSchedule::Milestones {
+            base_lr,
+            milestones,
+            gamma,
+        }
     }
 
     /// Linear warmup followed by milestone decay.
@@ -81,17 +85,28 @@ impl LrSchedule {
         milestones: Vec<usize>,
         gamma: f32,
     ) -> Self {
-        LrSchedule::WarmupMilestones { base_lr, warmup_steps, milestones, gamma }
+        LrSchedule::WarmupMilestones {
+            base_lr,
+            warmup_steps,
+            milestones,
+            gamma,
+        }
     }
 
     /// FixMatch's `η · cos(7πk / 16K)` schedule over `total_steps`.
     pub fn fixmatch_cosine(base_lr: f32, total_steps: usize) -> Self {
-        LrSchedule::FixMatchCosine { base_lr, total_steps: total_steps.max(1) }
+        LrSchedule::FixMatchCosine {
+            base_lr,
+            total_steps: total_steps.max(1),
+        }
     }
 
     /// Meta Pseudo Labels' `η/2 · (1 + cos(πk/K))` schedule over `total_steps`.
     pub fn half_cosine(base_lr: f32, total_steps: usize) -> Self {
-        LrSchedule::HalfCosine { base_lr, total_steps: total_steps.max(1) }
+        LrSchedule::HalfCosine {
+            base_lr,
+            total_steps: total_steps.max(1),
+        }
     }
 
     /// The schedule's base (peak) learning rate.
@@ -112,11 +127,20 @@ impl LrSchedule {
     pub fn lr_at(&self, k: usize) -> f32 {
         let lr = match self {
             LrSchedule::Constant { base_lr } => *base_lr,
-            LrSchedule::Milestones { base_lr, milestones, gamma } => {
+            LrSchedule::Milestones {
+                base_lr,
+                milestones,
+                gamma,
+            } => {
                 let hits = milestones.iter().filter(|&&m| k >= m).count() as i32;
                 base_lr * gamma.powi(hits)
             }
-            LrSchedule::WarmupMilestones { base_lr, warmup_steps, milestones, gamma } => {
+            LrSchedule::WarmupMilestones {
+                base_lr,
+                warmup_steps,
+                milestones,
+                gamma,
+            } => {
                 if k < *warmup_steps {
                     base_lr * (k + 1) as f32 / *warmup_steps as f32
                 } else {
@@ -124,11 +148,17 @@ impl LrSchedule {
                     base_lr * gamma.powi(hits)
                 }
             }
-            LrSchedule::FixMatchCosine { base_lr, total_steps } => {
+            LrSchedule::FixMatchCosine {
+                base_lr,
+                total_steps,
+            } => {
                 let frac = (k as f32 / *total_steps as f32).min(1.0);
                 base_lr * (7.0 * std::f32::consts::PI * frac / 16.0).cos()
             }
-            LrSchedule::HalfCosine { base_lr, total_steps } => {
+            LrSchedule::HalfCosine {
+                base_lr,
+                total_steps,
+            } => {
                 let frac = (k as f32 / *total_steps as f32).min(1.0);
                 base_lr / 2.0 * (1.0 + (std::f32::consts::PI * frac).cos())
             }

@@ -54,7 +54,10 @@ impl fmt::Debug for Tensor {
 impl Default for Tensor {
     /// An empty rank-1 tensor with zero elements.
     fn default() -> Self {
-        Tensor { shape: vec![0], data: Vec::new() }
+        Tensor {
+            shape: vec![0],
+            data: Vec::new(),
+        }
     }
 }
 
@@ -91,7 +94,10 @@ impl Tensor {
 
     /// Creates a rank-1 tensor owning `data`.
     pub fn from_vec(data: Vec<f32>) -> Self {
-        Tensor { shape: vec![data.len()], data }
+        Tensor {
+            shape: vec![data.len()],
+            data,
+        }
     }
 
     /// Creates a rank-1 tensor copied from a slice.
@@ -112,30 +118,45 @@ impl Tensor {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Tensor { shape: vec![r, c], data }
+        Tensor {
+            shape: vec![r, c],
+            data,
+        }
     }
 
     /// A rank-1 tensor holding a single scalar value.
     pub fn scalar(v: f32) -> Self {
-        Tensor { shape: vec![1], data: vec![v] }
+        Tensor {
+            shape: vec![1],
+            data: vec![v],
+        }
     }
 
     /// A tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let numel = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; numel] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
     }
 
     /// A tensor of ones with the given shape.
     pub fn ones(shape: &[usize]) -> Self {
         let numel = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![1.0; numel] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![1.0; numel],
+        }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![value; numel] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; numel],
+        }
     }
 
     /// The `n`-by-`n` identity matrix.
@@ -162,14 +183,20 @@ impl Tensor {
                 data.push(r * theta.sin() * std);
             }
         }
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// A tensor with entries drawn uniformly from `[lo, hi)`.
     pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
         let numel: usize = shape.iter().product();
         let data = (0..numel).map(|_| rng.gen_range(lo..hi)).collect();
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -202,7 +229,11 @@ impl Tensor {
     ///
     /// Panics if the tensor does not hold exactly one element.
     pub fn item(&self) -> f32 {
-        assert!(self.is_scalar(), "item() on non-scalar tensor {:?}", self.shape);
+        assert!(
+            self.is_scalar(),
+            "item() on non-scalar tensor {:?}",
+            self.shape
+        );
         self.data[0]
     }
 
@@ -265,7 +296,11 @@ impl Tensor {
 
     /// Iterator over the rows of a rank-2 tensor.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
-        let c = if self.rank() == 2 { self.shape[1] } else { self.data.len() };
+        let c = if self.rank() == 2 {
+            self.shape[1]
+        } else {
+            self.data.len()
+        };
         self.data.chunks(c.max(1))
     }
 
@@ -294,10 +329,14 @@ impl Tensor {
             assert_eq!(t.cols(), cols, "vstack column mismatch");
             data.extend_from_slice(t.data());
         }
-        Tensor { shape: vec![rows, cols], data }
+        Tensor {
+            shape: vec![rows, cols],
+            data,
+        }
     }
 
     /// Selects a subset of rows (with repetition allowed) into a new tensor.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn gather_rows(&self, indices: &[usize]) -> Self {
         debug_assert_eq!(self.rank(), 2);
         let c = self.shape[1];
@@ -305,7 +344,10 @@ impl Tensor {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Tensor { shape: vec![indices.len(), c], data }
+        Tensor {
+            shape: vec![indices.len(), c],
+            data,
+        }
     }
 
     /// Reinterprets the tensor with a new shape (same number of elements).
@@ -313,9 +355,14 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the element count changes.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn reshaped(mut self, shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.data.len(), "reshape must preserve element count");
+        assert_eq!(
+            numel,
+            self.data.len(),
+            "reshape must preserve element count"
+        );
         self.shape = shape.to_vec();
         self
     }
@@ -325,26 +372,31 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Elementwise sum; shapes must match.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn add(&self, other: &Tensor) -> Tensor {
         self.zip_map(other, |a, b| a + b)
     }
 
     /// Elementwise difference; shapes must match.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn sub(&self, other: &Tensor) -> Tensor {
         self.zip_map(other, |a, b| a - b)
     }
 
     /// Elementwise (Hadamard) product; shapes must match.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn mul(&self, other: &Tensor) -> Tensor {
         self.zip_map(other, |a, b| a * b)
     }
 
     /// Multiplies every element by `s`.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn scale(&self, s: f32) -> Tensor {
         self.map(|v| v * s)
     }
 
     /// Applies `f` to every element, producing a new tensor.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
@@ -357,6 +409,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the shapes differ.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in elementwise op");
         Tensor {
@@ -407,6 +460,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if inner dimensions disagree or either operand is not rank 2.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
         assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
@@ -428,10 +482,14 @@ impl Tensor {
                 }
             }
         }
-        Tensor { shape: vec![m, n], data: out }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
     }
 
     /// Matrix product with transposed rhs: `self [m,k] × otherᵀ [n,k] → [m,n]`.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 2);
         assert_eq!(other.rank(), 2);
@@ -450,10 +508,14 @@ impl Tensor {
                 out[i * n + j] = acc;
             }
         }
-        Tensor { shape: vec![m, n], data: out }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
     }
 
     /// Matrix product with transposed lhs: `selfᵀ [k,m] × other [k,n] → [m,n]`.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 2);
         assert_eq!(other.rank(), 2);
@@ -474,10 +536,14 @@ impl Tensor {
                 }
             }
         }
-        Tensor { shape: vec![m, n], data: out }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
     }
 
     /// Transposed copy of a rank-2 tensor.
+    #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn transposed(&self) -> Tensor {
         assert_eq!(self.rank(), 2);
         let (m, n) = (self.shape[0], self.shape[1]);
@@ -487,7 +553,10 @@ impl Tensor {
                 data[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor { shape: vec![n, m], data }
+        Tensor {
+            shape: vec![n, m],
+            data,
+        }
     }
 
     /// Inner product of two same-shaped tensors viewed as flat vectors.
@@ -527,7 +596,9 @@ impl Tensor {
     /// Per-row argmax of a rank-2 tensor.
     pub fn argmax_rows(&self) -> Vec<usize> {
         debug_assert_eq!(self.rank(), 2);
-        (0..self.rows()).map(|r| argmax_slice(self.row(r))).collect()
+        (0..self.rows())
+            .map(|r| argmax_slice(self.row(r)))
+            .collect()
     }
 
     /// `true` if any element is NaN or infinite.

@@ -1,0 +1,163 @@
+//! Proves the `strict-numerics` invariant layer fails fast, with a usable
+//! diagnostic, when a backward pass or optimizer step sees corrupted data.
+//!
+//! Each test stages a realistic training step (linear classifier, softmax
+//! cross-entropy) and then injects a fault: a NaN gradient or a wrong-shaped
+//! gradient, either at the tape level ([`Tape::inject_backward_fault`]) or
+//! handed directly to [`Sgd`]/[`Adam`].
+
+#![cfg(feature = "strict-numerics")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::{rngs::StdRng, SeedableRng};
+use taglets_tensor::{
+    Adam, BackwardFault, Gradients, Optimizer, Sgd, SgdConfig, Tape, Tensor, Var,
+};
+
+const LABELS: [usize; 6] = [0, 1, 2, 0, 1, 2];
+
+/// One forward pass of a linear classifier; returns the tape and parameter
+/// handles so tests can run backward and corrupt whatever they need.
+fn forward(w: &Tensor, b: &Tensor) -> (Tape, Var, Var, Var) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let x = Tensor::randn(&[LABELS.len(), 4], 1.0, &mut rng);
+    let mut tape = Tape::new();
+    let xv = tape.constant(x);
+    let wv = tape.leaf(w.clone());
+    let bv = tape.leaf(b.clone());
+    let logits = tape.matmul(xv, wv);
+    let logits = tape.add_row(logits, bv);
+    let loss = tape.softmax_cross_entropy(logits, &LABELS);
+    (tape, wv, bv, loss)
+}
+
+fn params() -> (Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(3);
+    (Tensor::randn(&[4, 3], 0.5, &mut rng), Tensor::zeros(&[3]))
+}
+
+fn real_grads() -> (Tensor, Tensor, Gradients, (Var, Var)) {
+    let (w, b) = params();
+    let (tape, wv, bv, loss) = forward(&w, &b);
+    let grads = tape.backward(loss);
+    (w, b, grads, (wv, bv))
+}
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string panic>".to_string())
+}
+
+#[test]
+fn clean_sgd_and_adam_steps_pass_under_strict_numerics() {
+    let (mut w, mut b, mut grads, (wv, bv)) = real_grads();
+    let mut sgd = Sgd::new(SgdConfig {
+        lr: 0.1,
+        ..SgdConfig::default()
+    });
+    sgd.step(&mut [&mut w, &mut b], &[grads.take(wv), grads.take(bv)]);
+
+    let (mut w2, mut b2, mut grads2, (wv2, bv2)) = real_grads();
+    let mut adam = Adam::with_lr(0.01);
+    adam.step(
+        &mut [&mut w2, &mut b2],
+        &[grads2.take(wv2), grads2.take(bv2)],
+    );
+
+    w.assert_finite("w after SGD");
+    w2.assert_finite("w after Adam");
+}
+
+#[test]
+fn backward_names_the_op_on_injected_nan_gradient() {
+    let (w, b) = params();
+    let (mut tape, _, _, loss) = forward(&w, &b);
+    tape.inject_backward_fault(BackwardFault::NanGradient);
+    let err = catch_unwind(AssertUnwindSafe(|| tape.backward(loss)))
+        .expect_err("NaN gradient must panic under strict-numerics");
+    let msg = panic_message(err);
+    assert!(msg.contains("strict-numerics"), "{msg}");
+    assert!(msg.contains("backward through op `NllHard`"), "{msg}");
+    assert!(msg.contains("non-finite"), "{msg}");
+}
+
+#[test]
+fn backward_names_the_op_on_injected_shape_mismatch() {
+    let (w, b) = params();
+    let (mut tape, _, _, loss) = forward(&w, &b);
+    tape.inject_backward_fault(BackwardFault::ShapeMismatch);
+    let err = catch_unwind(AssertUnwindSafe(|| tape.backward(loss)))
+        .expect_err("wrong-shaped gradient must panic under strict-numerics");
+    let msg = panic_message(err);
+    assert!(msg.contains("backward through op `NllHard`"), "{msg}");
+    assert!(msg.contains("shape mismatch"), "{msg}");
+}
+
+#[test]
+fn sgd_step_rejects_nan_gradient_with_slot_diagnostic() {
+    let (mut w, mut b, mut grads, (wv, bv)) = real_grads();
+    let mut gw = grads.take(wv).expect("w gradient");
+    gw.data_mut()[0] = f32::NAN;
+    let gb = grads.take(bv);
+    let mut opt = Sgd::new(SgdConfig {
+        lr: 0.1,
+        ..SgdConfig::default()
+    });
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        opt.step(&mut [&mut w, &mut b], &[Some(gw), gb]);
+    }))
+    .expect_err("NaN gradient must panic during SGD step");
+    let msg = panic_message(err);
+    assert!(msg.contains("SGD step, parameter slot 0"), "{msg}");
+    assert!(msg.contains("non-finite"), "{msg}");
+}
+
+#[test]
+fn sgd_step_rejects_shape_mismatched_gradient() {
+    let (mut w, mut b, mut grads, (_, bv)) = real_grads();
+    let gb = grads.take(bv);
+    let mut opt = Sgd::new(SgdConfig {
+        lr: 0.1,
+        ..SgdConfig::default()
+    });
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        opt.step(&mut [&mut w, &mut b], &[Some(Tensor::ones(&[2, 2])), gb]);
+    }))
+    .expect_err("wrong-shaped gradient must panic during SGD step");
+    let msg = panic_message(err);
+    assert!(msg.contains("SGD step, parameter slot 0"), "{msg}");
+    assert!(msg.contains("shape mismatch"), "{msg}");
+}
+
+#[test]
+fn adam_step_rejects_nan_gradient_with_slot_diagnostic() {
+    let (mut w, mut b, mut grads, (wv, bv)) = real_grads();
+    let gw = grads.take(wv);
+    let mut gb = grads.take(bv).expect("b gradient");
+    gb.data_mut()[1] = f32::INFINITY;
+    let mut opt = Adam::with_lr(0.01);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        opt.step(&mut [&mut w, &mut b], &[gw, Some(gb)]);
+    }))
+    .expect_err("infinite gradient must panic during Adam step");
+    let msg = panic_message(err);
+    assert!(msg.contains("Adam step, parameter slot 1"), "{msg}");
+    assert!(msg.contains("non-finite"), "{msg}");
+}
+
+#[test]
+fn adam_step_rejects_shape_mismatched_gradient() {
+    let (mut w, mut b, mut grads, (wv, _)) = real_grads();
+    let gw = grads.take(wv);
+    let mut opt = Adam::with_lr(0.01);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        opt.step(&mut [&mut w, &mut b], &[gw, Some(Tensor::ones(&[7]))]);
+    }))
+    .expect_err("wrong-shaped gradient must panic during Adam step");
+    let msg = panic_message(err);
+    assert!(msg.contains("Adam step, parameter slot 1"), "{msg}");
+    assert!(msg.contains("shape mismatch"), "{msg}");
+}

@@ -16,8 +16,8 @@ use rand::rngs::StdRng;
 use taglets::nn::Classifier;
 use taglets::tensor::Tensor;
 use taglets::{
-    standard_tasks, BackboneKind, ConceptUniverse, CoreError, ModelZoo, ModuleContext,
-    PruneLevel, Taglet, TagletModule, TagletsConfig, TagletsSystem, UniverseConfig, ZooConfig,
+    standard_tasks, BackboneKind, ConceptUniverse, CoreError, ModelZoo, ModuleContext, PruneLevel,
+    Taglet, TagletModule, TagletsConfig, TagletsSystem, UniverseConfig, ZooConfig,
 };
 
 /// A taglet that classifies by cosine proximity to class prototypes in the
@@ -95,7 +95,11 @@ impl TagletModule for PrototypeModule {
         // A dummy classifier carries the frozen encoder.
         let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
         let encoder = Classifier::new(pre.backbone(), c, &mut rng);
-        Ok(Box::new(PrototypeTaglet { encoder, prototypes: protos, temperature: 4.0 }))
+        Ok(Box::new(PrototypeTaglet {
+            encoder,
+            prototypes: protos,
+            temperature: 4.0,
+        }))
     }
 }
 
@@ -124,8 +128,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let extended = TagletsSystem::prepare_with_zslkg(&scads, &zoo, config, zslkg)
         .with_extra_module(Box::new(PrototypeModule));
 
-    println!("active modules (standard): {:?}", standard.active_module_names());
-    println!("active modules (extended): {:?}", extended.active_module_names());
+    println!(
+        "active modules (standard): {:?}",
+        standard.active_module_names()
+    );
+    println!(
+        "active modules (extended): {:?}",
+        extended.active_module_names()
+    );
 
     let base = standard.run(task, &split, PruneLevel::NoPruning, 0)?;
     let ext = extended.run(task, &split, PruneLevel::NoPruning, 0)?;
@@ -135,7 +145,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.end_model.accuracy(&split.test_x, &split.test_y),
         ext.end_model.accuracy(&split.test_x, &split.test_y)
     );
-    let proto = ext.taglet(PrototypeModule::NAME).expect("custom module ran");
+    let proto = ext
+        .taglet(PrototypeModule::NAME)
+        .expect("custom module ran");
     println!(
         "  the custom taglet alone: {:.3}",
         proto.accuracy(&split.test_x, &split.test_y)

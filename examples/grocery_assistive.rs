@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let split = task.split(0, 5);
     let run = system.run(task, &split, PruneLevel::NoPruning, 0)?;
-    assert!(scads.graph().find("oatghurt").is_none(), "shared SCADS unchanged");
+    assert!(
+        scads.graph().find("oatghurt").is_none(),
+        "shared SCADS unchanged"
+    );
     println!(
         "\n5-shot grocery recognition over {} products: end model accuracy {:.3}",
         task.num_classes(),
@@ -90,7 +93,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|(i, _)| i)
             .collect();
         let correct = idx.iter().filter(|&&i| preds[i] == class).count();
-        println!("  `{oov}`: {}/{} test images recognised", correct, idx.len());
+        println!(
+            "  `{oov}`: {}/{} test images recognised",
+            correct,
+            idx.len()
+        );
     }
     Ok(())
 }

@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &zoo,
         TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k),
     );
-    println!("\n5-shot material recognition ({} materials):", task.num_classes());
+    println!(
+        "\n5-shot material recognition ({} materials):",
+        task.num_classes()
+    );
     for prune in PruneLevel::ALL {
         let run = system.run(task, &split, prune, 0)?;
         println!(
@@ -73,8 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, pred) in sorter.predict(&sample).into_iter().enumerate() {
         println!(
             "  item {i}: predicted `{}` (truth `{}`)",
-            names[pred],
-            names[split.test_y[i]]
+            names[pred], names[split.test_y[i]]
         );
     }
     Ok(())

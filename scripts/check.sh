@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Workspace gate: formatting, static analysis, tier-1 build + tests.
+#
+# Usage: scripts/check.sh
+# Runs entirely offline; every step works without network access.
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+failures=0
+
+step() {
+    local name="$1"
+    shift
+    echo "==> $name: $*"
+    if "$@"; then
+        echo "==> $name: ok"
+    else
+        echo "==> $name: FAILED"
+        failures=$((failures + 1))
+    fi
+    echo
+}
+
+# rustfmt is optional in minimal toolchains; skip gracefully when absent.
+if cargo fmt --version >/dev/null 2>&1; then
+    step "fmt" cargo fmt --all --check
+else
+    echo "==> fmt: skipped (rustfmt not installed)"
+    echo
+fi
+
+step "lint" cargo run --offline --quiet -p taglets-lint -- --check
+
+step "build" cargo build --offline --release
+
+step "test" cargo test --offline --quiet
+
+step "strict-numerics" cargo test --offline --quiet -p taglets-tensor --features strict-numerics
+
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: $failures step(s) failed"
+    exit 1
+fi
+echo "check.sh: all steps passed"

@@ -46,7 +46,7 @@
 #![warn(missing_docs)]
 
 pub use taglets_core::{
-    fixmatch_train, ClassifierTaglet, CoreError, Ensemble, EndModelConfig, FixMatchConfig,
+    fixmatch_train, ClassifierTaglet, CoreError, EndModelConfig, Ensemble, FixMatchConfig,
     FixMatchModule, ModuleContext, MultiTaskConfig, MultiTaskModule, ServableModel, Taglet,
     TagletModule, TagletsConfig, TagletsRun, TagletsSystem, TransferConfig, TransferModule,
     ZslKgConfig, ZslKgModule,

@@ -140,8 +140,7 @@ fn build_env(opts: &Options) -> Experiment {
 fn cmd_tasks(opts: &Options) -> Result<(), String> {
     let env = build_env(opts);
     for task in env.tasks() {
-        let summary =
-            taglets::data::TaskSummary::compute(task, env.universe().taxonomy());
+        let summary = taglets::data::TaskSummary::compute(task, env.universe().taxonomy());
         println!("{}", summary.to_line());
     }
     Ok(())
@@ -149,7 +148,7 @@ fn cmd_tasks(opts: &Options) -> Result<(), String> {
 
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let env = build_env(opts);
-    let task = env.task(opts.task());
+    let task = env.task(opts.task()).map_err(|e| e.to_string())?;
     let split = task.split(opts.split()?, opts.shots()?);
     let system = env.system(TagletsConfig::for_backbone(opts.backbone()?));
     let run = system
@@ -163,7 +162,10 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         opts.backbone()?,
         opts.prune()?
     );
-    println!("selected |R| = {} images / {} aux classes", run.num_auxiliary_examples, run.num_auxiliary_classes);
+    println!(
+        "selected |R| = {} images / {} aux classes",
+        run.num_auxiliary_examples, run.num_auxiliary_classes
+    );
     for (taglet, (name, secs)) in run.taglets.iter().zip(&run.module_seconds) {
         println!(
             "  {:<10} acc {:.3}  ({secs:.2}s)",
@@ -193,7 +195,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
 
 fn cmd_compare(opts: &Options) -> Result<(), String> {
     let env = build_env(opts);
-    let task = env.task(opts.task());
+    let task = env.task(opts.task()).map_err(|e| e.to_string())?;
     let split = task.split(opts.split()?, opts.shots()?);
     let backbone = opts.backbone()?;
     let seed = opts.seed()?;
@@ -204,7 +206,9 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     let mut methods = Method::table_rows();
     methods.extend(Method::pruning_rows());
     for method in methods {
-        let acc = method.evaluate(&env, task, &split, backbone, seed);
+        let acc = method
+            .evaluate(&env, task, &split, backbone, seed)
+            .map_err(|e| e.to_string())?;
         println!("  {:<24} {:.3}", method.label(), acc);
     }
     Ok(())

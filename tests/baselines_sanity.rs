@@ -7,8 +7,8 @@ mod common;
 use rand::SeedableRng;
 
 use taglets::baselines::{
-    fine_tune, fine_tune_distilled, fixmatch_baseline, meta_pseudo_labels, simclr_lite,
-    MplConfig, SimclrConfig,
+    fine_tune, fine_tune_distilled, fixmatch_baseline, meta_pseudo_labels, simclr_lite, MplConfig,
+    SimclrConfig,
 };
 use taglets::BackboneKind;
 
@@ -113,8 +113,15 @@ fn bit_backbone_dominates_resnet_for_fine_tuning_at_one_shot() {
     let split = task.split(0, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     let mut acc = |backbone| {
-        fine_tune(&w.zoo, backbone, &split, task.num_classes(), &Default::default(), &mut rng)
-            .accuracy(&split.test_x, &split.test_y)
+        fine_tune(
+            &w.zoo,
+            backbone,
+            &split,
+            task.num_classes(),
+            &Default::default(),
+            &mut rng,
+        )
+        .accuracy(&split.test_x, &split.test_y)
     };
     let resnet = acc(BackboneKind::ResNet50ImageNet1k);
     let bit = acc(BackboneKind::BitImageNet21k);

@@ -4,8 +4,8 @@
 use std::sync::OnceLock;
 
 use taglets::{
-    standard_tasks, AuxiliaryCorpus, ConceptUniverse, Image, ModelZoo, Scads, Task,
-    UniverseConfig, ZooConfig,
+    standard_tasks, AuxiliaryCorpus, ConceptUniverse, Image, ModelZoo, Scads, Task, UniverseConfig,
+    ZooConfig,
 };
 
 #[allow(dead_code)] // fields vary in use across test binaries
@@ -31,7 +31,13 @@ pub fn world() -> &'static TestWorld {
         let corpus = universe.build_corpus(15, 0);
         let scads = universe.build_scads(&corpus);
         let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
-        TestWorld { universe, tasks, corpus, scads, zoo }
+        TestWorld {
+            universe,
+            tasks,
+            corpus,
+            scads,
+            zoo,
+        }
     })
 }
 

@@ -221,7 +221,10 @@ proptest! {
 #[test]
 fn splits_partition_the_pool_for_every_seed() {
     let mut universe = taglets::ConceptUniverse::new(taglets::UniverseConfig {
-        graph: taglets::graph::SyntheticGraphConfig { num_concepts: 200, ..Default::default() },
+        graph: taglets::graph::SyntheticGraphConfig {
+            num_concepts: 200,
+            ..Default::default()
+        },
         ..Default::default()
     });
     let tasks = taglets::standard_tasks(&mut universe);

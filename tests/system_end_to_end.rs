@@ -21,7 +21,9 @@ fn taglets_beats_fine_tuning_at_one_shot_under_domain_shift() {
     let task = common::task("office_home_clipart");
     let split = task.split(0, 1);
     let sys = system(BackboneKind::ResNet50ImageNet1k);
-    let run = sys.run(task, &split, PruneLevel::NoPruning, 0).expect("run");
+    let run = sys
+        .run(task, &split, PruneLevel::NoPruning, 0)
+        .expect("run");
     let taglets_acc = run.end_model.accuracy(&split.test_x, &split.test_y);
 
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
@@ -45,14 +47,19 @@ fn run_produces_four_taglets_and_simplex_pseudo_labels() {
     let task = common::task("flickr_materials");
     let split = task.split(0, 5);
     let sys = system(BackboneKind::ResNet50ImageNet1k);
-    let run = sys.run(task, &split, PruneLevel::NoPruning, 0).expect("run");
+    let run = sys
+        .run(task, &split, PruneLevel::NoPruning, 0)
+        .expect("run");
     assert_eq!(run.taglets.len(), 4);
     let names: Vec<&str> = run.taglets.iter().map(|t| t.name()).collect();
     assert_eq!(names, ["transfer", "multitask", "fixmatch", "zsl-kg"]);
     assert_eq!(run.pseudo_labels.rows(), run.unlabeled_used.rows());
     for row in run.pseudo_labels.rows_iter() {
         let sum: f32 = row.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-4, "pseudo labels must stay on the simplex");
+        assert!(
+            (sum - 1.0).abs() < 1e-4,
+            "pseudo labels must stay on the simplex"
+        );
     }
 }
 
@@ -61,7 +68,11 @@ fn pruning_does_not_improve_the_selected_data_similarity() {
     // Selection must degrade monotonically in graph similarity terms.
     let w = common::world();
     let task = common::task("grocery_store");
-    let concepts: Vec<_> = task.aligned_concepts().into_iter().map(|(_, c)| c).collect();
+    let concepts: Vec<_> = task
+        .aligned_concepts()
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect();
     let mean_sim = |prune| {
         let mut total = 0.0;
         let mut n = 0;
@@ -76,8 +87,14 @@ fn pruning_does_not_improve_the_selected_data_similarity() {
     let none = mean_sim(PruneLevel::NoPruning);
     let l0 = mean_sim(PruneLevel::Level0);
     let l1 = mean_sim(PruneLevel::Level1);
-    assert!(none >= l0, "prune-0 must not increase similarity ({none} vs {l0})");
-    assert!(l0 >= l1, "prune-1 must not increase similarity ({l0} vs {l1})");
+    assert!(
+        none >= l0,
+        "prune-0 must not increase similarity ({none} vs {l0})"
+    );
+    assert!(
+        l0 >= l1,
+        "prune-1 must not increase similarity ({l0} vs {l1})"
+    );
 }
 
 #[test]
@@ -85,7 +102,9 @@ fn end_model_is_servable_and_single_network() {
     let task = common::task("flickr_materials");
     let split = task.split(0, 5);
     let sys = system(BackboneKind::ResNet50ImageNet1k);
-    let run = sys.run(task, &split, PruneLevel::NoPruning, 0).expect("run");
+    let run = sys
+        .run(task, &split, PruneLevel::NoPruning, 0)
+        .expect("run");
     let model = &run.end_model;
     assert_eq!(model.num_classes(), task.num_classes());
     assert_eq!(model.input_dim(), common::world().universe.image_dim());
@@ -119,7 +138,9 @@ fn module_ablation_changes_the_ensemble() {
     )
     .without_module(TransferModule::NAME);
     assert_eq!(ablated.active_module_names().len(), 3);
-    let run = ablated.run(task, &split, PruneLevel::NoPruning, 0).expect("run");
+    let run = ablated
+        .run(task, &split, PruneLevel::NoPruning, 0)
+        .expect("run");
     assert_eq!(run.taglets.len(), 3);
     assert!(run.taglet(TransferModule::NAME).is_none());
     assert!(run.taglet(ZslKgModule::NAME).is_some());
@@ -133,15 +154,28 @@ fn zsl_kg_taglet_is_invariant_to_shots() {
     let sys = system(BackboneKind::ResNet50ImageNet1k);
     let split1 = task.split(0, 1);
     let split5 = task.split(0, 5);
-    let run1 = sys.run(task, &split1, PruneLevel::NoPruning, 0).expect("run");
-    let run5 = sys.run(task, &split5, PruneLevel::NoPruning, 0).expect("run");
-    let acc1 = run1.taglet("zsl-kg").unwrap().accuracy(&split1.test_x, &split1.test_y);
-    let acc5 = run5.taglet("zsl-kg").unwrap().accuracy(&split5.test_x, &split5.test_y);
+    let run1 = sys
+        .run(task, &split1, PruneLevel::NoPruning, 0)
+        .expect("run");
+    let run5 = sys
+        .run(task, &split5, PruneLevel::NoPruning, 0)
+        .expect("run");
+    let acc1 = run1
+        .taglet("zsl-kg")
+        .unwrap()
+        .accuracy(&split1.test_x, &split1.test_y);
+    let acc5 = run5
+        .taglet("zsl-kg")
+        .unwrap()
+        .accuracy(&split5.test_x, &split5.test_y);
     // Same predetermined? test sets differ only through the split shots; the
     // grocery test is fixed but FMD's test depends only on split seed, which
     // is equal here, so the test sets are identical.
     assert_eq!(split1.test_x, split5.test_x);
-    assert!((acc1 - acc5).abs() < 1e-6, "zsl-kg must be shot-invariant: {acc1} vs {acc5}");
+    assert!(
+        (acc1 - acc5).abs() < 1e-6,
+        "zsl-kg must be shot-invariant: {acc1} vs {acc5}"
+    );
 }
 
 #[test]
@@ -149,14 +183,20 @@ fn runs_are_deterministic_given_the_same_seed() {
     let task = common::task("flickr_materials");
     let split = task.split(0, 1);
     let sys = system(BackboneKind::ResNet50ImageNet1k);
-    let a = sys.run(task, &split, PruneLevel::NoPruning, 7).expect("run");
-    let b = sys.run(task, &split, PruneLevel::NoPruning, 7).expect("run");
+    let a = sys
+        .run(task, &split, PruneLevel::NoPruning, 7)
+        .expect("run");
+    let b = sys
+        .run(task, &split, PruneLevel::NoPruning, 7)
+        .expect("run");
     assert_eq!(
         a.end_model.predict(&split.test_x),
         b.end_model.predict(&split.test_x),
         "same training seed must reproduce the same end model"
     );
-    let c = sys.run(task, &split, PruneLevel::NoPruning, 8).expect("run");
+    let c = sys
+        .run(task, &split, PruneLevel::NoPruning, 8)
+        .expect("run");
     // Different seed: same API, (almost surely) different model.
     assert_ne!(
         a.end_model.predict_proba(&split.test_x).data(),
@@ -171,7 +211,12 @@ fn grocery_extension_is_isolated_to_the_run() {
     let split = task.split(0, 1);
     assert!(w.scads.graph().find("oatghurt").is_none());
     let sys = system(BackboneKind::ResNet50ImageNet1k);
-    let run = sys.run(task, &split, PruneLevel::NoPruning, 0).expect("run");
-    assert!(w.scads.graph().find("oatghurt").is_none(), "shared SCADS must stay clean");
+    let run = sys
+        .run(task, &split, PruneLevel::NoPruning, 0)
+        .expect("run");
+    assert!(
+        w.scads.graph().find("oatghurt").is_none(),
+        "shared SCADS must stay clean"
+    );
     assert_eq!(run.end_model.num_classes(), 42);
 }
