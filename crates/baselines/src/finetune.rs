@@ -80,7 +80,8 @@ pub fn fine_tune_distilled(
         &split.labeled_y,
         num_classes,
     );
-    let end = train_end_model(zoo, backbone, &inputs, &targets, num_classes, end_cfg, rng);
+    let (end, _report) =
+        train_end_model(zoo, backbone, &inputs, &targets, num_classes, end_cfg, rng);
     ServableModel::new(end)
 }
 

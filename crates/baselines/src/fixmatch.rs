@@ -34,7 +34,7 @@ pub fn fixmatch_baseline(
         rng,
     );
 
-    fixmatch_train(
+    let _report = fixmatch_train(
         &mut clf,
         &split.labeled_x,
         &split.labeled_y,

@@ -72,6 +72,8 @@ fn supervised_step(
     let logits = clf.forward_logits(&mut tape, &vars, xv, true, rng);
     let mut loss = tape.softmax_cross_entropy(logits, y);
     if let Some((ex, ey, coeff)) = extra {
+        // Exact-zero means "no feedback term was computed" — a sentinel, not
+        // an arithmetic result. lint: allow(TL004)
         if coeff != 0.0 {
             let exv = tape.constant(ex.clone());
             let elogits = clf.forward_logits(&mut tape, &vars, exv, true, rng);

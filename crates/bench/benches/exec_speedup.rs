@@ -1,0 +1,138 @@
+//! Benchmarks the staged execution engine: wall-clock speedup of the
+//! `train_modules` stage and of a multi-task eval sweep at concurrency ≥ 2,
+//! plus a determinism check that the parallel results match the serial ones
+//! bitwise.
+//!
+//! Honours `TAGLETS_SCALE` (smoke/paper) like the other benches; it clears
+//! `TAGLETS_THREADS` so the concurrency comparison stays explicit.
+
+use std::time::Instant;
+
+use taglets_bench::write_results;
+use taglets_core::{Concurrency, TagletsConfig};
+use taglets_data::BackboneKind;
+use taglets_eval::{sweep_method, Experiment, ExperimentScale, Method, SweepCell};
+use taglets_scads::PruneLevel;
+
+fn main() {
+    // The knobs below must win over any ambient override.
+    std::env::remove_var("TAGLETS_THREADS");
+    let env = Experiment::standard(ExperimentScale::from_env());
+    // At least 2 workers so the concurrency >= 2 path is always exercised,
+    // even on a single-core box (where the speedup honestly reads ~1.0x).
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 4));
+    let mut out = String::from("Execution engine — wall-clock speedup and determinism\n\n");
+
+    // Part 1: the train_modules stage inside one TAGLETS run. One parallel
+    // run carries both numbers: the summed per-module times are the serial
+    // cost, the stage wall-clock is the parallel cost.
+    let task = &env.tasks()[0];
+    let split = task.split(0, 5);
+    let mut serial_cfg = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
+    serial_cfg.concurrency = Concurrency::Serial;
+    let mut par_cfg = serial_cfg.clone();
+    par_cfg.concurrency = Concurrency::threads(workers);
+
+    let serial_run = env
+        .system(serial_cfg)
+        .run(task, &split, PruneLevel::NoPruning, 0)
+        .expect("serial run");
+    let par_run = env
+        .system(par_cfg)
+        .run(task, &split, PruneLevel::NoPruning, 0)
+        .expect("parallel run");
+
+    assert_eq!(
+        serial_run.pseudo_labels.data(),
+        par_run.pseudo_labels.data(),
+        "parallel pseudo labels must match serial bitwise"
+    );
+    assert_eq!(
+        serial_run.end_model.predict(&split.test_x),
+        par_run.end_model.predict(&split.test_x),
+        "parallel end-model predictions must match serial bitwise"
+    );
+
+    let summed = par_run.telemetry.summed_module_seconds();
+    let stage = par_run
+        .telemetry
+        .stage_seconds("train_modules")
+        .expect("stage ran");
+    out.push_str(&format!(
+        "train_modules stage ({} on {}, 5-shot, {} workers):\n",
+        task.name,
+        BackboneKind::ResNet50ImageNet1k.display_name(),
+        par_run.telemetry.workers
+    ));
+    out.push_str(&format!(
+        "  summed module time (serial cost)   {summed:.2}s\n"
+    ));
+    out.push_str(&format!(
+        "  stage wall-clock (parallel cost)   {stage:.2}s\n"
+    ));
+    out.push_str(&format!(
+        "  stage speedup                      {:.2}x\n",
+        summed / stage.max(1e-6)
+    ));
+    for m in &par_run.telemetry.modules {
+        out.push_str(&format!(
+            "    {:<10} {:.2}s  ({} steps, {} epochs logged)\n",
+            m.name,
+            m.seconds,
+            m.report.steps,
+            m.report.epoch_losses.len()
+        ));
+    }
+    out.push_str("  results identical to serial: yes (asserted bitwise)\n\n");
+
+    // Part 2: the outer eval sweep over independent (task, split, seed)
+    // cells — every task, all training seeds, 1-shot.
+    let cells: Vec<SweepCell> = env
+        .tasks()
+        .iter()
+        .flat_map(|t| {
+            env.scale()
+                .training_seeds()
+                .into_iter()
+                .map(move |seed| SweepCell::new(t.name.clone(), 0, 1, seed))
+        })
+        .collect();
+    let backbone = BackboneKind::ResNet50ImageNet1k;
+    let method = Method::Taglets(PruneLevel::NoPruning);
+
+    let t0 = Instant::now();
+    let serial =
+        sweep_method(&env, method, backbone, &cells, Concurrency::Serial).expect("serial sweep");
+    let serial_s = t0.elapsed().as_secs_f32();
+
+    let t0 = Instant::now();
+    let parallel = sweep_method(
+        &env,
+        method,
+        backbone,
+        &cells,
+        Concurrency::threads(workers),
+    )
+    .expect("parallel sweep");
+    let parallel_s = t0.elapsed().as_secs_f32();
+
+    assert_eq!(serial, parallel, "sweep results must match serial bitwise");
+
+    out.push_str(&format!(
+        "eval sweep ({} cells: {} tasks x {} seeds, 1-shot, TAGLETS):\n",
+        cells.len(),
+        env.tasks().len(),
+        env.scale().training_seeds().len()
+    ));
+    out.push_str(&format!("  serial               {serial_s:.2}s\n"));
+    out.push_str(&format!(
+        "  threads({workers})           {parallel_s:.2}s\n"
+    ));
+    out.push_str(&format!(
+        "  sweep speedup        {:.2}x\n",
+        serial_s / parallel_s.max(1e-6)
+    ));
+    out.push_str("  results identical to serial: yes (asserted bitwise)\n");
+
+    write_results("exec_speedup", &out);
+}

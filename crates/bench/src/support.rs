@@ -3,8 +3,9 @@
 use std::io::Write as _;
 use std::path::Path;
 
+use taglets_core::Concurrency;
 use taglets_data::{BackboneKind, Task};
-use taglets_eval::{EvalError, Experiment, Method, Stats};
+use taglets_eval::{sweep_method, EvalError, Experiment, Method, Stats, SweepCell};
 
 /// One evaluated table cell: a method × backbone × task × shots aggregate.
 #[derive(Debug, Clone)]
@@ -24,6 +25,10 @@ pub struct TableCell {
 /// Evaluates one cell of a results table: `method` on `task` at `shots`,
 /// averaged over the environment scale's training seeds.
 ///
+/// The per-seed runs are independent, so they go through the deterministic
+/// eval sweep — serial by default, parallel when `TAGLETS_THREADS` asks for
+/// it, identical results either way.
+///
 /// # Errors
 ///
 /// Propagates any [`EvalError`] from the method under evaluation.
@@ -35,13 +40,13 @@ pub fn table_cell(
     split_seed: u64,
     shots: usize,
 ) -> Result<TableCell, EvalError> {
-    let split = task.split(split_seed, shots);
-    let values: Vec<f32> = env
+    let cells: Vec<SweepCell> = env
         .scale()
         .training_seeds()
         .iter()
-        .map(|&seed| method.evaluate(env, task, &split, backbone, seed))
-        .collect::<Result<_, _>>()?;
+        .map(|&seed| SweepCell::new(task.name.clone(), split_seed, shots, seed))
+        .collect();
+    let values = sweep_method(env, method, backbone, &cells, Concurrency::default())?;
     Ok(TableCell {
         method: method.label(),
         backbone: backbone.display_name(),

@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 
 use taglets_data::{BackboneKind, ModelZoo};
-use taglets_nn::{fit_soft, Classifier, FitConfig};
+use taglets_nn::{fit_soft, Classifier, FitConfig, FitReport};
 use taglets_tensor::{Adam, AdamConfig, LrSchedule, Tensor};
 
 use crate::EndModelConfig;
@@ -64,7 +64,7 @@ pub fn distillation_set(
 
 /// Trains the end model `h` (Eq. 7): a fresh pretrained backbone fine-tuned
 /// on the distillation set with soft cross-entropy, Adam, and the paper's
-/// milestone decay.
+/// milestone decay. Returns the classifier together with its fit telemetry.
 pub fn train_end_model(
     zoo: &ModelZoo,
     backbone: BackboneKind,
@@ -73,7 +73,7 @@ pub fn train_end_model(
     num_classes: usize,
     cfg: &EndModelConfig,
     rng: &mut StdRng,
-) -> Classifier {
+) -> (Classifier, FitReport) {
     let mut clf = Classifier::new(zoo.get(backbone).backbone(), num_classes, rng);
     let steps_per_epoch = inputs
         .rows()
@@ -90,8 +90,8 @@ pub fn train_end_model(
         weight_decay: cfg.weight_decay,
         ..AdamConfig::default()
     });
-    fit_soft(&mut clf, inputs, soft_targets, &fit, &mut opt, rng);
-    clf
+    let report = fit_soft(&mut clf, inputs, soft_targets, &fit, &mut opt, rng);
+    (clf, report)
 }
 
 #[cfg(test)]
@@ -149,7 +149,7 @@ mod tests {
         }
         let inputs = Tensor::stack_rows(&rows);
         let soft = Tensor::stack_rows(&targets);
-        let clf = train_end_model(
+        let (clf, report) = train_end_model(
             &zoo,
             BackboneKind::ResNet50ImageNet1k,
             &inputs,
@@ -158,6 +158,7 @@ mod tests {
             &EndModelConfig::default(),
             &mut rng,
         );
+        assert!(report.steps > 0, "distillation telemetry must be populated");
         let preds = clf.predict(&inputs);
         let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
         let acc = taglets_nn::accuracy(&preds, &labels);

@@ -86,6 +86,8 @@ impl<'a> Ensemble<'a> {
         let mut acc = Tensor::zeros(&[x.rows(), self.taglets[0].predict_proba(x).cols()]);
         let mut acc_set = false;
         for (t, &w) in self.taglets.iter().zip(weights) {
+            // Exact-zero weights mean "taglet disabled" (a sentinel the
+            // caller sets, not an arithmetic result). lint: allow(TL004)
             if w == 0.0 {
                 continue;
             }

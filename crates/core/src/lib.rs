@@ -38,20 +38,24 @@
 mod config;
 pub mod distillation;
 mod ensemble;
+pub mod exec;
 mod modules;
 mod servable;
 mod system;
 mod taglet;
+mod telemetry;
 
 pub use config::{
     EndModelConfig, FixMatchConfig, MultiTaskConfig, SelectionStrategy, TagletsConfig,
     TransferConfig, ZslKgConfig,
 };
 pub use ensemble::Ensemble;
+pub use exec::{Concurrency, Executor};
 pub use modules::{fixmatch_train, FixMatchModule, MultiTaskModule, TransferModule, ZslKgModule};
 pub use servable::ServableModel;
 pub use system::{TagletsRun, TagletsSystem};
-pub use taglet::{ClassifierTaglet, ModuleContext, Taglet, TagletModule};
+pub use taglet::{ClassifierTaglet, ModuleContext, Taglet, TagletModule, TrainedTaglet};
+pub use telemetry::{ModuleTelemetry, RunTelemetry, StageTelemetry};
 
 use std::error::Error;
 use std::fmt;

@@ -10,10 +10,10 @@
 use rand::rngs::StdRng;
 
 use taglets_data::Augmenter;
-use taglets_nn::{fit_hard, shuffled_batches, Classifier, FitConfig, Module};
+use taglets_nn::{fit_hard, shuffled_batches, Classifier, FitConfig, FitReport, Module};
 use taglets_tensor::{confidence_rows, LrSchedule, Optimizer, Sgd, SgdConfig, Tape, Tensor};
 
-use crate::{ClassifierTaglet, CoreError, ModuleContext, Taglet, TagletModule};
+use crate::{ClassifierTaglet, CoreError, ModuleContext, TagletModule, TrainedTaglet};
 
 /// The FixMatch module. See the [module docs](self).
 ///
@@ -66,16 +66,13 @@ impl TagletModule for FixMatchModule {
         Self::NAME
     }
 
-    fn train(
-        &self,
-        ctx: &ModuleContext<'_>,
-        rng: &mut StdRng,
-    ) -> Result<Box<dyn Taglet>, CoreError> {
+    fn train(&self, ctx: &ModuleContext<'_>, rng: &mut StdRng) -> Result<TrainedTaglet, CoreError> {
         if ctx.split.labeled_y.is_empty() {
             return Err(CoreError::NoLabeledData { module: Self::NAME });
         }
         let cfg = &ctx.config.fixmatch;
         let backbone = ctx.zoo.get(ctx.backbone).backbone();
+        let mut report = FitReport::default();
 
         // SCADS pretraining phase (the module's addition over the baseline).
         let mut clf = match (self.use_scads_pretraining, ctx.auxiliary_training_set()) {
@@ -83,7 +80,7 @@ impl TagletModule for FixMatchModule {
                 let mut clf = Classifier::new(backbone, ctx.selection.num_aux_classes(), rng);
                 let mut opt = Sgd::with_momentum(cfg.pretrain_lr, 0.9);
                 let fit = FitConfig::new(cfg.pretrain_epochs, cfg.batch_size, cfg.pretrain_lr);
-                fit_hard(&mut clf, &aux_x, &aux_y, &fit, &mut opt, rng);
+                report.absorb(fit_hard(&mut clf, &aux_x, &aux_y, &fit, &mut opt, rng));
                 let mut clf = clf;
                 clf.reset_head(ctx.num_classes(), rng);
                 clf
@@ -97,17 +94,17 @@ impl TagletModule for FixMatchModule {
         {
             let mut opt = Sgd::with_momentum(cfg.pretrain_lr, 0.9);
             let fit = FitConfig::new(10, cfg.batch_size, cfg.pretrain_lr);
-            fit_hard(
+            report.absorb(fit_hard(
                 &mut clf,
                 &ctx.split.labeled_x,
                 &ctx.split.labeled_y,
                 &fit,
                 &mut opt,
                 rng,
-            );
+            ));
         }
 
-        fixmatch_train(
+        report.absorb(fixmatch_train(
             &mut clf,
             &ctx.split.labeled_x,
             &ctx.split.labeled_y,
@@ -115,9 +112,12 @@ impl TagletModule for FixMatchModule {
             cfg,
             &self.augmenter,
             rng,
-        );
+        ));
 
-        Ok(Box::new(ClassifierTaglet::new(Self::NAME, clf)))
+        Ok(TrainedTaglet::new(
+            Box::new(ClassifierTaglet::new(Self::NAME, clf)),
+            report,
+        ))
     }
 }
 
@@ -127,7 +127,8 @@ impl TagletModule for FixMatchModule {
 /// strong view against the weak view's pseudo label, under Nesterov SGD with
 /// the `η·cos(7πk/16K)` schedule.
 ///
-/// A no-op when the unlabeled pool is empty.
+/// A no-op when the unlabeled pool is empty. Returns the per-epoch mean of
+/// the combined (labeled + weighted unlabeled) loss and the step count.
 pub fn fixmatch_train(
     clf: &mut Classifier,
     labeled_x: &Tensor,
@@ -136,9 +137,10 @@ pub fn fixmatch_train(
     cfg: &crate::FixMatchConfig,
     augmenter: &Augmenter,
     rng: &mut StdRng,
-) {
+) -> FitReport {
+    let mut report = FitReport::default();
     if unlabeled.rows() == 0 || labeled_x.rows() == 0 {
-        return;
+        return report;
     }
     let mut opt = Sgd::new(SgdConfig {
         lr: cfg.lr,
@@ -154,6 +156,8 @@ pub fn fixmatch_train(
     let labeled_batch = cfg.batch_size.min(labeled_n);
     let mut step = 0usize;
     for _epoch in 0..cfg.epochs {
+        let mut epoch_loss = 0.0;
+        let mut epoch_batches = 0usize;
         for u_batch in shuffled_batches(unlabeled.rows(), cfg.batch_size, rng) {
             let u_rows = unlabeled.gather_rows(&u_batch);
 
@@ -188,6 +192,8 @@ pub fn fixmatch_train(
 
             let weighted_u = tape.scale(loss_u, cfg.lambda_u);
             let loss = tape.add(loss_l, weighted_u);
+            epoch_loss += tape.value(loss).item();
+            epoch_batches += 1;
 
             let mut grads = tape.backward(loss);
             let grad_vec: Vec<Option<Tensor>> = vars.iter().map(|&v| grads.take(v)).collect();
@@ -195,5 +201,10 @@ pub fn fixmatch_train(
             opt.step(&mut clf.parameters_mut(), &grad_vec);
             step += 1;
         }
+        report
+            .epoch_losses
+            .push(epoch_loss / epoch_batches.max(1) as f32);
     }
+    report.steps = step;
+    report
 }

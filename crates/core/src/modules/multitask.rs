@@ -7,10 +7,10 @@
 
 use rand::rngs::StdRng;
 
-use taglets_nn::{shuffled_batches, Augmenter, Classifier, Linear, Module};
+use taglets_nn::{shuffled_batches, Augmenter, Classifier, FitReport, Linear, Module};
 use taglets_tensor::{LrSchedule, Optimizer, Sgd, SgdConfig, Tape, Tensor};
 
-use crate::{ClassifierTaglet, CoreError, ModuleContext, Taglet, TagletModule};
+use crate::{ClassifierTaglet, CoreError, ModuleContext, TagletModule, TrainedTaglet};
 
 /// The Multi-task module. See the [module docs](self).
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,11 +26,7 @@ impl TagletModule for MultiTaskModule {
         Self::NAME
     }
 
-    fn train(
-        &self,
-        ctx: &ModuleContext<'_>,
-        rng: &mut StdRng,
-    ) -> Result<Box<dyn Taglet>, CoreError> {
+    fn train(&self, ctx: &ModuleContext<'_>, rng: &mut StdRng) -> Result<TrainedTaglet, CoreError> {
         if ctx.split.labeled_y.is_empty() {
             return Err(CoreError::NoLabeledData { module: Self::NAME });
         }
@@ -54,7 +50,7 @@ impl TagletModule for MultiTaskModule {
             let mut clf = Classifier::from_parts(backbone, target_head);
             let mut opt = Sgd::with_momentum(cfg.lr, 0.9);
             let fit = taglets_nn::FitConfig::new(cfg.epochs * 4, cfg.batch_size, cfg.lr);
-            taglets_nn::fit_hard(
+            let report = taglets_nn::fit_hard(
                 &mut clf,
                 &ctx.split.labeled_x,
                 &ctx.split.labeled_y,
@@ -62,7 +58,10 @@ impl TagletModule for MultiTaskModule {
                 &mut opt,
                 rng,
             );
-            return Ok(Box::new(ClassifierTaglet::new(Self::NAME, clf)));
+            return Ok(TrainedTaglet::new(
+                Box::new(ClassifierTaglet::new(Self::NAME, clf)),
+                report,
+            ));
         };
 
         let mut shared = backbone;
@@ -82,8 +81,11 @@ impl TagletModule for MultiTaskModule {
 
         let labeled_n = ctx.split.labeled_x.rows();
         let target_batch = cfg.batch_size.min(labeled_n);
+        let mut report = FitReport::default();
         let mut step = 0usize;
         for _epoch in 0..cfg.epochs {
+            let mut epoch_loss = 0.0;
+            let mut epoch_batches = 0usize;
             for aux_batch in shuffled_batches(aux_x.rows(), cfg.batch_size, rng) {
                 // A fresh target mini-batch each step (with replacement when
                 // the labeled set is tiny, e.g. 1-shot).
@@ -114,6 +116,8 @@ impl TagletModule for MultiTaskModule {
 
                 let weighted_aux = tape.scale(loss_a, cfg.lambda);
                 let loss = tape.add(loss_t, weighted_aux);
+                epoch_loss += tape.value(loss).item();
+                epoch_batches += 1;
 
                 let mut grads = tape.backward(loss);
                 let all_vars: Vec<_> = shared_vars
@@ -131,9 +135,16 @@ impl TagletModule for MultiTaskModule {
                 opt.step(&mut params, &grad_vec);
                 step += 1;
             }
+            report
+                .epoch_losses
+                .push(epoch_loss / epoch_batches.max(1) as f32);
         }
+        report.steps = step;
 
         let clf = Classifier::from_parts(shared, target_head);
-        Ok(Box::new(ClassifierTaglet::new(Self::NAME, clf)))
+        Ok(TrainedTaglet::new(
+            Box::new(ClassifierTaglet::new(Self::NAME, clf)),
+            report,
+        ))
     }
 }

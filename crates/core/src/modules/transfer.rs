@@ -8,10 +8,10 @@
 
 use rand::rngs::StdRng;
 
-use taglets_nn::{fit_hard, Classifier, FitConfig};
+use taglets_nn::{fit_hard, Classifier, FitConfig, FitReport};
 use taglets_tensor::{LrSchedule, Sgd, SgdConfig};
 
-use crate::{ClassifierTaglet, CoreError, ModuleContext, Taglet, TagletModule};
+use crate::{ClassifierTaglet, CoreError, ModuleContext, TagletModule, TrainedTaglet};
 
 /// The Transfer module. See the [module docs](self).
 #[derive(Debug, Clone, Copy, Default)]
@@ -27,16 +27,13 @@ impl TagletModule for TransferModule {
         Self::NAME
     }
 
-    fn train(
-        &self,
-        ctx: &ModuleContext<'_>,
-        rng: &mut StdRng,
-    ) -> Result<Box<dyn Taglet>, CoreError> {
+    fn train(&self, ctx: &ModuleContext<'_>, rng: &mut StdRng) -> Result<TrainedTaglet, CoreError> {
         if ctx.split.labeled_y.is_empty() {
             return Err(CoreError::NoLabeledData { module: Self::NAME });
         }
         let cfg = &ctx.config.transfer;
         let backbone = ctx.zoo.get(ctx.backbone).backbone();
+        let mut report = FitReport::default();
 
         // Intermediate phase on R (skipped when pruning empties the
         // selection — the module degrades to plain fine-tuning).
@@ -45,7 +42,7 @@ impl TagletModule for TransferModule {
                 let mut clf = Classifier::new(backbone, ctx.selection.num_aux_classes(), rng);
                 let mut opt = Sgd::with_momentum(cfg.lr, 0.9);
                 let fit = FitConfig::new(cfg.aux_epochs, cfg.batch_size, cfg.lr);
-                fit_hard(&mut clf, &aux_x, &aux_y, &fit, &mut opt, rng);
+                report.absorb(fit_hard(&mut clf, &aux_x, &aux_y, &fit, &mut opt, rng));
                 clf
             }
             None => Classifier::new(backbone, 1, rng),
@@ -70,15 +67,18 @@ impl TagletModule for TransferModule {
             momentum: 0.9,
             ..SgdConfig::default()
         });
-        fit_hard(
+        report.absorb(fit_hard(
             &mut clf,
             &ctx.split.labeled_x,
             &ctx.split.labeled_y,
             &fit,
             &mut opt,
             rng,
-        );
+        ));
 
-        Ok(Box::new(ClassifierTaglet::new(Self::NAME, clf)))
+        Ok(TrainedTaglet::new(
+            Box::new(ClassifierTaglet::new(Self::NAME, clf)),
+            report,
+        ))
     }
 }

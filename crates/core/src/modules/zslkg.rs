@@ -18,7 +18,7 @@ use taglets_nn::{Classifier, Linear};
 use taglets_scads::Scads;
 use taglets_tensor::Tensor;
 
-use crate::{ClassifierTaglet, CoreError, ModuleContext, Taglet, TagletModule, ZslKgConfig};
+use crate::{ClassifierTaglet, CoreError, ModuleContext, TagletModule, TrainedTaglet, ZslKgConfig};
 
 /// The ZSL-KG module, holding its pretrained graph encoder.
 ///
@@ -117,9 +117,13 @@ impl TagletModule for ZslKgModule {
         &self,
         ctx: &ModuleContext<'_>,
         _rng: &mut StdRng,
-    ) -> Result<Box<dyn Taglet>, CoreError> {
-        // Zero-shot: no labeled data used, no training performed here.
+    ) -> Result<TrainedTaglet, CoreError> {
+        // Zero-shot: no labeled data used, no training performed here — the
+        // report is empty by construction.
         let clf = self.zero_shot_classifier(ctx.scads, ctx.zoo, ctx.target_concepts);
-        Ok(Box::new(ClassifierTaglet::new(Self::NAME, clf)))
+        Ok(TrainedTaglet::untrained(Box::new(ClassifierTaglet::new(
+            Self::NAME,
+            clf,
+        ))))
     }
 }

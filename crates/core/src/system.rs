@@ -1,5 +1,14 @@
-//! End-to-end orchestration (Fig. 2): SCADS selection → module training →
-//! ensembling → distillation into a servable end model.
+//! End-to-end orchestration (Fig. 2) as a staged execution engine:
+//! `select` → `train_modules` → `ensemble` → `distill`.
+//!
+//! Each stage is a named method; the `train_modules` stage hands its
+//! independent jobs to [`crate::exec::Executor`], which may fan them out
+//! over scoped worker threads. Because every module derives its RNG from
+//! `seed ^ name_hash(name)` and the executor reassembles results in module
+//! order, the parallel path is bitwise identical to the serial one (see the
+//! `exec_determinism` integration test).
+
+use std::borrow::Cow;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -9,6 +18,8 @@ use taglets_graph::ConceptId;
 use taglets_scads::{AuxiliarySelection, PruneLevel, Scads};
 use taglets_tensor::Tensor;
 
+use crate::exec::Executor;
+use crate::telemetry::{ModuleTelemetry, RunTelemetry, StageTelemetry};
 use crate::{
     distillation, CoreError, Ensemble, FixMatchModule, ModuleContext, MultiTaskModule,
     ServableModel, Taglet, TagletModule, TagletsConfig, TransferModule, ZslKgModule,
@@ -53,11 +64,9 @@ pub struct TagletsRun {
     pub num_auxiliary_examples: usize,
     /// Number of auxiliary classes (`≤ N·C`).
     pub num_auxiliary_classes: usize,
-    /// Wall-clock training time per module, in seconds (same order as
-    /// [`TagletsRun::taglets`]).
-    pub module_seconds: Vec<(String, f32)>,
-    /// Wall-clock training time of the distillation stage, in seconds.
-    pub end_model_seconds: f32,
+    /// Structured execution telemetry: per-stage timings, per-module
+    /// training reports, and the concurrency the run resolved.
+    pub telemetry: RunTelemetry,
 }
 
 impl std::fmt::Debug for TagletsRun {
@@ -84,6 +93,16 @@ impl TagletsRun {
             .find(|t| t.name() == module_name)
             .map(|t| &**t)
     }
+}
+
+/// Output of the `select` stage: the (possibly extended) SCADS, resolved
+/// target concepts, the shared auxiliary selection `R`, and the capped
+/// unlabeled pool `U`.
+struct Selected<'a> {
+    scads: Cow<'a, Scads<Image>>,
+    target_concepts: Vec<ConceptId>,
+    selection: AuxiliarySelection<Image>,
+    unlabeled_used: Tensor,
 }
 
 impl<'a> TagletsSystem<'a> {
@@ -157,7 +176,10 @@ impl<'a> TagletsSystem<'a> {
     /// Runs the full pipeline on one task split.
     ///
     /// `seed` is the training seed of Appendix A.3 (module initialisation
-    /// and data shuffling); the split itself carries the split seed.
+    /// and data shuffling); the split itself carries the split seed. The
+    /// module-training stage parallelizes according to
+    /// [`TagletsConfig::concurrency`] (overridable via `TAGLETS_THREADS`);
+    /// results are bitwise identical at every concurrency level.
     ///
     /// # Errors
     ///
@@ -176,11 +198,88 @@ impl<'a> TagletsSystem<'a> {
         if module_names.is_empty() {
             return Err(CoreError::NoModules);
         }
+        let concurrency = self.config.concurrency.from_env();
+        let executor = Executor::new(concurrency);
+        let mut stages: Vec<StageTelemetry> = Vec::with_capacity(4);
 
-        // Extend SCADS for classes absent from the graph (Appendix A.2).
+        // Stage 1: SCADS extension, concept resolution, auxiliary selection,
+        // unlabeled capping.
+        // Wall-clock telemetry only; never feeds training.
+        let start = std::time::Instant::now(); // lint: allow(TL003)
+        let selected = self.select(task, split, prune, seed)?;
+        stages.push(StageTelemetry {
+            name: "select",
+            seconds: start.elapsed().as_secs_f32(),
+        });
+
+        let ctx = ModuleContext {
+            task,
+            split,
+            scads: selected.scads.as_ref(),
+            zoo: self.zoo,
+            backbone: self.config.backbone,
+            prune,
+            config: &self.config,
+            target_concepts: &selected.target_concepts,
+            selection: &selected.selection,
+            unlabeled: &selected.unlabeled_used,
+        };
+
+        // Stage 2: train the modules (the parallelizable stage).
+        let start = std::time::Instant::now(); // lint: allow(TL003)
+        let (taglets, module_telemetry) =
+            self.train_modules(&ctx, &module_names, seed, &executor)?;
+        stages.push(StageTelemetry {
+            name: "train_modules",
+            seconds: start.elapsed().as_secs_f32(),
+        });
+
+        // Stage 3: ensemble → pseudo labels (Eq. 6).
+        let start = std::time::Instant::now(); // lint: allow(TL003)
+        let pseudo_labels = Self::ensemble_stage(&taglets, &selected.unlabeled_used, task);
+        stages.push(StageTelemetry {
+            name: "ensemble",
+            seconds: start.elapsed().as_secs_f32(),
+        });
+
+        // Stage 4: distill into the end model (Eq. 7).
+        let start = std::time::Instant::now(); // lint: allow(TL003)
+        let (end_model, end_telemetry) =
+            self.distill(task, split, &selected.unlabeled_used, &pseudo_labels, seed);
+        stages.push(StageTelemetry {
+            name: "distill",
+            seconds: start.elapsed().as_secs_f32(),
+        });
+
+        Ok(TagletsRun {
+            taglets,
+            pseudo_labels,
+            unlabeled_used: selected.unlabeled_used,
+            end_model,
+            num_auxiliary_examples: selected.selection.len(),
+            num_auxiliary_classes: selected.selection.num_aux_classes(),
+            telemetry: RunTelemetry {
+                concurrency,
+                workers: concurrency.workers(module_names.len()),
+                stages,
+                modules: module_telemetry,
+                end_model: end_telemetry,
+            },
+        })
+    }
+
+    /// `select` stage: extend SCADS for out-of-vocabulary classes
+    /// (Appendix A.2), resolve target concepts, select the auxiliary data
+    /// `R` once for all modules (Sec. 3.1), and cap the unlabeled pool.
+    fn select(
+        &self,
+        task: &Task,
+        split: &TaskSplit,
+        prune: PruneLevel,
+        seed: u64,
+    ) -> Result<Selected<'a>, CoreError> {
         let needs_extension = task.classes.iter().any(|c| c.concept.is_none());
-        let extended;
-        let scads: &Scads<Image> = if needs_extension {
+        let scads: Cow<'a, Scads<Image>> = if needs_extension {
             let mut local = self.scads.clone();
             for class in &task.classes {
                 if class.concept.is_none() {
@@ -192,10 +291,9 @@ impl<'a> TagletsSystem<'a> {
                     local.add_concept(&class.name, &links)?;
                 }
             }
-            extended = local;
-            &extended
+            Cow::Owned(local)
         } else {
-            self.scads
+            Cow::Borrowed(self.scads)
         };
 
         // Resolve target concepts in label order (by class name).
@@ -238,25 +336,30 @@ impl<'a> TagletsSystem<'a> {
             _ => split.unlabeled_x.clone(),
         };
 
-        let ctx = ModuleContext {
-            task,
-            split,
+        Ok(Selected {
             scads,
-            zoo: self.zoo,
-            backbone: self.config.backbone,
-            prune,
-            config: &self.config,
-            target_concepts: &target_concepts,
-            selection: &selection,
-            unlabeled: &unlabeled_used,
-        };
+            target_concepts,
+            selection,
+            unlabeled_used,
+        })
+    }
 
-        // Train the modules.
+    /// `train_modules` stage: resolve the active modules and train each on
+    /// the executor. Each job derives its RNG from `seed ^ name_hash(name)`
+    /// — independent of scheduling — and the executor returns results in
+    /// module order, so this stage is deterministic at any concurrency.
+    fn train_modules(
+        &self,
+        ctx: &ModuleContext<'_>,
+        module_names: &[&str],
+        seed: u64,
+        executor: &Executor,
+    ) -> Result<(Vec<Box<dyn Taglet>>, Vec<ModuleTelemetry>), CoreError> {
         let transfer = TransferModule;
         let multitask = MultiTaskModule;
         let fixmatch = FixMatchModule::new();
         let mut modules: Vec<&dyn TagletModule> = Vec::new();
-        for name in &module_names {
+        for name in module_names {
             match *name {
                 TransferModule::NAME => modules.push(&transfer),
                 MultiTaskModule::NAME => modules.push(&multitask),
@@ -274,35 +377,59 @@ impl<'a> TagletsSystem<'a> {
                 }
             }
         }
-        let mut taglets: Vec<Box<dyn Taglet>> = Vec::with_capacity(modules.len());
-        let mut module_seconds = Vec::with_capacity(modules.len());
-        for module in modules {
+
+        let trained = executor.run(modules.len(), |i| -> Result<_, CoreError> {
+            let module = modules[i];
             let mut rng = StdRng::seed_from_u64(seed ^ name_hash(module.name()));
             // Wall-clock telemetry only; never feeds training.
             let start = std::time::Instant::now(); // lint: allow(TL003)
-            taglets.push(module.train(&ctx, &mut rng)?);
-            module_seconds.push((module.name().to_string(), start.elapsed().as_secs_f32()));
-        }
+            let result = module.train(ctx, &mut rng)?;
+            Ok((result, start.elapsed().as_secs_f32()))
+        })?;
 
-        // Ensemble → pseudo labels (Eq. 6).
-        let ensemble = Ensemble::new(&taglets);
-        let pseudo_labels = if unlabeled_used.rows() > 0 {
-            ensemble.predict_proba(&unlabeled_used)
+        let mut taglets = Vec::with_capacity(trained.len());
+        let mut telemetry = Vec::with_capacity(trained.len());
+        for (result, seconds) in trained {
+            telemetry.push(ModuleTelemetry {
+                name: result.taglet.name().to_string(),
+                seconds,
+                report: result.report,
+            });
+            taglets.push(result.taglet);
+        }
+        Ok((taglets, telemetry))
+    }
+
+    /// `ensemble` stage: soft pseudo labels for the unlabeled pool (Eq. 6).
+    fn ensemble_stage(taglets: &[Box<dyn Taglet>], unlabeled: &Tensor, task: &Task) -> Tensor {
+        if unlabeled.rows() > 0 {
+            Ensemble::new(taglets).predict_proba(unlabeled)
         } else {
             Tensor::zeros(&[0, task.num_classes()])
-        };
+        }
+    }
 
-        // Distill into the end model (Eq. 7).
+    /// `distill` stage: train the servable end model on pseudo-labeled plus
+    /// labeled data (Eq. 7).
+    fn distill(
+        &self,
+        task: &Task,
+        split: &TaskSplit,
+        unlabeled_used: &Tensor,
+        pseudo_labels: &Tensor,
+        seed: u64,
+    ) -> (ServableModel, ModuleTelemetry) {
         let (inputs, soft_targets) = distillation::distillation_set(
-            &unlabeled_used,
-            &pseudo_labels,
+            unlabeled_used,
+            pseudo_labels,
             &split.labeled_x,
             &split.labeled_y,
             task.num_classes(),
         );
         let mut rng = StdRng::seed_from_u64(seed ^ name_hash("end-model"));
-        let end_start = std::time::Instant::now(); // lint: allow(TL003)
-        let end = distillation::train_end_model(
+        // Wall-clock telemetry only; never feeds training.
+        let start = std::time::Instant::now(); // lint: allow(TL003)
+        let (end, report) = distillation::train_end_model(
             self.zoo,
             self.config.backbone,
             &inputs,
@@ -311,19 +438,12 @@ impl<'a> TagletsSystem<'a> {
             &self.config.end_model,
             &mut rng,
         );
-
-        let end_model_seconds = end_start.elapsed().as_secs_f32();
-
-        Ok(TagletsRun {
-            taglets,
-            pseudo_labels,
-            unlabeled_used,
-            end_model: ServableModel::new(end),
-            num_auxiliary_examples: selection.len(),
-            num_auxiliary_classes: selection.num_aux_classes(),
-            module_seconds,
-            end_model_seconds,
-        })
+        let telemetry = ModuleTelemetry {
+            name: "end-model".to_string(),
+            seconds: start.elapsed().as_secs_f32(),
+            report,
+        };
+        (ServableModel::new(end), telemetry)
     }
 }
 

@@ -10,7 +10,7 @@ use std::fmt;
 use rand::rngs::StdRng;
 
 use taglets_data::Image;
-use taglets_nn::Classifier;
+use taglets_nn::{Classifier, FitReport};
 use taglets_scads::{AuxiliarySelection, PruneLevel, Scads};
 use taglets_tensor::Tensor;
 
@@ -131,23 +131,54 @@ impl ModuleContext<'_> {
     }
 }
 
+/// A trained taglet together with the training telemetry that produced it.
+///
+/// Modules used to return the bare `Box<dyn Taglet>` and drop the
+/// [`FitReport`]s their training loops computed; the staged execution engine
+/// keeps both, so per-module epoch losses and optimizer steps survive into
+/// [`crate::RunTelemetry`].
+#[derive(Debug)]
+pub struct TrainedTaglet {
+    /// The trained pseudo-labeler.
+    pub taglet: Box<dyn Taglet>,
+    /// Merged telemetry of every training phase the module ran (empty for
+    /// training-free modules such as ZSL-KG).
+    pub report: FitReport,
+}
+
+impl TrainedTaglet {
+    /// Pairs a taglet with its training report.
+    pub fn new(taglet: Box<dyn Taglet>, report: FitReport) -> Self {
+        TrainedTaglet { taglet, report }
+    }
+
+    /// A taglet that performed no gradient training (empty report).
+    pub fn untrained(taglet: Box<dyn Taglet>) -> Self {
+        TrainedTaglet {
+            taglet,
+            report: FitReport::default(),
+        }
+    }
+}
+
 /// A training method that can be plugged into the system (Sec. 3.2's
 /// "modular framework is extensible").
+///
+/// Implementations must be `Send + Sync`: the execution engine
+/// ([`crate::exec`]) may train independent modules on scoped worker threads,
+/// each holding a shared reference to the module and the context.
 pub trait TagletModule: Send + Sync {
     /// The module's display name (used in reports and figures).
     fn name(&self) -> &str;
 
-    /// Trains the module on the context's data and returns its taglet.
+    /// Trains the module on the context's data and returns its taglet plus
+    /// the telemetry of every training phase.
     ///
     /// # Errors
     ///
     /// Implementations return [`CoreError`] when required inputs are missing
     /// (e.g. no labeled data for a supervised module).
-    fn train(
-        &self,
-        ctx: &ModuleContext<'_>,
-        rng: &mut StdRng,
-    ) -> Result<Box<dyn Taglet>, CoreError>;
+    fn train(&self, ctx: &ModuleContext<'_>, rng: &mut StdRng) -> Result<TrainedTaglet, CoreError>;
 }
 
 #[cfg(test)]
@@ -168,6 +199,17 @@ mod tests {
         }
         assert_eq!(t.name(), "unit");
         assert_eq!(t.predict(&x).len(), 5);
+    }
+
+    #[test]
+    fn context_and_results_cross_thread_boundaries() {
+        // The executor shares one ModuleContext across scoped workers and
+        // sends each worker's TrainedTaglet back to the orchestrator.
+        fn assert_sync<T: Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_sync::<ModuleContext<'_>>();
+        assert_send::<TrainedTaglet>();
+        assert_send::<CoreError>();
     }
 
     #[test]

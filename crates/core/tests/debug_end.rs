@@ -93,7 +93,7 @@ fn end_model_diagnostics() {
             },
         ),
     ] {
-        let clf = train_end_model(
+        let (clf, _report) = train_end_model(
             &zoo,
             BackboneKind::ResNet50ImageNet1k,
             &inputs,

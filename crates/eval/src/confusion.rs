@@ -81,6 +81,9 @@ impl ConfusionMatrix {
     pub fn f1(&self, class: usize) -> f32 {
         let p = self.precision(class);
         let r = self.recall(class);
+        // Guards the 0/0 case exactly: precision and recall are ratios of
+        // non-negative counts, so the sum is 0.0 iff both are empty.
+        // lint: allow(TL004)
         if p + r == 0.0 {
             0.0
         } else {

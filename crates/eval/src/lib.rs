@@ -20,4 +20,7 @@ pub use confusion::ConfusionMatrix;
 pub use error::EvalError;
 pub use format::{fmt_delta_pct, fmt_stats, TextTable};
 pub use metrics::{mean, Stats};
-pub use runner::{run_taglets_detailed, Experiment, ExperimentScale, Method, TagletsDetail};
+pub use runner::{
+    run_taglets_detailed, sweep_method, Experiment, ExperimentScale, Method, SweepCell,
+    TagletsDetail,
+};

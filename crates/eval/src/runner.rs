@@ -8,7 +8,9 @@ use rand::SeedableRng;
 use taglets_baselines::{
     fine_tune, fine_tune_distilled, fixmatch_baseline, meta_pseudo_labels, MplConfig,
 };
-use taglets_core::{TagletsConfig, TagletsSystem, ZslKgModule};
+use taglets_core::{
+    Concurrency, Executor, RunTelemetry, TagletsConfig, TagletsSystem, ZslKgModule,
+};
 use taglets_data::{
     standard_tasks, AuxiliaryCorpus, BackboneKind, ConceptUniverse, Image, ModelZoo, Task,
     TaskSplit, UniverseConfig, ZooConfig,
@@ -317,6 +319,9 @@ pub struct TagletsDetail {
     pub ensemble_accuracy: f32,
     /// Test accuracy of the distilled end model.
     pub end_model_accuracy: f32,
+    /// The run's structured execution telemetry (stage/module timings,
+    /// per-module training curves, resolved concurrency).
+    pub telemetry: RunTelemetry,
 }
 
 impl TagletsDetail {
@@ -375,6 +380,64 @@ pub fn run_taglets_detailed(
         module_accuracies,
         ensemble_accuracy: run.ensemble().accuracy(&split.test_x, &split.test_y),
         end_model_accuracy: run.end_model.accuracy(&split.test_x, &split.test_y),
+        telemetry: run.telemetry,
+    })
+}
+
+/// One independent cell of an evaluation sweep: a `(task, split, shots,
+/// training-seed)` coordinate. Cells share nothing but the read-only
+/// environment, so a sweep over them parallelizes without changing results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Task name (resolved against the environment when the cell runs).
+    pub task: String,
+    /// Split seed (which labeled/unlabeled partition).
+    pub split_seed: u64,
+    /// Shots per class.
+    pub shots: usize,
+    /// Training seed (Appendix A.3).
+    pub seed: u64,
+}
+
+impl SweepCell {
+    /// A cell at the given sweep coordinate.
+    pub fn new(task: impl Into<String>, split_seed: u64, shots: usize, seed: u64) -> Self {
+        SweepCell {
+            task: task.into(),
+            split_seed,
+            shots,
+            seed,
+        }
+    }
+}
+
+/// Evaluates `method` on every cell, returning accuracies in cell order.
+///
+/// Cells are fanned out over the deterministic executor (`concurrency` is
+/// still subject to the `TAGLETS_THREADS` override): every cell derives all
+/// of its randomness from its own coordinates, so results are bitwise
+/// identical at any concurrency, including the error reported when several
+/// cells fail (the lowest-indexed one, as a serial loop would surface).
+///
+/// Runs inside a cell stay serial unless the environment's config says
+/// otherwise — nesting both levels of parallelism oversubscribes cores.
+///
+/// # Errors
+///
+/// The first (by cell order) [`EvalError`] any cell produced.
+pub fn sweep_method(
+    env: &Experiment,
+    method: Method,
+    backbone: BackboneKind,
+    cells: &[SweepCell],
+    concurrency: Concurrency,
+) -> Result<Vec<f32>, EvalError> {
+    let executor = Executor::new(concurrency.from_env());
+    executor.run(cells.len(), |i| {
+        let cell = &cells[i];
+        let task = env.task(&cell.task)?;
+        let split = task.split(cell.split_seed, cell.shots);
+        method.evaluate(env, task, &split, backbone, cell.seed)
     })
 }
 
@@ -418,6 +481,17 @@ mod tests {
             module_accuracies: vec![("a".into(), 0.2), ("b".into(), 0.6), ("c".into(), 0.4)],
             ensemble_accuracy: 0.7,
             end_model_accuracy: 0.65,
+            telemetry: RunTelemetry {
+                concurrency: Concurrency::Serial,
+                workers: 1,
+                stages: vec![],
+                modules: vec![],
+                end_model: taglets_core::ModuleTelemetry {
+                    name: "end-model".into(),
+                    seconds: 0.0,
+                    report: taglets_nn::FitReport::default(),
+                },
+            },
         };
         assert!((d.module_mean() - 0.4).abs() < 1e-6);
         assert!((d.best_module() - 0.6).abs() < 1e-6);

@@ -20,15 +20,18 @@ pub enum Rule {
     Tl004,
     /// Missing doc comment on `pub fn` in `tensor`/`core` (advisory).
     Tl005,
+    /// Thread spawning outside the execution engine (`core/src/exec.rs`).
+    Tl006,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 6] = [
     Rule::Tl001,
     Rule::Tl002,
     Rule::Tl003,
     Rule::Tl004,
     Rule::Tl005,
+    Rule::Tl006,
 ];
 
 impl Rule {
@@ -40,6 +43,7 @@ impl Rule {
             Rule::Tl003 => "TL003",
             Rule::Tl004 => "TL004",
             Rule::Tl005 => "TL005",
+            Rule::Tl006 => "TL006",
         }
     }
 
@@ -51,6 +55,7 @@ impl Rule {
             Rule::Tl003 => "nondeterminism source (thread_rng/random/Instant/SystemTime)",
             Rule::Tl004 => "==/!= comparison on float expressions",
             Rule::Tl005 => "missing doc comment on pub fn (advisory)",
+            Rule::Tl006 => "thread::spawn/scope outside the exec module",
         }
     }
 
@@ -76,6 +81,10 @@ impl Rule {
             Rule::Tl005 => {
                 path.starts_with("crates/tensor/src/") || path.starts_with("crates/core/src/")
             }
+            // All thread spawning lives in the execution engine so that
+            // determinism has exactly one place to be argued; benches may
+            // probe parallelism freely.
+            Rule::Tl006 => path != "crates/core/src/exec.rs" && !path.starts_with("crates/bench/"),
         }
     }
 }
@@ -115,6 +124,7 @@ pub fn check_file(path: &str, lines: &[SourceLine]) -> Vec<Violation> {
                 Rule::Tl003 => hits_tl003(&line.code),
                 Rule::Tl004 => hits_tl004(&line.code),
                 Rule::Tl005 => hits_tl005(lines, idx),
+                Rule::Tl006 => hits_tl006(&line.code),
             };
             if hit {
                 out.push(Violation {
@@ -248,8 +258,10 @@ fn operand_before(code: &str, end: usize) -> &str {
 
 fn operand_after(code: &str, start: usize) -> &str {
     let rest = &code[start..];
+    // `{` bounds the operand too: in `if d == Domain::X { 1.9 } else ...`
+    // the literal belongs to the branch body, not the comparison.
     let boundary = rest
-        .find(|c: char| matches!(c, ')' | '}' | ']' | ',' | ';' | '&' | '|'))
+        .find(|c: char| matches!(c, ')' | '{' | '}' | ']' | ',' | ';' | '&' | '|'))
         .unwrap_or(rest.len());
     &rest[..boundary]
 }
@@ -263,6 +275,16 @@ fn looks_float(operand: &str) -> bool {
     chars
         .windows(3)
         .any(|w| w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit())
+}
+
+/// Thread spawning primitives. Matched as words so e.g. a local identifier
+/// `scoped_spawn` does not hit; `scope.spawn(...)`/`s.spawn(...)` inside an
+/// existing `thread::scope` block are only reachable via the scope handle,
+/// which itself requires a flagged `thread::scope` call to obtain.
+fn hits_tl006(code: &str) -> bool {
+    ["thread::spawn", "thread::scope", "thread::Builder"]
+        .iter()
+        .any(|m| contains_word(code, m))
 }
 
 /// `pub fn` without a doc comment in the contiguous attribute/doc block
@@ -372,6 +394,16 @@ mod tests {
     fn tl005_accepts_docs_above_attributes() {
         let src = "/// Documented.\n#[must_use]\npub fn documented() {}\n";
         assert!(violations("crates/tensor/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tl006_flags_thread_spawning_outside_exec() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {});\n    thread::Builder::new();\n}\n";
+        let v = violations("crates/nn/src/lib.rs", src);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|(r, _)| *r == Rule::Tl006));
+        assert!(violations("crates/core/src/exec.rs", src).is_empty());
+        assert!(violations("crates/bench/benches/exec_speedup.rs", src).is_empty());
     }
 
     #[test]

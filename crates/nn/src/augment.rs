@@ -88,6 +88,8 @@ impl Augmenter {
 }
 
 fn gauss<R: Rng + ?Sized>(rng: &mut R, std: f32) -> f32 {
+    // Exact-zero std means "noise disabled" (a configuration sentinel, not a
+    // computed value). lint: allow(TL004)
     if std == 0.0 {
         return 0.0;
     }

@@ -91,6 +91,22 @@ impl FitReport {
     pub fn final_loss(&self) -> Option<f32> {
         self.epoch_losses.last().copied()
     }
+
+    /// Folds another phase's report into this one: epoch losses are
+    /// concatenated in phase order, steps accumulate. Multi-phase recipes
+    /// (e.g. auxiliary pretraining followed by target fine-tuning) use this
+    /// to surface one telemetry stream per module.
+    pub fn absorb(&mut self, other: FitReport) {
+        self.epoch_losses.extend(other.epoch_losses);
+        self.steps += other.steps;
+    }
+
+    /// [`FitReport::absorb`] as a chainable constructor.
+    #[must_use]
+    pub fn merged(mut self, other: FitReport) -> FitReport {
+        self.absorb(other);
+        self
+    }
 }
 
 /// Random mini-batch index partitions for one epoch.
@@ -274,6 +290,33 @@ mod tests {
         );
         assert_eq!(report.steps, 0);
         assert_eq!(clf, before);
+    }
+
+    #[test]
+    fn fit_reports_merge_in_phase_order() {
+        let a = FitReport {
+            epoch_losses: vec![3.0, 2.0],
+            steps: 10,
+        };
+        let b = FitReport {
+            epoch_losses: vec![1.0],
+            steps: 4,
+        };
+        let merged = a.merged(b);
+        assert_eq!(merged.epoch_losses, vec![3.0, 2.0, 1.0]);
+        assert_eq!(merged.steps, 14);
+        assert_eq!(merged.final_loss(), Some(1.0));
+    }
+
+    #[test]
+    fn training_artifacts_cross_thread_boundaries() {
+        // The staged executor trains modules on scoped worker threads;
+        // everything a worker returns or borrows must be Send + Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Classifier>();
+        assert_send_sync::<FitReport>();
+        assert_send_sync::<FitConfig>();
+        assert_send_sync::<Tensor>();
     }
 
     #[test]

@@ -346,6 +346,9 @@ impl Tape {
             (0.0..1.0).contains(&p),
             "dropout probability must be in [0,1)"
         );
+        // Exact-zero probability means "dropout disabled" — a configuration
+        // sentinel, and the fast path must only fire for it.
+        // lint: allow(TL004)
         if !training || p == 0.0 {
             return a;
         }

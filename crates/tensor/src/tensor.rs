@@ -473,6 +473,8 @@ impl Tensor {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out[i * n..(i + 1) * n];
             for (p, &a) in a_row.iter().enumerate() {
+                // Exact-zero skip: `0.0 * b` contributes nothing, so only a
+                // bitwise zero may take the shortcut. lint: allow(TL004)
                 if a == 0.0 {
                     continue;
                 }
@@ -527,6 +529,8 @@ impl Tensor {
             let a_row = &self.data[p * m..(p + 1) * m];
             let b_row = &other.data[p * n..(p + 1) * n];
             for (i, &a) in a_row.iter().enumerate() {
+                // Exact-zero skip: `0.0 * b` contributes nothing, so only a
+                // bitwise zero may take the shortcut. lint: allow(TL004)
                 if a == 0.0 {
                     continue;
                 }
@@ -634,6 +638,8 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
         na += x * x;
         nb += y * y;
     }
+    // Guards division by an exactly-zero norm; near-zero vectors still get a
+    // meaningful similarity. lint: allow(TL004)
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {

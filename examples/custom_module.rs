@@ -17,7 +17,7 @@ use taglets::nn::Classifier;
 use taglets::tensor::Tensor;
 use taglets::{
     standard_tasks, BackboneKind, ConceptUniverse, CoreError, ModelZoo, ModuleContext, PruneLevel,
-    Taglet, TagletModule, TagletsConfig, TagletsSystem, UniverseConfig, ZooConfig,
+    Taglet, TagletModule, TagletsConfig, TagletsSystem, TrainedTaglet, UniverseConfig, ZooConfig,
 };
 
 /// A taglet that classifies by cosine proximity to class prototypes in the
@@ -56,7 +56,7 @@ impl TagletModule for PrototypeModule {
         &self,
         ctx: &ModuleContext<'_>,
         _rng: &mut StdRng,
-    ) -> Result<Box<dyn Taglet>, CoreError> {
+    ) -> Result<TrainedTaglet, CoreError> {
         let pre = ctx.zoo.get(ctx.backbone);
         let feats = pre.features(&ctx.split.labeled_x);
         let c = ctx.num_classes();
@@ -95,11 +95,13 @@ impl TagletModule for PrototypeModule {
         // A dummy classifier carries the frozen encoder.
         let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
         let encoder = Classifier::new(pre.backbone(), c, &mut rng);
-        Ok(Box::new(PrototypeTaglet {
+        // Prototype estimation is closed-form — no gradient training, so the
+        // report is empty.
+        Ok(TrainedTaglet::untrained(Box::new(PrototypeTaglet {
             encoder,
             prototypes: protos,
             temperature: 4.0,
-        }))
+        })))
     }
 }
 

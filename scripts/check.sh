@@ -38,6 +38,10 @@ step "build" cargo build --offline --release
 
 step "test" cargo test --offline --quiet
 
+# The execution engine's core guarantee, run explicitly so a filtered or
+# skipped test run can never mask a determinism regression.
+step "determinism" cargo test --offline --quiet --test exec_determinism
+
 step "strict-numerics" cargo test --offline --quiet -p taglets-tensor --features strict-numerics
 
 if [ "$failures" -ne 0 ]; then

@@ -46,9 +46,10 @@
 #![warn(missing_docs)]
 
 pub use taglets_core::{
-    fixmatch_train, ClassifierTaglet, CoreError, EndModelConfig, Ensemble, FixMatchConfig,
-    FixMatchModule, ModuleContext, MultiTaskConfig, MultiTaskModule, ServableModel, Taglet,
-    TagletModule, TagletsConfig, TagletsRun, TagletsSystem, TransferConfig, TransferModule,
+    fixmatch_train, ClassifierTaglet, Concurrency, CoreError, EndModelConfig, Ensemble, Executor,
+    FixMatchConfig, FixMatchModule, ModuleContext, ModuleTelemetry, MultiTaskConfig,
+    MultiTaskModule, RunTelemetry, ServableModel, StageTelemetry, Taglet, TagletModule,
+    TagletsConfig, TagletsRun, TagletsSystem, TrainedTaglet, TransferConfig, TransferModule,
     ZslKgConfig, ZslKgModule,
 };
 pub use taglets_data::{

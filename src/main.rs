@@ -166,7 +166,8 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         "selected |R| = {} images / {} aux classes",
         run.num_auxiliary_examples, run.num_auxiliary_classes
     );
-    for (taglet, (name, secs)) in run.taglets.iter().zip(&run.module_seconds) {
+    for (taglet, m) in run.taglets.iter().zip(&run.telemetry.modules) {
+        let (name, secs) = (&m.name, m.seconds);
         println!(
             "  {:<10} acc {:.3}  ({secs:.2}s)",
             name,
@@ -182,7 +183,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         "  {:<10} acc {:.3}  ({:.2}s, {} parameters)",
         "end model",
         run.end_model.accuracy(&split.test_x, &split.test_y),
-        run.end_model_seconds,
+        run.telemetry.end_model_seconds(),
         run.end_model.num_parameters()
     );
     if let Some(path) = opts.get("save") {

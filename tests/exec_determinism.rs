@@ -1,0 +1,88 @@
+//! The central guarantee of the staged execution engine: parallel module
+//! training is **bitwise identical** to serial execution.
+//!
+//! Every module derives its RNG from `seed ^ name_hash(name)` — never from
+//! scheduling order — and the executor reassembles results in module order,
+//! so the concurrency knob may only change wall-clock, never outputs.
+
+mod common;
+
+use taglets::{BackboneKind, Concurrency, PruneLevel, TagletsConfig, TagletsRun, TagletsSystem};
+
+fn run_with(concurrency: Concurrency) -> (TagletsRun, &'static taglets::TaskSplit) {
+    static SPLIT: std::sync::OnceLock<taglets::TaskSplit> = std::sync::OnceLock::new();
+    let world = common::world();
+    let task = common::task("office_home_product");
+    let split = SPLIT.get_or_init(|| task.split(0, 1));
+    let mut config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
+    config.concurrency = concurrency;
+    let system = TagletsSystem::prepare(&world.scads, &world.zoo, config);
+    let run = system
+        .run(task, split, PruneLevel::NoPruning, 7)
+        .expect("pipeline runs");
+    (run, split)
+}
+
+#[test]
+fn parallel_run_is_bitwise_identical_to_serial() {
+    // TAGLETS_THREADS would override both knobs and collapse the comparison.
+    std::env::remove_var("TAGLETS_THREADS");
+    let (serial, split) = run_with(Concurrency::Serial);
+    let (parallel, _) = run_with(Concurrency::Threads(4));
+
+    assert_eq!(serial.telemetry.concurrency, Concurrency::Serial);
+    assert_eq!(parallel.telemetry.concurrency, Concurrency::Threads(4));
+    assert!(parallel.telemetry.workers >= 2, "parallel run must fan out");
+
+    // Identical pseudo labels, bit for bit.
+    assert_eq!(
+        serial.pseudo_labels.data(),
+        parallel.pseudo_labels.data(),
+        "pseudo labels must not depend on concurrency"
+    );
+
+    // Identical module telemetry names, in identical (module) order.
+    let names = |run: &TagletsRun| run.telemetry.module_seconds().into_iter().map(|(n, _)| n);
+    assert!(
+        names(&serial).eq(names(&parallel)),
+        "module telemetry order must not depend on concurrency"
+    );
+    assert!(
+        serial
+            .taglets
+            .iter()
+            .map(|t| t.name())
+            .eq(parallel.taglets.iter().map(|t| t.name())),
+        "taglet order must not depend on concurrency"
+    );
+
+    // Identical per-module training curves (the RNG-derivation guarantee).
+    for (s, p) in serial
+        .telemetry
+        .modules
+        .iter()
+        .zip(&parallel.telemetry.modules)
+    {
+        assert_eq!(
+            s.report, p.report,
+            "module `{}` training telemetry must not depend on concurrency",
+            s.name
+        );
+    }
+
+    // Identical end-model predictions on the test set.
+    assert_eq!(
+        serial.end_model.predict(&split.test_x),
+        parallel.end_model.predict(&split.test_x),
+        "end-model predictions must not depend on concurrency"
+    );
+
+    // And the stages of both runs carry the same pipeline shape.
+    let stage_names =
+        |run: &TagletsRun| -> Vec<&str> { run.telemetry.stages.iter().map(|s| s.name).collect() };
+    assert_eq!(
+        stage_names(&serial),
+        vec!["select", "train_modules", "ensemble", "distill"]
+    );
+    assert_eq!(stage_names(&serial), stage_names(&parallel));
+}
