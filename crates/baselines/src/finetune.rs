@@ -99,10 +99,12 @@ mod tests {
                 ..SyntheticGraphConfig::default()
             },
             ..UniverseConfig::default()
-        });
-        let mut tasks = standard_tasks(&mut universe);
+        })
+        .expect("universe builds");
+        let mut tasks = standard_tasks(&mut universe).expect("standard tasks build");
         let corpus = universe.build_corpus(12, 0);
-        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default())
+            .expect("corpus is non-empty");
         let fmd = tasks.remove(0);
         (fmd, zoo)
     }

@@ -209,10 +209,12 @@ mod tests {
                 ..SyntheticGraphConfig::default()
             },
             ..UniverseConfig::default()
-        });
-        let tasks = standard_tasks(&mut universe);
+        })
+        .expect("universe builds");
+        let tasks = standard_tasks(&mut universe).expect("standard tasks build");
         let corpus = universe.build_corpus(12, 0);
-        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default())
+            .expect("corpus is non-empty");
         let fmd = &tasks[0];
         let split = fmd.split(0, 5);
         let mut rng = StdRng::seed_from_u64(0);

@@ -16,7 +16,8 @@ use taglets_eval::{Experiment, ExperimentScale, Stats, TextTable};
 use taglets_scads::PruneLevel;
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let mut rendered = String::new();
 
     // Ablation 1: graph-based vs random selection.

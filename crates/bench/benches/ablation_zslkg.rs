@@ -13,7 +13,8 @@ use taglets_graph::Aggregation;
 use taglets_scads::PruneLevel;
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let mut rendered = String::new();
 
     // 1. Aggregation ablation.

@@ -17,7 +17,8 @@ use taglets_scads::PruneLevel;
 fn main() {
     // The knobs below must win over any ambient override.
     std::env::remove_var("TAGLETS_THREADS");
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     // At least 2 workers so the concurrency >= 2 path is always exercised,
     // even on a single-core box (where the speedup honestly reads ~1.0x).
     let workers = std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 4));

@@ -13,7 +13,8 @@ use taglets_eval::{
 use taglets_scads::PruneLevel;
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let mut rendered = String::new();
     for (figure, split_seed) in [(11u32, 0u64), (12, 1), (13, 2)] {
         rendered.push_str(&format!("Figure {figure} — split {split_seed}\n"));

@@ -12,7 +12,8 @@ use taglets_eval::{run_taglets_detailed, Experiment, ExperimentScale, Stats, Tex
 use taglets_scads::PruneLevel;
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let rendered = module_sweep_table(&env, "office_home_product", 0);
     write_results(
         "fig4_modules",

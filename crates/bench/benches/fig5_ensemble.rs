@@ -16,7 +16,8 @@ use taglets_eval::{
 use taglets_scads::PruneLevel;
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let rendered = ensemble_gain_table(&env, "office_home_product", 0);
     write_results(
         "fig5_ensemble",

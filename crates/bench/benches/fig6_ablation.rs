@@ -18,7 +18,8 @@ use taglets_eval::{mean, run_taglets_detailed, Experiment, ExperimentScale, Text
 use taglets_scads::PruneLevel;
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let modules = [
         TransferModule::NAME,
         MultiTaskModule::NAME,

@@ -8,7 +8,8 @@ use taglets_eval::{Experiment, ExperimentScale};
 use taglets_scads::PruneLevel;
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let scads = env.scads();
     let mut rendered = String::new();
     for class in ["plastic", "keyboard"] {

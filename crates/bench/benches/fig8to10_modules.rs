@@ -11,7 +11,8 @@ use taglets_eval::{run_taglets_detailed, Experiment, ExperimentScale, Stats, Tex
 use taglets_scads::PruneLevel;
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let mut rendered = String::new();
     for (figure, split_seed) in [(8u32, 0u64), (9, 1), (10, 2)] {
         rendered.push_str(&format!("Figure {figure} — split {split_seed}\n"));

@@ -11,7 +11,7 @@ use taglets_scads::PruneLevel;
 use taglets_tensor::Tensor;
 
 fn bench_serving(c: &mut Criterion) {
-    let env = Experiment::standard(ExperimentScale::Smoke);
+    let env = Experiment::standard(ExperimentScale::Smoke).expect("standard environment builds");
     let task = env.task("flickr_materials").expect("benchmark task exists");
     let split = task.split(0, 5);
     let system = env.system(taglets_core::TagletsConfig::for_backbone(
@@ -41,7 +41,7 @@ fn bench_serving(c: &mut Criterion) {
 }
 
 fn bench_selection(c: &mut Criterion) {
-    let env = Experiment::standard(ExperimentScale::Smoke);
+    let env = Experiment::standard(ExperimentScale::Smoke).expect("standard environment builds");
     let task = env.task("flickr_materials").expect("benchmark task exists");
     let targets: Vec<_> = task
         .aligned_concepts()

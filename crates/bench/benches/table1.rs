@@ -10,7 +10,8 @@ use taglets_bench::{method_table, write_results};
 use taglets_eval::{Experiment, ExperimentScale};
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let table = method_table(&env, &["office_home_product", "office_home_clipart"], 0)
         .expect("benchmark tasks exist");
     let rendered = format!(

@@ -11,7 +11,8 @@ use taglets_bench::{method_table, write_results};
 use taglets_eval::{Experiment, ExperimentScale};
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let table = method_table(&env, &["grocery_store", "flickr_materials"], 0)
         .expect("benchmark tasks exist");
     let rendered = format!(

@@ -6,7 +6,8 @@ use taglets_bench::{method_table, write_results};
 use taglets_eval::{Experiment, ExperimentScale};
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let mut rendered = String::new();
     for (label, tasks, split) in [
         (

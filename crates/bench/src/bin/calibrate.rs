@@ -13,7 +13,8 @@ use taglets_scads::PruneLevel;
 
 fn main() {
     let t0 = Instant::now();
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     eprintln!("[env built in {:?}]", t0.elapsed());
 
     let task_names = std::env::args()

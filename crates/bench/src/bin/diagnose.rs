@@ -8,7 +8,8 @@ use taglets_eval::{run_taglets_detailed, Experiment, ExperimentScale};
 use taglets_scads::PruneLevel;
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let task_name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "flickr_materials".into());

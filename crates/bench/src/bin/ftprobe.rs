@@ -7,7 +7,8 @@ use taglets_nn::{fit_hard, Classifier, FitConfig};
 use taglets_tensor::{LrSchedule, Sgd, SgdConfig};
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let task = env
         .task("office_home_product")
         .expect("benchmark task exists");

@@ -11,7 +11,8 @@ fn l2(a: &[f32], b: &[f32]) -> f32 {
 }
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     for task in env.tasks() {
         let split = task.split(0, 1);
         // Nearest-exemplar (1-NN on the single labeled image per class).

@@ -6,7 +6,8 @@ use taglets_nn::{Classifier, Linear};
 use taglets_tensor::Tensor;
 
 fn main() {
-    let env = Experiment::standard(ExperimentScale::from_env());
+    let env =
+        Experiment::standard(ExperimentScale::from_env()).expect("standard environment builds");
     let task = env
         .task("office_home_product")
         .expect("benchmark task exists");

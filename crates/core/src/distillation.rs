@@ -131,9 +131,11 @@ mod tests {
                 ..Default::default()
             },
             ..Default::default()
-        });
+        })
+        .expect("universe builds");
         let corpus = universe.build_corpus(8, 0);
-        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default())
+            .expect("corpus is non-empty");
         let mut rng = StdRng::seed_from_u64(0);
 
         // Synthetic two-class problem from two distant concepts.

@@ -15,12 +15,12 @@
 //! use taglets_data::{standard_tasks, BackboneKind, ConceptUniverse, ModelZoo, ZooConfig};
 //! use taglets_scads::PruneLevel;
 //!
-//! # fn main() -> Result<(), taglets_core::CoreError> {
-//! let mut universe = ConceptUniverse::with_seed(7);
-//! let tasks = standard_tasks(&mut universe);
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut universe = ConceptUniverse::with_seed(7)?;
+//! let tasks = standard_tasks(&mut universe)?;
 //! let corpus = universe.build_corpus(25, 0);
-//! let scads = universe.build_scads(&corpus);
-//! let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+//! let scads = universe.build_scads(&corpus)?;
+//! let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default())?;
 //!
 //! let config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
 //! let system = TagletsSystem::prepare(&scads, &zoo, config);

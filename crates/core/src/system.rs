@@ -205,7 +205,7 @@ impl<'a> TagletsSystem<'a> {
         // Stage 1: SCADS extension, concept resolution, auxiliary selection,
         // unlabeled capping.
         // Wall-clock telemetry only; never feeds training.
-        let start = std::time::Instant::now(); // lint: allow(TL003)
+        let start = std::time::Instant::now(); // lint: allow(TL003), nondeterministic(stage timing telemetry; the value never feeds model state)
         let selected = self.select(task, split, prune, seed)?;
         stages.push(StageTelemetry {
             name: "select",
@@ -226,7 +226,7 @@ impl<'a> TagletsSystem<'a> {
         };
 
         // Stage 2: train the modules (the parallelizable stage).
-        let start = std::time::Instant::now(); // lint: allow(TL003)
+        let start = std::time::Instant::now(); // lint: allow(TL003), nondeterministic(stage timing telemetry; the value never feeds model state)
         let (taglets, module_telemetry) =
             self.train_modules(&ctx, &module_names, seed, &executor)?;
         stages.push(StageTelemetry {
@@ -235,7 +235,7 @@ impl<'a> TagletsSystem<'a> {
         });
 
         // Stage 3: ensemble → pseudo labels (Eq. 6).
-        let start = std::time::Instant::now(); // lint: allow(TL003)
+        let start = std::time::Instant::now(); // lint: allow(TL003), nondeterministic(stage timing telemetry; the value never feeds model state)
         let pseudo_labels = Self::ensemble_stage(&taglets, &selected.unlabeled_used, task);
         stages.push(StageTelemetry {
             name: "ensemble",
@@ -243,7 +243,7 @@ impl<'a> TagletsSystem<'a> {
         });
 
         // Stage 4: distill into the end model (Eq. 7).
-        let start = std::time::Instant::now(); // lint: allow(TL003)
+        let start = std::time::Instant::now(); // lint: allow(TL003), nondeterministic(stage timing telemetry; the value never feeds model state)
         let (end_model, end_telemetry) =
             self.distill(task, split, &selected.unlabeled_used, &pseudo_labels, seed);
         stages.push(StageTelemetry {
@@ -382,7 +382,7 @@ impl<'a> TagletsSystem<'a> {
             let module = modules[i];
             let mut rng = StdRng::seed_from_u64(seed ^ name_hash(module.name()));
             // Wall-clock telemetry only; never feeds training.
-            let start = std::time::Instant::now(); // lint: allow(TL003)
+            let start = std::time::Instant::now(); // lint: allow(TL003), nondeterministic(stage timing telemetry; the value never feeds model state)
             let result = module.train(ctx, &mut rng)?;
             Ok((result, start.elapsed().as_secs_f32()))
         })?;
@@ -428,7 +428,7 @@ impl<'a> TagletsSystem<'a> {
         );
         let mut rng = StdRng::seed_from_u64(seed ^ name_hash("end-model"));
         // Wall-clock telemetry only; never feeds training.
-        let start = std::time::Instant::now(); // lint: allow(TL003)
+        let start = std::time::Instant::now(); // lint: allow(TL003), nondeterministic(stage timing telemetry; the value never feeds model state)
         let (end, report) = distillation::train_end_model(
             self.zoo,
             self.config.backbone,

@@ -17,11 +17,13 @@ fn end_model_diagnostics() {
             ..SyntheticGraphConfig::default()
         },
         ..UniverseConfig::default()
-    });
-    let tasks = standard_tasks(&mut universe);
+    })
+    .expect("universe builds");
+    let tasks = standard_tasks(&mut universe).expect("standard tasks build");
     let corpus = universe.build_corpus(15, 0);
-    let scads = universe.build_scads(&corpus);
-    let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+    let scads = universe.build_scads(&corpus).expect("corpus is non-empty");
+    let zoo =
+        ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default()).expect("corpus is non-empty");
     let config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
     let system = TagletsSystem::prepare(&scads, &zoo, config.clone());
     let fmd = tasks.iter().find(|t| t.name == "flickr_materials").unwrap();

@@ -18,11 +18,13 @@ fn full_pipeline_produces_a_working_end_model() {
             ..SyntheticGraphConfig::default()
         },
         ..UniverseConfig::default()
-    });
-    let tasks = standard_tasks(&mut universe);
+    })
+    .expect("universe builds");
+    let tasks = standard_tasks(&mut universe).expect("standard tasks build");
     let corpus = universe.build_corpus(15, 0);
-    let scads = universe.build_scads(&corpus);
-    let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+    let scads = universe.build_scads(&corpus).expect("corpus is non-empty");
+    let zoo =
+        ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default()).expect("corpus is non-empty");
     eprintln!("setup: {:?}", t0.elapsed());
 
     let t1 = Instant::now();
@@ -64,11 +66,13 @@ fn grocery_oov_classes_are_handled_via_scads_extension() {
             ..SyntheticGraphConfig::default()
         },
         ..UniverseConfig::default()
-    });
-    let tasks = standard_tasks(&mut universe);
+    })
+    .expect("universe builds");
+    let tasks = standard_tasks(&mut universe).expect("standard tasks build");
     let corpus = universe.build_corpus(10, 0);
-    let scads = universe.build_scads(&corpus);
-    let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+    let scads = universe.build_scads(&corpus).expect("corpus is non-empty");
+    let zoo =
+        ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default()).expect("corpus is non-empty");
     assert!(scads.graph().find("oatghurt").is_none());
 
     let config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);

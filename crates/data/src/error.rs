@@ -1,0 +1,100 @@
+//! Error type for building the synthetic data substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use taglets_graph::GraphError;
+use taglets_scads::ScadsError;
+
+/// Errors produced while generating the universe, the evaluation tasks, or
+/// the pretrained model zoo.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DataError {
+    /// An underlying graph operation failed (unknown concept, duplicate
+    /// name, retrofit shape mismatch, ...).
+    Graph(GraphError),
+    /// An underlying SCADS operation failed (e.g. installing an empty
+    /// corpus).
+    Scads(ScadsError),
+    /// The generated universe lacks a structural feature a task builder
+    /// relies on (a taxonomy root, at least two depth-1 subtrees, ...).
+    MissingStructure(&'static str),
+    /// The universe holds too few usable concepts for a task.
+    UniverseTooSmall {
+        /// Which task could not be hosted.
+        task: &'static str,
+        /// How many leaf concepts the task requires.
+        needed: usize,
+        /// How many were available.
+        available: usize,
+    },
+    /// A pretraining corpus held no images.
+    EmptyCorpus,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Graph(e) => write!(f, "graph error: {e}"),
+            DataError::Scads(e) => write!(f, "scads error: {e}"),
+            DataError::MissingStructure(what) => {
+                write!(f, "generated universe lacks required structure: {what}")
+            }
+            DataError::UniverseTooSmall {
+                task,
+                needed,
+                available,
+            } => write!(
+                f,
+                "universe too small for task `{task}`: needs {needed} leaf concepts, has {available}"
+            ),
+            DataError::EmptyCorpus => write!(f, "cannot pretrain on an empty corpus"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Graph(e) => Some(e),
+            DataError::Scads(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for DataError {
+    fn from(e: GraphError) -> Self {
+        DataError::Graph(e)
+    }
+}
+
+impl From<ScadsError> for DataError {
+    fn from(e: ScadsError) -> Self {
+        DataError::Scads(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_type_is_well_behaved() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DataError>();
+        let e = DataError::UniverseTooSmall {
+            task: "grocery_store",
+            needed: 40,
+            available: 12,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("grocery_store") && msg.contains("40") && msg.contains("12"));
+        let wrapped = DataError::from(GraphError::UnknownConcept {
+            name: "nope".into(),
+        });
+        assert!(wrapped.source().is_some());
+        assert!(DataError::EmptyCorpus.to_string().contains("empty corpus"));
+    }
+}

@@ -14,26 +14,31 @@
 //! ## Example
 //!
 //! ```no_run
-//! use taglets_data::{standard_tasks, ConceptUniverse, ModelZoo, ZooConfig};
+//! use taglets_data::{standard_tasks, ConceptUniverse, DataError, ModelZoo, ZooConfig};
 //!
-//! let mut universe = ConceptUniverse::with_seed(7);
-//! let tasks = standard_tasks(&mut universe);
+//! # fn main() -> Result<(), DataError> {
+//! let mut universe = ConceptUniverse::with_seed(7)?;
+//! let tasks = standard_tasks(&mut universe)?;
 //! let corpus = universe.build_corpus(25, 0);
-//! let scads = universe.build_scads(&corpus);
-//! let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+//! let scads = universe.build_scads(&corpus)?;
+//! let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default())?;
 //! let split = tasks[0].split(/* split */ 0, /* shots */ 1);
 //! assert_eq!(split.labeled_y.len(), tasks[0].num_classes());
 //! # let _ = (scads, zoo);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod stats;
 mod tasks;
 mod universe;
 mod zoo;
 
+pub use error::DataError;
 pub use stats::TaskSummary;
 pub use taglets_nn::Augmenter;
 pub use tasks::{standard_tasks, ClassSpec, Task, TaskSplit, GROCERY_OOV};

@@ -147,8 +147,9 @@ mod tests {
                 ..Default::default()
             },
             ..Default::default()
-        });
-        let tasks = standard_tasks(&mut universe);
+        })
+        .expect("test universe builds");
+        let tasks = standard_tasks(&mut universe).expect("standard tasks build");
         let summaries: Vec<TaskSummary> = tasks
             .iter()
             .map(|t| TaskSummary::compute(t, universe.taxonomy()))

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use taglets_graph::{ConceptId, Relation};
 use taglets_tensor::Tensor;
 
-use crate::{ConceptUniverse, Domain, Image};
+use crate::{ConceptUniverse, DataError, Domain, Image};
 
 /// One target class of a task.
 #[derive(Debug, Clone)]
@@ -334,13 +334,17 @@ pub const GROCERY_OOV: [(&str, [&str; 3]); 2] = [
 /// concepts to their task class names. Concepts are chosen disjointly across
 /// tasks; the two OfficeHome variants intentionally share the same concepts.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the universe is too small to host all tasks (fewer than ~130
-/// usable leaf concepts).
-pub fn standard_tasks(universe: &mut ConceptUniverse) -> Vec<Task> {
+/// [`DataError::UniverseTooSmall`] if the universe cannot host all tasks
+/// (fewer than ~130 usable leaf concepts), [`DataError::MissingStructure`]
+/// if the generated taxonomy lacks a root or enough depth-1 subtrees, and
+/// [`DataError::Graph`] if a class rename collides.
+pub fn standard_tasks(universe: &mut ConceptUniverse) -> Result<Vec<Task>, DataError> {
     let taxonomy = universe.taxonomy().clone();
-    let root = taxonomy.root().expect("generated taxonomy has a root");
+    let root = taxonomy
+        .root()
+        .ok_or(DataError::MissingStructure("taxonomy has no root"))?;
 
     // Grocery first: it needs a cluster of fine-grained siblings, so claim
     // the largest depth-1 subtree's leaves.
@@ -350,12 +354,17 @@ pub fn standard_tasks(universe: &mut ConceptUniverse) -> Vec<Task> {
         .map(|&c| (c, taxonomy.leaves_under(c)))
         .collect();
     subtrees.sort_by_key(|(_, leaves)| std::cmp::Reverse(leaves.len()));
-    let (_, grocery_leaves) = subtrees.first().expect("root has children").clone();
-    assert!(
-        grocery_leaves.len() >= GROCERY_ALIGNED.len(),
-        "universe too small for the grocery task ({} fine-grained leaves)",
-        grocery_leaves.len()
-    );
+    let (_, grocery_leaves) = subtrees
+        .first()
+        .ok_or(DataError::MissingStructure("taxonomy root has no children"))?
+        .clone();
+    if grocery_leaves.len() < GROCERY_ALIGNED.len() {
+        return Err(DataError::UniverseTooSmall {
+            task: "grocery_store",
+            needed: GROCERY_ALIGNED.len(),
+            available: grocery_leaves.len(),
+        });
+    }
     let grocery_concepts: Vec<ConceptId> = pick_spread(&grocery_leaves, GROCERY_ALIGNED.len());
 
     // FMD: materials are mutually confusable mid-level categories, so its
@@ -363,13 +372,17 @@ pub fn standard_tasks(universe: &mut ConceptUniverse) -> Vec<Task> {
     // spread across the world.
     let (_, fmd_leaves) = subtrees
         .get(1)
-        .expect("root has at least two subtrees")
+        .ok_or(DataError::MissingStructure(
+            "taxonomy root has fewer than two subtrees",
+        ))?
         .clone();
-    assert!(
-        fmd_leaves.len() >= FMD_CLASSES.len(),
-        "universe too small for the material task ({} leaves)",
-        fmd_leaves.len()
-    );
+    if fmd_leaves.len() < FMD_CLASSES.len() {
+        return Err(DataError::UniverseTooSmall {
+            task: "flickr_materials",
+            needed: FMD_CLASSES.len(),
+            available: fmd_leaves.len(),
+        });
+    }
     let fmd_concepts = pick_spread(&fmd_leaves, FMD_CLASSES.len());
 
     // Remaining leaves host OfficeHome (65 everyday objects), spread widely.
@@ -383,30 +396,32 @@ pub fn standard_tasks(universe: &mut ConceptUniverse) -> Vec<Task> {
         .into_iter()
         .filter(|c| !used.contains(c))
         .collect();
-    assert!(
-        free_leaves.len() >= OFFICE_HOME_CLASSES.len(),
-        "universe too small for OfficeHome ({} free leaves)",
-        free_leaves.len()
-    );
+    if free_leaves.len() < OFFICE_HOME_CLASSES.len() {
+        return Err(DataError::UniverseTooSmall {
+            task: "office_home",
+            needed: OFFICE_HOME_CLASSES.len(),
+            available: free_leaves.len(),
+        });
+    }
     let office_concepts = pick_spread(&free_leaves, OFFICE_HOME_CLASSES.len());
 
     // Rename concepts so joining-by-name works.
     for (id, name) in grocery_concepts.iter().zip(GROCERY_ALIGNED) {
-        universe.rename_concept(*id, name);
+        universe.rename_concept(*id, name)?;
     }
     for (id, name) in office_concepts.iter().zip(OFFICE_HOME_CLASSES) {
-        universe.rename_concept(*id, name);
+        universe.rename_concept(*id, name)?;
     }
     for (id, name) in fmd_concepts.iter().zip(FMD_CLASSES) {
-        universe.rename_concept(*id, name);
+        universe.rename_concept(*id, name)?;
     }
 
-    vec![
+    Ok(vec![
         build_fmd(universe, &fmd_concepts),
         build_office_home(universe, &office_concepts, Domain::Product),
         build_office_home(universe, &office_concepts, Domain::Clipart),
-        build_grocery(universe, &grocery_concepts),
-    ]
+        build_grocery(universe, &grocery_concepts)?,
+    ])
 }
 
 /// Picks `n` elements spread evenly across a sorted candidate list.
@@ -490,7 +505,7 @@ fn build_office_home(universe: &ConceptUniverse, concepts: &[ConceptId], domain:
 /// Grocery Store stand-in: 42 fine-grained classes (as few as 18 images per
 /// class), a predetermined test set, and two classes that do not exist in
 /// the knowledge graph.
-fn build_grocery(universe: &ConceptUniverse, aligned: &[ConceptId]) -> Task {
+fn build_grocery(universe: &ConceptUniverse, aligned: &[ConceptId]) -> Result<Task, DataError> {
     let mut rng = StdRng::seed_from_u64(hash("grocery"));
     let mut classes = aligned_specs(universe, aligned);
 
@@ -501,13 +516,8 @@ fn build_grocery(universe: &ConceptUniverse, aligned: &[ConceptId]) -> Task {
     for (name, links) in GROCERY_OOV {
         let link_ids: Vec<ConceptId> = links
             .iter()
-            .map(|l| {
-                universe
-                    .graph()
-                    .require(l)
-                    .expect("grocery links were renamed")
-            })
-            .collect();
+            .map(|l| universe.graph().require(l))
+            .collect::<Result<_, _>>()?;
         let dim = universe.semantics_of(link_ids[0]).len();
         let mut sem = vec![0.0f32; dim];
         for &lid in &link_ids {
@@ -555,7 +565,7 @@ fn build_grocery(universe: &ConceptUniverse, aligned: &[ConceptId]) -> Task {
         }
     }
 
-    Task {
+    Ok(Task {
         name: "grocery_store".to_string(),
         classes,
         domain: Domain::Natural,
@@ -563,7 +573,7 @@ fn build_grocery(universe: &ConceptUniverse, aligned: &[ConceptId]) -> Task {
         max_shots: 5,
         pool,
         predetermined_test: Some(test_pool),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -580,12 +590,13 @@ mod tests {
             },
             ..UniverseConfig::default()
         })
+        .expect("test universe builds")
     }
 
     #[test]
     fn standard_tasks_have_paper_shapes() {
         let mut u = universe();
-        let tasks = standard_tasks(&mut u);
+        let tasks = standard_tasks(&mut u).expect("standard tasks build");
         assert_eq!(tasks.len(), 4);
         let by_name: std::collections::HashMap<&str, &Task> =
             tasks.iter().map(|t| (t.name.as_str(), t)).collect();
@@ -603,7 +614,7 @@ mod tests {
     #[test]
     fn office_variants_share_concepts_but_differ_in_domain() {
         let mut u = universe();
-        let tasks = standard_tasks(&mut u);
+        let tasks = standard_tasks(&mut u).expect("standard tasks build");
         let product = tasks
             .iter()
             .find(|t| t.name == "office_home_product")
@@ -621,7 +632,7 @@ mod tests {
     #[test]
     fn grocery_has_two_unaligned_classes_with_links() {
         let mut u = universe();
-        let tasks = standard_tasks(&mut u);
+        let tasks = standard_tasks(&mut u).expect("standard tasks build");
         let grocery = tasks.iter().find(|t| t.name == "grocery_store").unwrap();
         let oov: Vec<&ClassSpec> = grocery
             .classes
@@ -645,7 +656,7 @@ mod tests {
     #[test]
     fn tasks_use_disjoint_concepts_except_office_pair() {
         let mut u = universe();
-        let tasks = standard_tasks(&mut u);
+        let tasks = standard_tasks(&mut u).expect("standard tasks build");
         let concept_sets: Vec<std::collections::HashSet<ConceptId>> = tasks
             .iter()
             .map(|t| t.aligned_concepts().into_iter().map(|(_, c)| c).collect())
@@ -660,7 +671,7 @@ mod tests {
     #[test]
     fn split_counts_follow_protocol() {
         let mut u = universe();
-        let tasks = standard_tasks(&mut u);
+        let tasks = standard_tasks(&mut u).expect("standard tasks build");
         let fmd = tasks.iter().find(|t| t.name == "flickr_materials").unwrap();
         let split = fmd.split(0, 5);
         assert_eq!(split.labeled_y.len(), 10 * 5);
@@ -678,7 +689,7 @@ mod tests {
     #[test]
     fn splits_differ_across_seeds_but_not_within() {
         let mut u = universe();
-        let tasks = standard_tasks(&mut u);
+        let tasks = standard_tasks(&mut u).expect("standard tasks build");
         let fmd = tasks.iter().find(|t| t.name == "flickr_materials").unwrap();
         let a = fmd.split(0, 1);
         let b = fmd.split(0, 1);
@@ -690,7 +701,7 @@ mod tests {
     #[test]
     fn grocery_test_set_is_predetermined() {
         let mut u = universe();
-        let tasks = standard_tasks(&mut u);
+        let tasks = standard_tasks(&mut u).expect("standard tasks build");
         let grocery = tasks.iter().find(|t| t.name == "grocery_store").unwrap();
         let a = grocery.split(0, 1);
         let b = grocery.split(7, 1);
@@ -704,7 +715,7 @@ mod tests {
     #[test]
     fn shots_beyond_max_panic() {
         let mut u = universe();
-        let tasks = standard_tasks(&mut u);
+        let tasks = standard_tasks(&mut u).expect("standard tasks build");
         let grocery = tasks.iter().find(|t| t.name == "grocery_store").unwrap();
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| grocery.split(0, 20)));
         assert!(r.is_err());

@@ -20,6 +20,8 @@ use taglets_graph::{
 use taglets_scads::Scads;
 use taglets_tensor::Tensor;
 
+use crate::DataError;
+
 /// A flat "image": the raw input vector fed to backbones.
 pub type Image = Vec<f32>;
 
@@ -97,10 +99,15 @@ pub struct ConceptUniverse {
 impl ConceptUniverse {
     /// Generates a universe from the configuration (deterministic in
     /// `cfg.graph.seed`).
-    pub fn new(cfg: UniverseConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Graph`] if retrofitting the generated word vectors onto
+    /// the generated graph fails (a shape mismatch between the two).
+    pub fn new(cfg: UniverseConfig) -> Result<Self, DataError> {
         let world = generate(&cfg.graph);
-        let scads_embeddings = retrofit(&world.graph, &world.word_vectors, &cfg.retrofit, |_| true)
-            .expect("generated embeddings match the generated graph");
+        let scads_embeddings =
+            retrofit(&world.graph, &world.word_vectors, &cfg.retrofit, |_| true)?;
         let mut rng = StdRng::seed_from_u64(cfg.graph.seed ^ 0x5eed_cafe);
         let w_vis = Tensor::randn(
             &[cfg.graph.semantic_dim, cfg.image_dim],
@@ -118,7 +125,7 @@ impl ConceptUniverse {
             .map(|_| rng.gen_range(0.8..1.2))
             .collect();
         let product_bias = Tensor::randn(&[cfg.image_dim], 0.15, &mut rng).into_vec();
-        ConceptUniverse {
+        Ok(ConceptUniverse {
             world,
             scads_embeddings,
             cfg,
@@ -128,11 +135,15 @@ impl ConceptUniverse {
             clipart_bias,
             product_scale,
             product_bias,
-        }
+        })
     }
 
     /// A universe with default settings and the given seed.
-    pub fn with_seed(seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`ConceptUniverse::new`] errors.
+    pub fn with_seed(seed: u64) -> Result<Self, DataError> {
         ConceptUniverse::new(UniverseConfig {
             graph: SyntheticGraphConfig {
                 seed,
@@ -175,14 +186,12 @@ impl ConceptUniverse {
     /// Renames a concept to a task's class name (e.g. `concept_0042` →
     /// `plastic`) so dataset joining by name works.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the name is already taken by another concept.
-    pub fn rename_concept(&mut self, id: ConceptId, name: &str) {
-        self.world
-            .graph
-            .rename(id, name)
-            .expect("task class names are unique by construction");
+    /// [`DataError::Graph`] if the name is already taken by another concept.
+    pub fn rename_concept(&mut self, id: ConceptId, name: &str) -> Result<(), DataError> {
+        self.world.graph.rename(id, name)?;
+        Ok(())
     }
 
     /// The noise-free visual prototype for a semantic vector.
@@ -307,7 +316,12 @@ impl ConceptUniverse {
 
     /// Builds a SCADS from this universe with the corpus installed as a
     /// single auxiliary dataset named `imagenet21k-sim`.
-    pub fn build_scads(&self, corpus: &AuxiliaryCorpus) -> Scads<Image> {
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Scads`] if the corpus cannot be installed (e.g. it is
+    /// empty).
+    pub fn build_scads(&self, corpus: &AuxiliaryCorpus) -> Result<Scads<Image>, DataError> {
         let mut scads = Scads::new(
             self.graph().clone(),
             self.taxonomy().clone(),
@@ -319,10 +333,8 @@ impl ConceptUniverse {
             .enumerate()
             .flat_map(|(i, images)| images.iter().map(move |img| (ConceptId(i), img.clone())))
             .collect();
-        scads
-            .install_by_id("imagenet21k-sim", items)
-            .expect("corpus is non-empty");
-        scads
+        scads.install_by_id("imagenet21k-sim", items)?;
+        Ok(scads)
     }
 }
 
@@ -396,6 +408,7 @@ mod tests {
             },
             ..UniverseConfig::default()
         })
+        .expect("small universe builds")
     }
 
     #[test]
@@ -482,7 +495,7 @@ mod tests {
     fn scads_from_corpus_has_all_examples() {
         let u = small_universe();
         let corpus = u.build_corpus(3, 0);
-        let scads = u.build_scads(&corpus);
+        let scads = u.build_scads(&corpus).expect("corpus is non-empty");
         assert_eq!(scads.num_examples(), 240);
         assert_eq!(scads.installed_datasets(), vec!["imagenet21k-sim"]);
     }
@@ -531,10 +544,11 @@ mod multi_dataset_tests {
                 ..Default::default()
             },
             ..UniverseConfig::default()
-        });
+        })
+        .expect("universe builds");
         let natural = u.build_corpus(3, 0);
         let catalog = u.build_corpus_in_domain(2, 1, Domain::Product);
-        let mut scads = u.build_scads(&natural);
+        let mut scads = u.build_scads(&natural).expect("corpus is non-empty");
         let id = u
             .install_corpus(&mut scads, &catalog, "product-catalog-sim")
             .unwrap();
@@ -553,7 +567,8 @@ mod multi_dataset_tests {
                 ..Default::default()
             },
             ..UniverseConfig::default()
-        });
+        })
+        .expect("universe builds");
         let natural = u.build_corpus_in_domain(2, 0, Domain::Natural);
         let clipart = u.build_corpus_in_domain(2, 0, Domain::Clipart);
         assert_ne!(natural.per_concept[0][0], clipart.per_concept[0][0]);

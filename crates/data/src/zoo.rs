@@ -16,7 +16,7 @@ use taglets_graph::ConceptId;
 use taglets_nn::{fit_hard, Classifier, FitConfig, Mlp};
 use taglets_tensor::{LrSchedule, Sgd, SgdConfig, Tensor};
 
-use crate::{AuxiliaryCorpus, ConceptUniverse};
+use crate::{AuxiliaryCorpus, ConceptUniverse, DataError};
 
 /// Which pretrained encoder a method uses (paper Tables 1–6, "Backbone").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,11 +167,17 @@ pub struct ModelZoo {
 impl ModelZoo {
     /// Pretrains both encoders on the auxiliary corpus.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the corpus is empty.
-    pub fn pretrain(universe: &ConceptUniverse, corpus: &AuxiliaryCorpus, cfg: &ZooConfig) -> Self {
-        assert!(!corpus.is_empty(), "cannot pretrain on an empty corpus");
+    /// [`DataError::EmptyCorpus`] if the corpus holds no images.
+    pub fn pretrain(
+        universe: &ConceptUniverse,
+        corpus: &AuxiliaryCorpus,
+        cfg: &ZooConfig,
+    ) -> Result<Self, DataError> {
+        if corpus.is_empty() {
+            return Err(DataError::EmptyCorpus);
+        }
         let resnet = Self::pretrain_one(
             universe,
             corpus,
@@ -188,7 +194,7 @@ impl ModelZoo {
             cfg.hidden_bit,
             cfg.epochs_bit,
         );
-        ModelZoo { resnet, bit }
+        Ok(ModelZoo { resnet, bit })
     }
 
     fn pretrain_one(
@@ -207,8 +213,13 @@ impl ModelZoo {
             BackboneKind::ResNet50ImageNet1k => {
                 let taxonomy = universe.taxonomy();
                 let ancestor = |mut c: taglets_graph::ConceptId| {
+                    // The root sits at depth 0 ≤ coarse_depth, so a missing
+                    // parent can only mean we already reached the top.
                     while taxonomy.depth(c) > cfg.coarse_depth {
-                        c = taxonomy.parent(c).expect("non-root nodes have parents");
+                        match taxonomy.parent(c) {
+                            Some(p) => c = p,
+                            None => break,
+                        }
                     }
                     c
                 };
@@ -273,9 +284,11 @@ mod tests {
                 ..SyntheticGraphConfig::default()
             },
             ..UniverseConfig::default()
-        });
+        })
+        .expect("test universe builds");
         let corpus = universe.build_corpus(20, 0);
-        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default())
+            .expect("corpus is non-empty");
         (universe, corpus, zoo)
     }
 

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use taglets_core::CoreError;
+use taglets_data::DataError;
 
 /// Errors produced while configuring or running an evaluation.
 #[derive(Debug)]
@@ -18,6 +19,8 @@ pub enum EvalError {
     },
     /// The TAGLETS system failed while running a method.
     System(CoreError),
+    /// Building the shared evaluation environment failed.
+    Data(DataError),
 }
 
 impl fmt::Display for EvalError {
@@ -31,6 +34,7 @@ impl fmt::Display for EvalError {
                 )
             }
             EvalError::System(e) => write!(f, "taglets system error: {e}"),
+            EvalError::Data(e) => write!(f, "environment build error: {e}"),
         }
     }
 }
@@ -39,6 +43,7 @@ impl Error for EvalError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             EvalError::System(e) => Some(e),
+            EvalError::Data(e) => Some(e),
             _ => None,
         }
     }
@@ -47,6 +52,12 @@ impl Error for EvalError {
 impl From<CoreError> for EvalError {
     fn from(e: CoreError) -> Self {
         EvalError::System(e)
+    }
+}
+
+impl From<DataError> for EvalError {
+    fn from(e: DataError) -> Self {
+        EvalError::Data(e)
     }
 }
 
@@ -66,5 +77,8 @@ mod tests {
         assert!(msg.contains("nope") && msg.contains("flickr_materials"));
         let wrapped = EvalError::from(CoreError::NoModules);
         assert!(wrapped.source().is_some());
+        let data = EvalError::from(DataError::EmptyCorpus);
+        assert!(data.source().is_some());
+        assert!(data.to_string().contains("empty corpus"));
     }
 }

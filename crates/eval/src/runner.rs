@@ -95,20 +95,25 @@ impl std::fmt::Debug for Experiment {
 impl Experiment {
     /// Builds the standard evaluation environment at the given scale
     /// (deterministic: the same scale always produces the same world).
-    pub fn standard(scale: ExperimentScale) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Data`] if the synthetic world cannot be generated (too
+    /// few concepts for the tasks, a rename collision, an empty corpus).
+    pub fn standard(scale: ExperimentScale) -> Result<Self, EvalError> {
         let mut universe = ConceptUniverse::new(UniverseConfig {
             graph: SyntheticGraphConfig {
                 num_concepts: scale.num_concepts(),
                 ..SyntheticGraphConfig::default()
             },
             ..UniverseConfig::default()
-        });
-        let tasks = standard_tasks(&mut universe);
+        })?;
+        let tasks = standard_tasks(&mut universe)?;
         let corpus = universe.build_corpus(scale.corpus_per_concept(), 0);
-        let scads = universe.build_scads(&corpus);
-        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+        let scads = universe.build_scads(&corpus)?;
+        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default())?;
         let zslkg = ZslKgModule::pretrain(&scads, &zoo, &taglets_core::ZslKgConfig::default(), 0);
-        Experiment {
+        Ok(Experiment {
             universe,
             tasks,
             corpus,
@@ -116,7 +121,7 @@ impl Experiment {
             zoo,
             zslkg,
             scale,
-        }
+        })
     }
 
     /// The evaluation tasks (FMD, OfficeHome-Product, OfficeHome-Clipart,

@@ -118,6 +118,7 @@ mod tests {
             file: file.to_string(),
             line,
             excerpt: String::new(),
+            chain: Vec::new(),
         }
     }
 

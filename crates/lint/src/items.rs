@@ -1,0 +1,728 @@
+//! Item extraction: turns a token stream into per-function records.
+//!
+//! For every `fn` in a file this pass records where it lives (file, line,
+//! enclosing `impl` type and trait), which *determinism facts* its body
+//! exhibits — direct nondeterminism sources the taint analysis treats as
+//! sinks — and which functions it calls. The extractor is syntactic: it has
+//! no type information, so call targets are names (optionally qualified)
+//! that [`crate::callgraph`] later resolves over-approximately, and map
+//! iteration is tracked only for bindings whose `let` statement or parameter
+//! type visibly mentions `HashMap`/`HashSet`.
+//!
+//! Closure bodies are attributed to the enclosing function — a
+//! `thread::spawn(|| Instant::now())` taints the function that spawns it —
+//! while nested named `fn`s become records of their own.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, Token};
+use crate::scanner::SourceLine;
+
+/// A direct nondeterminism source found in a function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactKind {
+    /// `Instant::now()` / `SystemTime::now()` produced a value.
+    TimeAsData,
+    /// `thread::spawn` / `thread::scope` / `thread::Builder` outside the
+    /// execution engine.
+    ThreadSpawn,
+    /// RNG constructed from entropy, or seeded with a value that is not
+    /// visibly derived from a seed (`thread_rng`, `from_entropy`,
+    /// `rand::random`, `seed_from_u64(<opaque>)`).
+    RngNotSeedDerived,
+    /// Iteration over a `HashMap`/`HashSet`, whose order is unspecified.
+    MapIter,
+}
+
+impl FactKind {
+    /// Human description used in diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            FactKind::TimeAsData => "wall-clock time used as data",
+            FactKind::ThreadSpawn => "thread spawned outside core::exec",
+            FactKind::RngNotSeedDerived => "RNG not derived from a seed",
+            FactKind::MapIter => "iteration over unordered HashMap/HashSet",
+        }
+    }
+}
+
+/// One determinism fact, located and carrying its suppression state.
+#[derive(Debug, Clone)]
+pub struct Fact {
+    pub kind: FactKind,
+    /// 1-based line of the source expression.
+    pub line: usize,
+    /// Short rendering of the offending expression for diagnostics.
+    pub what: String,
+    /// Rule codes suppressed at this line via `lint: allow(...)`.
+    pub allows: Vec<String>,
+    /// True when the line carries a `lint: nondeterministic(reason)` waiver
+    /// with a non-empty reason.
+    pub waived: bool,
+}
+
+/// An outgoing call site.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Called name (`select`, `now`, ...).
+    pub name: String,
+    /// Path or receiver-type qualifier when visible: `Executor` for
+    /// `Executor::run`, the impl type for `self.method(...)`.
+    pub qualifier: Option<String>,
+    /// 1-based line of the call site.
+    pub line: usize,
+}
+
+/// One function extracted from a file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Simple name (`run`, `train`).
+    pub name: String,
+    /// Enclosing `impl` self-type, when any (`TagletsSystem`).
+    pub impl_type: Option<String>,
+    /// Trait being implemented, for `impl Trait for Type` blocks.
+    pub trait_name: Option<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    pub facts: Vec<Fact>,
+    pub calls: Vec<Call>,
+}
+
+impl FnInfo {
+    /// Display name: `Type::name` inside an impl, plain `name` otherwise.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Keywords that look like calls when followed by `(`.
+const KEYWORDS: [&str; 28] = [
+    "if", "else", "while", "for", "loop", "match", "return", "let", "fn", "impl", "struct", "enum",
+    "trait", "type", "use", "mod", "pub", "unsafe", "move", "as", "in", "where", "ref", "mut",
+    "break", "continue", "dyn", "await",
+];
+
+#[derive(Debug)]
+enum Scope {
+    /// `impl Type` / `impl Trait for Type` block.
+    Impl {
+        type_name: Option<String>,
+        trait_name: Option<String>,
+    },
+    /// A function body; indexes into the output vec.
+    Fn {
+        index: usize,
+    },
+    Other,
+}
+
+/// Extracts all non-test functions from one lexed file. `lines` supplies
+/// test-region and suppression metadata for each source line.
+pub fn extract(file: &str, tokens: &[Token], lines: &[SourceLine]) -> Vec<FnInfo> {
+    let in_exec = file.ends_with("core/src/exec.rs");
+    let mut fns: Vec<FnInfo> = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    // Pending scope classification for the next `{`.
+    let mut pending: Option<Scope> = None;
+    // HashMap/HashSet-typed bindings per open fn scope (parallel stack).
+    let mut map_locals: Vec<BTreeSet<String>> = Vec::new();
+
+    let in_test = |line: usize| -> bool {
+        lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.in_test)
+            .unwrap_or(false)
+    };
+    let line_meta = |line: usize| -> (Vec<String>, bool) {
+        lines
+            .get(line.saturating_sub(1))
+            .map(|l| (l.allows.clone(), l.nondet_reason.is_some()))
+            .unwrap_or_default()
+    };
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        match &tok.kind {
+            Tok::Ident(name) if name == "impl" => {
+                let (scope, next) = parse_impl_header(tokens, i + 1);
+                pending = Some(scope);
+                i = next;
+                continue;
+            }
+            Tok::Ident(name) if name == "fn" => {
+                if let Some(Tok::Ident(fn_name)) = tokens.get(i + 1).map(|t| &t.kind) {
+                    if in_test(tok.line) {
+                        i += 2;
+                        continue;
+                    }
+                    let (impl_type, trait_name) = enclosing_impl(&scopes, &fns);
+                    let (param_maps, next) = parse_signature(tokens, i + 2);
+                    let index = fns.len();
+                    fns.push(FnInfo {
+                        name: fn_name.clone(),
+                        impl_type,
+                        trait_name,
+                        file: file.to_string(),
+                        line: tok.line,
+                        facts: Vec::new(),
+                        calls: Vec::new(),
+                    });
+                    // A trait method *declaration* ends in `;` — parse past
+                    // the signature; the `{` case arms the fn scope.
+                    if tokens.get(next).map(|t| t.is_punct(";")).unwrap_or(false) {
+                        fns.pop();
+                        i = next + 1;
+                        continue;
+                    }
+                    pending = Some(Scope::Fn { index });
+                    map_locals.push(param_maps);
+                    i = next;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            Tok::Open('{') => {
+                scopes.push(pending.take().unwrap_or(Scope::Other));
+                i += 1;
+                continue;
+            }
+            Tok::Close('}') => {
+                // map_locals frames pair 1:1 with Fn scopes (pushed when the
+                // signature was parsed), so they pop together.
+                if let Some(Scope::Fn { .. }) = scopes.last() {
+                    map_locals.pop();
+                }
+                scopes.pop();
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+
+        // Everything below only matters inside a function body.
+        let Some(fn_index) = innermost_fn(&scopes) else {
+            i += 1;
+            continue;
+        };
+
+        if let Tok::Ident(name) = &tok.kind {
+            // `let [mut] name ... = ... ;` — mark HashMap/HashSet bindings.
+            if name == "let" {
+                if let Some((binding, mentions_map)) = scan_let(tokens, i + 1) {
+                    if mentions_map {
+                        if let Some(set) = map_locals.last_mut() {
+                            set.insert(binding);
+                        }
+                    }
+                }
+                i += 1;
+                continue;
+            }
+
+            let next_kind = tokens.get(i + 1).map(|t| &t.kind);
+
+            // `Instant::now()` / `SystemTime::now()`.
+            if (name == "Instant" || name == "SystemTime")
+                && matches!(next_kind, Some(Tok::Punct("::")))
+                && tokens.get(i + 2).and_then(Token::ident) == Some("now")
+            {
+                push_fact(
+                    &mut fns[fn_index],
+                    FactKind::TimeAsData,
+                    tok.line,
+                    format!("{name}::now()"),
+                    &line_meta,
+                );
+                i += 3;
+                continue;
+            }
+
+            // `thread::spawn` / `thread::scope` / `thread::Builder`.
+            if name == "thread" && matches!(next_kind, Some(Tok::Punct("::"))) && !in_exec {
+                if let Some(what) = tokens.get(i + 2).and_then(Token::ident) {
+                    if matches!(what, "spawn" | "scope" | "Builder") {
+                        push_fact(
+                            &mut fns[fn_index],
+                            FactKind::ThreadSpawn,
+                            tok.line,
+                            format!("thread::{what}"),
+                            &line_meta,
+                        );
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+
+            // Entropy-based RNG construction.
+            let entropy = name == "thread_rng"
+                || name == "from_entropy"
+                || (name == "random"
+                    && i >= 2
+                    && tokens[i - 1].is_punct("::")
+                    && tokens[i - 2].ident() == Some("rand"));
+            if entropy {
+                push_fact(
+                    &mut fns[fn_index],
+                    FactKind::RngNotSeedDerived,
+                    tok.line,
+                    format!("{name}()"),
+                    &line_meta,
+                );
+                record_call(&mut fns[fn_index], tokens, i);
+                i += 1;
+                continue;
+            }
+
+            // Seeded RNG whose seed expression is not visibly seed-derived.
+            if (name == "seed_from_u64" || name == "from_seed")
+                && matches!(next_kind, Some(Tok::Open('(')))
+                && !seed_arg_is_derived(tokens, i + 2)
+            {
+                push_fact(
+                    &mut fns[fn_index],
+                    FactKind::RngNotSeedDerived,
+                    tok.line,
+                    format!("{name}(<not seed-derived>)"),
+                    &line_meta,
+                );
+                i += 1;
+                continue;
+            }
+
+            // Iteration over a tracked HashMap/HashSet binding:
+            // `m.iter()`, `m.keys()`, ..., and `for x in [&][mut] m`.
+            if is_map_local(&map_locals, name) {
+                if tokens.get(i + 1).map(|t| t.is_punct(".")).unwrap_or(false) {
+                    if let Some(method) = tokens.get(i + 2).and_then(Token::ident) {
+                        if matches!(
+                            method,
+                            "iter"
+                                | "iter_mut"
+                                | "keys"
+                                | "values"
+                                | "values_mut"
+                                | "into_iter"
+                                | "drain"
+                        ) {
+                            push_fact(
+                                &mut fns[fn_index],
+                                FactKind::MapIter,
+                                tok.line,
+                                format!("{name}.{method}()"),
+                                &line_meta,
+                            );
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+            }
+            if name == "in" {
+                let mut j = i + 1;
+                while tokens
+                    .get(j)
+                    .map(|t| t.is_punct("&") || t.ident() == Some("mut"))
+                    .unwrap_or(false)
+                {
+                    j += 1;
+                }
+                if let Some(target) = tokens.get(j).and_then(Token::ident) {
+                    let ends_stmt = tokens
+                        .get(j + 1)
+                        .map(|t| matches!(t.kind, Tok::Open('{')))
+                        .unwrap_or(false);
+                    if ends_stmt && is_map_local(&map_locals, target) {
+                        push_fact(
+                            &mut fns[fn_index],
+                            FactKind::MapIter,
+                            tok.line,
+                            format!("for _ in {target}"),
+                            &line_meta,
+                        );
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+
+            // Plain call sites: `name(...)`, `Qual::name(...)`, `.name(...)`.
+            if matches!(next_kind, Some(Tok::Open('('))) && !KEYWORDS.contains(&name.as_str()) {
+                record_call(&mut fns[fn_index], tokens, i);
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Appends a fact, capturing the line's suppression metadata.
+fn push_fact(
+    f: &mut FnInfo,
+    kind: FactKind,
+    line: usize,
+    what: String,
+    line_meta: &dyn Fn(usize) -> (Vec<String>, bool),
+) {
+    let (allows, waived) = line_meta(line);
+    f.facts.push(Fact {
+        kind,
+        line,
+        what,
+        allows,
+        waived,
+    });
+}
+
+/// Records the call at token `i` (an identifier followed by `(`), deriving
+/// the qualifier from `Qual::name(` or, for `self.name(`, the impl type
+/// resolved later by the call-graph (kept as the literal `self` marker).
+fn record_call(f: &mut FnInfo, tokens: &[Token], i: usize) {
+    let name = match tokens[i].ident() {
+        Some(n) => n.to_string(),
+        None => return,
+    };
+    // Macro invocation `name!(...)` — the `!` sits between name and paren,
+    // so this branch never sees it; guard anyway for `name !(`-style spacing.
+    if tokens.get(i + 1).map(|t| t.is_punct("!")).unwrap_or(false) {
+        return;
+    }
+    let qualifier = if i >= 2 && tokens[i - 1].is_punct("::") {
+        tokens[i - 2].ident().map(str::to_string)
+    } else if i >= 2 && tokens[i - 1].is_punct(".") {
+        // `self.method(...)` — resolvable to the impl type.
+        if i >= 2 && tokens[i - 2].ident() == Some("self") {
+            Some("self".to_string())
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    f.calls.push(Call {
+        name,
+        qualifier,
+        line: tokens[i].line,
+    });
+}
+
+/// After `seed_from_u64(`/`from_seed(`: the argument is considered derived
+/// when it contains an integer literal or an identifier mentioning
+/// `seed`/`hash` (covers `seed ^ name_hash(name)`, `hash("fmd")`, `0x5eed`).
+fn seed_arg_is_derived(tokens: &[Token], start: usize) -> bool {
+    let mut depth = 1usize;
+    let mut j = start;
+    while j < tokens.len() && depth > 0 {
+        match &tokens[j].kind {
+            Tok::Open('(') => depth += 1,
+            Tok::Close(')') => depth -= 1,
+            Tok::Int => return true,
+            Tok::Ident(id) => {
+                let lower = id.to_lowercase();
+                if lower.contains("seed") || lower.contains("hash") {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// True when `name` is a tracked HashMap/HashSet binding in any open frame.
+fn is_map_local(map_locals: &[BTreeSet<String>], name: &str) -> bool {
+    map_locals.iter().any(|set| set.contains(name))
+}
+
+/// Finds the innermost enclosing fn scope.
+fn innermost_fn(scopes: &[Scope]) -> Option<usize> {
+    scopes.iter().rev().find_map(|s| match s {
+        Scope::Fn { index } => Some(*index),
+        _ => None,
+    })
+}
+
+/// Finds the innermost enclosing impl scope's (type, trait).
+fn enclosing_impl(scopes: &[Scope], _fns: &[FnInfo]) -> (Option<String>, Option<String>) {
+    for s in scopes.iter().rev() {
+        if let Scope::Impl {
+            type_name,
+            trait_name,
+        } = s
+        {
+            return (type_name.clone(), trait_name.clone());
+        }
+    }
+    (None, None)
+}
+
+/// Parses an `impl` header starting after the `impl` keyword; returns the
+/// scope and the index of the token that opens the body (or wherever parsing
+/// stopped). Handles `impl<T> Foo<T> for bar::Baz<T> where ...`.
+fn parse_impl_header(tokens: &[Token], start: usize) -> (Scope, usize) {
+    let mut angle = 0isize;
+    let mut first_path: Option<String> = None;
+    let mut second_path: Option<String> = None;
+    let mut saw_for = false;
+    let mut collecting = true;
+    let mut j = start;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            Tok::Punct("<") => angle += 1,
+            Tok::Punct(">") => angle -= 1,
+            Tok::Punct("<<") => angle += 2,
+            Tok::Punct(">>") => angle -= 2,
+            Tok::Punct("->") => {}
+            Tok::Ident(id) if angle == 0 => match id.as_str() {
+                "for" => {
+                    saw_for = true;
+                }
+                "where" => collecting = false,
+                _ if collecting => {
+                    // Keep the last path segment seen on each side of `for`.
+                    if saw_for {
+                        second_path = Some(id.clone());
+                    } else {
+                        first_path = Some(id.clone());
+                    }
+                }
+                _ => {}
+            },
+            Tok::Open('{') if angle == 0 => break,
+            Tok::Punct(";") if angle == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let (type_name, trait_name) = if saw_for {
+        (second_path, first_path)
+    } else {
+        (first_path, None)
+    };
+    (
+        Scope::Impl {
+            type_name,
+            trait_name,
+        },
+        j,
+    )
+}
+
+/// Parses a fn signature from just after the name: skips generics, records
+/// which parameters have `HashMap`/`HashSet` types, and returns the set plus
+/// the index of the body `{` / terminating `;`.
+fn parse_signature(tokens: &[Token], start: usize) -> (BTreeSet<String>, usize) {
+    let mut j = start;
+    // Skip `<...>` generics.
+    if tokens.get(j).map(|t| t.is_punct("<")).unwrap_or(false) {
+        let mut angle = 0isize;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                Tok::Punct("<") => angle += 1,
+                Tok::Punct(">") => angle -= 1,
+                Tok::Punct("<<") => angle += 2,
+                Tok::Punct(">>") => angle -= 2,
+                _ => {}
+            }
+            j += 1;
+            if angle == 0 {
+                break;
+            }
+        }
+    }
+    let mut maps = BTreeSet::new();
+    if tokens
+        .get(j)
+        .map(|t| matches!(t.kind, Tok::Open('(')))
+        .unwrap_or(false)
+    {
+        let mut depth = 0usize;
+        let mut current_param: Option<String> = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                Tok::Open('(') => depth += 1,
+                Tok::Close(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                Tok::Punct(":") if depth == 1 => {
+                    // The ident just before `:` is the parameter name.
+                    if let Some(name) = tokens.get(j.wrapping_sub(1)).and_then(Token::ident) {
+                        current_param = Some(name.to_string());
+                    }
+                }
+                Tok::Punct(",") if depth == 1 => current_param = None,
+                Tok::Ident(id) if depth >= 1 => {
+                    if (id == "HashMap" || id == "HashSet") && current_param.is_some() {
+                        if let Some(p) = &current_param {
+                            maps.insert(p.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Skip return type / where clause up to the body `{` or `;`.
+    let mut angle = 0isize;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            Tok::Punct("<") => angle += 1,
+            Tok::Punct(">") => angle -= 1,
+            Tok::Punct("<<") => angle += 2,
+            Tok::Punct(">>") => angle -= 2,
+            Tok::Open('{') if angle <= 0 => break,
+            Tok::Punct(";") if angle <= 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    (maps, j)
+}
+
+/// Scans a `let` statement from just after the keyword; returns the binding
+/// name and whether the statement mentions `HashMap`/`HashSet` before `;`.
+fn scan_let(tokens: &[Token], start: usize) -> Option<(String, bool)> {
+    let mut j = start;
+    if tokens.get(j).and_then(Token::ident) == Some("mut") {
+        j += 1;
+    }
+    let binding = tokens.get(j).and_then(Token::ident)?.to_string();
+    let mut depth = 0isize;
+    let mut mentions = false;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            Tok::Punct(";") if depth == 0 => break,
+            Tok::Ident(id) if id == "HashMap" || id == "HashSet" => mentions = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((binding, mentions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scanner::scan;
+
+    fn extract_src(src: &str) -> Vec<FnInfo> {
+        extract("crates/x/src/lib.rs", &lex(src), &scan(src))
+    }
+
+    #[test]
+    fn impl_and_trait_context_is_recorded() {
+        let fns = extract_src(
+            "impl TagletModule for FixMatch {\n    fn train(&self) {}\n}\nimpl Plain {\n    fn go(&self) {}\n}\nfn free() {}\n",
+        );
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[0].qualified(), "FixMatch::train");
+        assert_eq!(fns[0].trait_name.as_deref(), Some("TagletModule"));
+        assert_eq!(fns[1].qualified(), "Plain::go");
+        assert_eq!(fns[1].trait_name, None);
+        assert_eq!(fns[2].qualified(), "free");
+    }
+
+    #[test]
+    fn time_and_thread_facts_are_found() {
+        let fns = extract_src(
+            "fn f() {\n    let t = Instant::now();\n    std::thread::spawn(|| SystemTime::now());\n}\n",
+        );
+        let kinds: Vec<FactKind> = fns[0].facts.iter().map(|f| f.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FactKind::TimeAsData,
+                FactKind::ThreadSpawn,
+                FactKind::TimeAsData
+            ]
+        );
+    }
+
+    #[test]
+    fn exec_module_may_spawn_threads() {
+        let src = "fn run() { std::thread::scope(|s| {}); }\n";
+        let fns = extract("crates/core/src/exec.rs", &lex(src), &scan(src));
+        assert!(fns[0].facts.is_empty());
+    }
+
+    #[test]
+    fn rng_seed_derivation_heuristic() {
+        let fns = extract_src(
+            "fn a(seed: u64) { let r = StdRng::seed_from_u64(seed ^ 3); }\nfn b() { let r = StdRng::seed_from_u64(name_hash(name)); }\nfn c(x: u64) { let r = StdRng::seed_from_u64(x); }\nfn d() { let r = thread_rng(); }\n",
+        );
+        assert!(fns[0].facts.is_empty(), "seed ident → derived");
+        assert!(fns[1].facts.is_empty(), "hash ident → derived");
+        assert_eq!(fns[2].facts[0].kind, FactKind::RngNotSeedDerived);
+        assert_eq!(fns[3].facts[0].kind, FactKind::RngNotSeedDerived);
+    }
+
+    #[test]
+    fn map_iteration_is_tracked_through_locals_and_params() {
+        let fns = extract_src(
+            "fn f(index: &HashMap<String, usize>) {\n    let mut seen = HashSet::new();\n    for k in index { }\n    seen.iter();\n    let v: Vec<u8> = Vec::new();\n    v.iter();\n}\n",
+        );
+        let kinds: Vec<FactKind> = fns[0].facts.iter().map(|f| f.kind).collect();
+        assert_eq!(kinds, vec![FactKind::MapIter, FactKind::MapIter]);
+    }
+
+    #[test]
+    fn calls_capture_qualifiers() {
+        let fns = extract_src(
+            "impl System {\n    fn run(&self) {\n        self.select();\n        Executor::launch();\n        helper();\n        println!(\"no\");\n    }\n}\n",
+        );
+        let calls: Vec<(Option<&str>, &str)> = fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.qualifier.as_deref(), c.name.as_str()))
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                (Some("self"), "select"),
+                (Some("Executor"), "launch"),
+                (None, "helper"),
+            ]
+        );
+    }
+
+    #[test]
+    fn test_functions_are_skipped() {
+        let fns = extract_src(
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let x = Instant::now(); }\n}\n",
+        );
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "lib");
+    }
+
+    #[test]
+    fn facts_capture_suppressions() {
+        let fns = extract_src(
+            "fn f() {\n    let t = Instant::now(); // lint: nondeterministic(telemetry only)\n    let u = Instant::now(); // lint: allow(TL007)\n    let v = Instant::now();\n}\n",
+        );
+        let facts = &fns[0].facts;
+        assert!(facts[0].waived);
+        assert!(facts[1].allows.iter().any(|a| a == "TL007"));
+        assert!(!facts[2].waived && facts[2].allows.is_empty());
+    }
+}

@@ -10,8 +10,16 @@
 //! | TL001 | `unwrap()` / `expect()` in non-test library code |
 //! | TL002 | `panic!` / `todo!` / `unreachable!` / `unimplemented!` |
 //! | TL003 | nondeterminism sources (`thread_rng`, `rand::random`, `Instant::now`, `SystemTime`) |
-//! | TL004 | `==` / `!=` on float expressions |
+//! | TL004 | `==` / `!=` on float expressions (token-level) |
 //! | TL005 | missing doc comment on `pub fn` in `tensor`/`core` (advisory) |
+//! | TL006 | thread spawning outside `core::exec` |
+//! | TL007 | nondeterminism reachable from a deterministic root (taint, with call chain) |
+//! | TL008 | iteration over unordered `HashMap`/`HashSet` in library code |
+//! | TL009 | RNG construction not derived from a seed |
+//!
+//! TL001–TL006 come from the line scanner and token stream per file;
+//! TL007–TL009 come from the workspace-level determinism pipeline
+//! ([`lexer`] → [`items`] → [`callgraph`] → [`taint`]).
 //!
 //! Pre-existing violations live in `lint-baseline.txt` as per-(rule, file)
 //! counts; `--check` fails only on *new* violations and `--update-baseline`
@@ -23,14 +31,18 @@
 //! unreachable.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod items;
+pub mod lexer;
 pub mod rules;
 pub mod scanner;
+pub mod taint;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use rules::{Rule, Violation, ALL_RULES};
+pub use rules::{Hop, Rule, Violation, ALL_RULES};
 
 /// Name of the checked-in baseline file at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.txt";
@@ -58,12 +70,17 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
     files.sort();
 
     let mut violations = Vec::new();
+    let mut fns = Vec::new();
     for file in &files {
         let source = fs::read_to_string(file)?;
         let rel = relative_path(root, file);
         let lines = scanner::scan(&source);
-        violations.extend(rules::check_file(&rel, &lines));
+        let tokens = lexer::lex(&source);
+        violations.extend(rules::check_file(&rel, &lines, &tokens));
+        fns.extend(items::extract(&rel, &tokens, &lines));
     }
+    let graph = callgraph::build(fns);
+    violations.extend(taint::analyze(&graph));
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(violations)
 }

@@ -5,6 +5,8 @@
 //! * `--update-baseline`: regenerate `lint-baseline.txt` from the current
 //!   tree (how burn-down progress is locked in).
 //! * `--list`: print every current violation (including baselined ones).
+//! * `--json`: machine-readable output — one JSON diagnostic per line,
+//!   including TL007 taint chains (combines with `--check` or `--list`).
 //! * `--root <dir>`: override workspace-root autodetection.
 
 use std::collections::BTreeMap;
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<ExitCode, String> {
     let mut mode = Mode::Check;
+    let mut json = false;
     let mut root_override: Option<PathBuf> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,6 +44,7 @@ fn run() -> Result<ExitCode, String> {
             "--check" => mode = Mode::Check,
             "--update-baseline" => mode = Mode::UpdateBaseline,
             "--list" => mode = Mode::List,
+            "--json" => json = true,
             "--root" => {
                 let dir = args.next().ok_or("--root requires a directory argument")?;
                 root_override = Some(PathBuf::from(dir));
@@ -69,16 +73,23 @@ fn run() -> Result<ExitCode, String> {
     match mode {
         Mode::List => {
             for v in &violations {
-                println!(
-                    "{} {}:{} {} | {}",
-                    v.rule.code(),
-                    v.file,
-                    v.line,
-                    v.rule.description(),
-                    v.excerpt
-                );
+                if json {
+                    println!("{}", to_json(v));
+                } else {
+                    println!(
+                        "{} {}:{} {} | {}",
+                        v.rule.code(),
+                        v.file,
+                        v.line,
+                        v.rule.description(),
+                        v.excerpt
+                    );
+                    print_chain(v);
+                }
             }
-            print_totals(&violations);
+            if !json {
+                print_totals(&violations);
+            }
             Ok(ExitCode::SUCCESS)
         }
         Mode::UpdateBaseline => {
@@ -96,13 +107,101 @@ fn run() -> Result<ExitCode, String> {
         Mode::Check => {
             let base = load_baseline(&root)?;
             let diff = baseline::diff(&current, &base);
-            report_check(&violations, &diff);
+            if json {
+                report_check_json(&violations, &diff);
+            } else {
+                report_check(&violations, &diff);
+            }
             if baseline::has_blocking_regression(&diff) {
                 Ok(ExitCode::FAILURE)
             } else {
                 Ok(ExitCode::SUCCESS)
             }
         }
+    }
+}
+
+/// JSON check output: one diagnostic per line for every violation in a
+/// regressing (rule, file) bucket, then a one-line summary object.
+fn report_check_json(violations: &[Violation], diff: &baseline::Diff) {
+    let mut blocking = 0usize;
+    for (rule, file, _, _) in &diff.regressions {
+        let advisory = Rule::from_code(rule)
+            .map(Rule::is_advisory)
+            .unwrap_or(false);
+        if !advisory {
+            blocking += 1;
+        }
+        for v in violations
+            .iter()
+            .filter(|v| v.rule.code() == rule && &v.file == file)
+        {
+            println!("{}", to_json(v));
+        }
+    }
+    println!(
+        "{{\"summary\":true,\"total\":{},\"regressing_entries\":{},\"blocking_entries\":{},\"ok\":{}}}",
+        violations.len(),
+        diff.regressions.len(),
+        blocking,
+        blocking == 0
+    );
+}
+
+/// Renders one violation as a single-line JSON object.
+fn to_json(v: &Violation) -> String {
+    let mut chain = String::from("[");
+    for (i, hop) in v.chain.iter().enumerate() {
+        if i > 0 {
+            chain.push(',');
+        }
+        chain.push_str(&format!(
+            "{{\"fn\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+            json_escape(&hop.name),
+            json_escape(&hop.file),
+            hop.line
+        ));
+    }
+    chain.push(']');
+    format!(
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"description\":\"{}\",\"excerpt\":\"{}\",\"advisory\":{},\"chain\":{}}}",
+        v.rule.code(),
+        json_escape(&v.file),
+        v.line,
+        json_escape(v.rule.description()),
+        json_escape(&v.excerpt),
+        v.rule.is_advisory(),
+        chain
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prints a TL007 chain under its diagnostic in the human-readable modes.
+fn print_chain(v: &Violation) {
+    for (i, hop) in v.chain.iter().enumerate() {
+        println!(
+            "    {}└─ {} ({}:{})",
+            "   ".repeat(i),
+            hop.name,
+            hop.file,
+            hop.line
+        );
     }
 }
 
@@ -125,6 +224,7 @@ fn report_check(violations: &[Violation], diff: &baseline::Diff) {
         if let Some(sites) = by_key.get(&(rule.as_str(), file.as_str())) {
             for v in sites {
                 println!("    {}:{} | {}", v.file, v.line, v.excerpt);
+                print_chain(v);
             }
         }
         if !advisory {
@@ -178,6 +278,7 @@ fn print_help() {
          --check            diff violations against {BASELINE_FILE}; exit 1 on new ones (default)\n\
          --update-baseline  regenerate {BASELINE_FILE} from the current tree\n\
          --list             print every violation, including baselined ones\n\
+         --json             one JSON diagnostic per line (with --check or --list)\n\
          --root DIR         workspace root (default: walk up from the current directory)"
     );
 }

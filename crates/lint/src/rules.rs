@@ -1,10 +1,17 @@
 //! The TL rule set.
 //!
-//! Each rule is a line-level matcher over the cleaned source produced by
-//! [`crate::scanner`]. Rules are scoped: TL001/TL002 apply to all library
-//! code, TL003 skips the bench crate (timing is its purpose), and TL005 is
-//! an advisory documentation rule limited to the `tensor` and `core` crates.
+//! TL001–TL003, TL005 and TL006 are line-level matchers over the cleaned
+//! source produced by [`crate::scanner`]. TL004 matches over the token
+//! stream from [`crate::lexer`] (so tuple indices and string contents can
+//! never look like float literals). TL007–TL009 are produced by the
+//! determinism passes ([`crate::items`] → [`crate::callgraph`] →
+//! [`crate::taint`]) and only share the [`Violation`] type and scoping
+//! logic here. Rules are scoped: TL001/TL002 apply to all library code,
+//! TL003 and the determinism rules skip the bench crate (timing is its
+//! purpose), and TL005 is an advisory documentation rule limited to the
+//! `tensor` and `core` crates.
 
+use crate::lexer::{Tok, Token};
 use crate::scanner::SourceLine;
 
 /// A lint rule identifier.
@@ -22,16 +29,26 @@ pub enum Rule {
     Tl005,
     /// Thread spawning outside the execution engine (`core/src/exec.rs`).
     Tl006,
+    /// Nondeterminism source reachable from a declared deterministic root
+    /// (taint analysis over the workspace call-graph).
+    Tl007,
+    /// Iteration over an unordered `HashMap`/`HashSet` in library code.
+    Tl008,
+    /// RNG construction not derived from a seed.
+    Tl009,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 9] = [
     Rule::Tl001,
     Rule::Tl002,
     Rule::Tl003,
     Rule::Tl004,
     Rule::Tl005,
     Rule::Tl006,
+    Rule::Tl007,
+    Rule::Tl008,
+    Rule::Tl009,
 ];
 
 impl Rule {
@@ -44,6 +61,9 @@ impl Rule {
             Rule::Tl004 => "TL004",
             Rule::Tl005 => "TL005",
             Rule::Tl006 => "TL006",
+            Rule::Tl007 => "TL007",
+            Rule::Tl008 => "TL008",
+            Rule::Tl009 => "TL009",
         }
     }
 
@@ -56,6 +76,9 @@ impl Rule {
             Rule::Tl004 => "==/!= comparison on float expressions",
             Rule::Tl005 => "missing doc comment on pub fn (advisory)",
             Rule::Tl006 => "thread::spawn/scope outside the exec module",
+            Rule::Tl007 => "nondeterminism reachable from a deterministic root",
+            Rule::Tl008 => "iteration over unordered HashMap/HashSet in library code",
+            Rule::Tl009 => "RNG construction not derived from a seed",
         }
     }
 
@@ -85,6 +108,11 @@ impl Rule {
             // determinism has exactly one place to be argued; benches may
             // probe parallelism freely.
             Rule::Tl006 => path != "crates/core/src/exec.rs" && !path.starts_with("crates/bench/"),
+            // Determinism rules: benches time and sample by design; TL008
+            // additionally tolerates binaries (a CLI summarising a HashMap
+            // does not perturb seeded results).
+            Rule::Tl007 | Rule::Tl009 => !path.starts_with("crates/bench/"),
+            Rule::Tl008 => !path.starts_with("crates/bench/") && !is_binary_target(path),
         }
     }
 }
@@ -93,6 +121,18 @@ impl Rule {
 /// top-level `expect` on user input is idiomatic.
 fn is_binary_target(path: &str) -> bool {
     path.contains("/bin/") || path == "src/main.rs" || path.ends_with("/src/main.rs")
+}
+
+/// One function-level step in a taint chain, from a deterministic root
+/// toward the nondeterminism source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Qualified function name (`TagletsSystem::run`).
+    pub name: String,
+    /// Workspace-relative file declaring the function.
+    pub file: String,
+    /// 1-based line of the `fn`.
+    pub line: usize,
 }
 
 /// A single rule violation at a source location.
@@ -105,10 +145,15 @@ pub struct Violation {
     pub line: usize,
     /// Trimmed source excerpt for the report.
     pub excerpt: String,
+    /// For TL007: the call chain from the deterministic root down to the
+    /// function containing the source. Empty for all other rules.
+    pub chain: Vec<Hop>,
 }
 
-/// Runs every applicable rule over one scanned file.
-pub fn check_file(path: &str, lines: &[SourceLine]) -> Vec<Violation> {
+/// Runs every applicable line-level rule plus the token-level TL004 pass
+/// over one file. The determinism rules (TL007–TL009) need the whole
+/// workspace and are produced by [`crate::taint`] instead.
+pub fn check_file(path: &str, lines: &[SourceLine], tokens: &[Token]) -> Vec<Violation> {
     let mut out = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
@@ -122,9 +167,9 @@ pub fn check_file(path: &str, lines: &[SourceLine]) -> Vec<Violation> {
                 Rule::Tl001 => hits_tl001(&line.code),
                 Rule::Tl002 => hits_tl002(&line.code),
                 Rule::Tl003 => hits_tl003(&line.code),
-                Rule::Tl004 => hits_tl004(&line.code),
                 Rule::Tl005 => hits_tl005(lines, idx),
                 Rule::Tl006 => hits_tl006(&line.code),
+                Rule::Tl004 | Rule::Tl007 | Rule::Tl008 | Rule::Tl009 => false,
             };
             if hit {
                 out.push(Violation {
@@ -132,11 +177,81 @@ pub fn check_file(path: &str, lines: &[SourceLine]) -> Vec<Violation> {
                     file: path.to_string(),
                     line: line.number,
                     excerpt: excerpt(&line.raw),
+                    chain: Vec::new(),
                 });
             }
         }
     }
+    if Rule::Tl004.applies_to(path) {
+        out.extend(check_tl004(path, lines, tokens));
+    }
     out
+}
+
+/// Token-level TL004: `==` / `!=` with a float-typed operand nearby.
+///
+/// Works over real tokens, so the old line heuristic's false positives are
+/// structurally impossible: tuple indices (`x.0.1`) lex as integers, string
+/// and char literal contents are single tokens, and `1..2` is a range, not
+/// a float. An operand window extends from the comparison until a token
+/// that must end the expression.
+fn check_tl004(path: &str, lines: &[SourceLine], tokens: &[Token]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !(tok.is_punct("==") || tok.is_punct("!=")) {
+            continue;
+        }
+        let meta = lines.get(tok.line.saturating_sub(1));
+        if meta
+            .map(|l| l.in_test || l.allows("TL004"))
+            .unwrap_or(false)
+        {
+            continue;
+        }
+        let left = tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|t| !ends_left_operand(t))
+            .take(12);
+        let right = tokens[i + 1..]
+            .iter()
+            .take_while(|t| !ends_right_operand(t))
+            .take(12);
+        if left.chain(right).any(floatish) {
+            out.push(Violation {
+                rule: Rule::Tl004,
+                file: path.to_string(),
+                line: tok.line,
+                excerpt: meta.map(|l| excerpt(&l.raw)).unwrap_or_default(),
+                chain: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Tokens that cannot belong to either comparison operand.
+fn ends_any_operand(t: &Token) -> bool {
+    matches!(
+        t.kind,
+        Tok::Punct(";" | "," | "&&" | "||" | "=" | "=>" | "==" | "!=")
+    )
+}
+
+/// Walking left, an opening delimiter means the comparison's expression
+/// started after it (`f(a == b)` must not see `f`'s siblings).
+fn ends_left_operand(t: &Token) -> bool {
+    ends_any_operand(t) || matches!(t.kind, Tok::Open(_) | Tok::Close('}'))
+}
+
+/// Walking right, a closing delimiter (or block open) ends the expression.
+fn ends_right_operand(t: &Token) -> bool {
+    ends_any_operand(t) || matches!(t.kind, Tok::Close(_) | Tok::Open('{'))
+}
+
+/// A token that makes the operand float-typed.
+fn floatish(t: &Token) -> bool {
+    matches!(t.kind, Tok::Float) || matches!(t.ident(), Some("f32" | "f64"))
 }
 
 fn excerpt(raw: &str) -> String {
@@ -214,69 +329,6 @@ fn contains_word(code: &str, needle: &str) -> bool {
     false
 }
 
-/// `==` / `!=` where either operand looks like a float expression.
-fn hits_tl004(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut i = 0;
-    while i + 1 < bytes.len() {
-        let two = &code[i..i + 2];
-        let is_eq = two == "==";
-        let is_ne = two == "!=";
-        if is_eq || is_ne {
-            let prev = if i > 0 { bytes[i - 1] } else { b' ' };
-            let next = if i + 2 < bytes.len() {
-                bytes[i + 2]
-            } else {
-                b' '
-            };
-            // Skip `<=`, `>=`, `=>`-adjacent, `===`-style runs, and `!=`'s
-            // `=` being part of `!==` (not Rust, but cheap to exclude).
-            let operator = !matches!(prev, b'<' | b'>' | b'=' | b'!') && next != b'=';
-            let operator = operator && (is_ne || prev != b'=');
-            if operator {
-                let left = operand_before(code, i);
-                let right = operand_after(code, i + 2);
-                if looks_float(left) || looks_float(right) {
-                    return true;
-                }
-            }
-            i += 2;
-        } else {
-            i += 1;
-        }
-    }
-    false
-}
-
-fn operand_before(code: &str, end: usize) -> &str {
-    let boundary = code[..end]
-        .rfind(|c: char| matches!(c, '(' | '{' | '[' | ',' | ';' | '&' | '|'))
-        .map(|p| p + 1)
-        .unwrap_or(0);
-    &code[boundary..end]
-}
-
-fn operand_after(code: &str, start: usize) -> &str {
-    let rest = &code[start..];
-    // `{` bounds the operand too: in `if d == Domain::X { 1.9 } else ...`
-    // the literal belongs to the branch body, not the comparison.
-    let boundary = rest
-        .find(|c: char| matches!(c, ')' | '{' | '}' | ']' | ',' | ';' | '&' | '|'))
-        .unwrap_or(rest.len());
-    &rest[..boundary]
-}
-
-/// Float-ness heuristic: a `1.5`-style literal or an `f32`/`f64` token.
-fn looks_float(operand: &str) -> bool {
-    if contains_word(operand, "f32") || contains_word(operand, "f64") {
-        return true;
-    }
-    let chars: Vec<char> = operand.chars().collect();
-    chars
-        .windows(3)
-        .any(|w| w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit())
-}
-
 /// Thread spawning primitives. Matched as words so e.g. a local identifier
 /// `scoped_spawn` does not hit; `scope.spawn(...)`/`s.spawn(...)` inside an
 /// existing `thread::scope` block are only reachable via the scope handle,
@@ -324,13 +376,16 @@ fn hits_tl005(lines: &[SourceLine], idx: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
     use crate::scanner::scan;
 
     fn violations(path: &str, src: &str) -> Vec<(Rule, usize)> {
-        check_file(path, &scan(src))
+        let mut v: Vec<(Rule, usize)> = check_file(path, &scan(src), &lex(src))
             .into_iter()
             .map(|v| (v.rule, v.line))
-            .collect()
+            .collect();
+        v.sort();
+        v
     }
 
     #[test]
@@ -374,6 +429,36 @@ mod tests {
         let src =
             "fn f() {\n    if a <= 1.0 {}\n    if b >= 2.0 {}\n    match c { _ => 3.0 };\n}\n";
         assert!(violations("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tl004_tuple_indices_are_not_floats() {
+        // The old line heuristic saw `.0.1` as a float literal.
+        let src = "fn f() {\n    if pair.0.1 != other.0.1 {}\n    if m[k].2.0 == n {}\n}\n";
+        assert!(violations("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tl004_string_contents_are_not_floats() {
+        let src = "fn f() {\n    assert!(name != \"v1.5\", \"saw 2.5\");\n    if tag != other { log(\"3.14\") }\n}\n";
+        assert!(violations("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tl004_ranges_are_not_floats() {
+        let src = "fn f() {\n    for i in 1..10 { if i == j {} }\n    if (0..5).len() == 5 {}\n}\n";
+        assert!(violations("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tl004_true_float_comparisons_still_fire() {
+        let src =
+            "fn f() {\n    if loss == 0.0 {}\n    if (x as f32) != y {}\n    if a != 1e-6 {}\n}\n";
+        let v = violations("crates/x/src/lib.rs", src);
+        assert_eq!(
+            v,
+            vec![(Rule::Tl004, 2), (Rule::Tl004, 3), (Rule::Tl004, 4)]
+        );
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct SourceLine {
     pub in_test: bool,
     /// Rule codes suppressed on this line via `lint: allow(TLxxx, ...)`.
     pub allows: Vec<String>,
+    /// Justification from a `lint: nondeterministic(reason)` directive.
+    /// Suppresses the determinism rules (TL007–TL009) at this site. An
+    /// empty reason is rejected at parse time — the directive must say *why*
+    /// the nondeterminism is acceptable — so `None` here means either no
+    /// directive or a reasonless one, and the rules fire either way.
+    pub nondet_reason: Option<String>,
 }
 
 impl SourceLine {
@@ -68,11 +74,22 @@ pub fn scan(source: &str) -> Vec<SourceLine> {
 /// reformatting.
 fn propagate_standalone_allows(lines: &mut [SourceLine]) {
     let mut pending: Vec<String> = Vec::new();
+    let mut pending_reason: Option<String> = None;
     for line in lines.iter_mut() {
         if line.code.trim().is_empty() {
             pending.extend(line.allows.iter().cloned());
-        } else if !pending.is_empty() {
-            line.allows.append(&mut pending);
+            if line.nondet_reason.is_some() {
+                pending_reason = line.nondet_reason.clone();
+            }
+        } else {
+            if !pending.is_empty() {
+                line.allows.append(&mut pending);
+            }
+            if let Some(reason) = pending_reason.take() {
+                if line.nondet_reason.is_none() {
+                    line.nondet_reason = Some(reason);
+                }
+            }
         }
     }
 }
@@ -214,7 +231,7 @@ fn clean(source: &str) -> Vec<SourceLine> {
         if state == State::Char {
             state = State::Code;
         }
-        let allows = parse_allows(&comment_text);
+        let (allows, nondet_reason) = parse_directives(&comment_text);
         out.push(SourceLine {
             number: idx + 1,
             raw: raw.to_string(),
@@ -222,6 +239,7 @@ fn clean(source: &str) -> Vec<SourceLine> {
             is_doc,
             in_test: false,
             allows,
+            nondet_reason,
         });
     }
     out
@@ -266,25 +284,67 @@ fn is_ident(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-/// Extracts rule codes from `lint: allow(TL001, TL002)` comment directives.
-fn parse_allows(comment: &str) -> Vec<String> {
+/// Extracts directives from `lint:` comments: `allow(TL001, TL002)` rule
+/// suppressions and `nondeterministic(reason)` determinism waivers. Both may
+/// appear in one comment (`// lint: allow(TL003), nondeterministic(telemetry
+/// only)`). A `nondeterministic()` with an empty reason is ignored — the
+/// waiver must justify itself.
+fn parse_directives(comment: &str) -> (Vec<String>, Option<String>) {
     let mut allows = Vec::new();
+    let mut reason: Option<String> = None;
     let mut rest = comment;
     while let Some(pos) = rest.find("lint:") {
         rest = &rest[pos + 5..];
-        let trimmed = rest.trim_start();
-        if let Some(args) = trimmed.strip_prefix("allow(") {
-            if let Some(end) = args.find(')') {
+        let mut directives = rest.trim_start();
+        loop {
+            if let Some(args) = directives.strip_prefix("allow(") {
+                let Some(end) = args.find(')') else { break };
                 for code in args[..end].split(',') {
                     let code = code.trim();
                     if !code.is_empty() {
                         allows.push(code.to_string());
                     }
                 }
+                directives = args[end + 1..].trim_start();
+            } else if let Some(args) = directives.strip_prefix("nondeterministic(") {
+                // The reason may itself contain balanced parentheses.
+                let Some(end) = matching_paren(args) else {
+                    break;
+                };
+                let text = args[..end].trim();
+                if !text.is_empty() {
+                    reason = Some(text.to_string());
+                }
+                directives = args[end + 1..].trim_start();
+            } else {
+                break;
             }
+            directives = directives
+                .strip_prefix(',')
+                .unwrap_or(directives)
+                .trim_start();
         }
     }
-    allows
+    (allows, reason)
+}
+
+/// Byte index of the `)` closing an already-open paren, skipping balanced
+/// inner pairs.
+fn matching_paren(s: &str) -> Option<usize> {
+    let mut depth = 1usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Pass 2: mark lines belonging to `#[cfg(test)]` / `#[test]` items.
@@ -428,6 +488,41 @@ mod tests {
         assert!(lines[0].allows("TL002"));
         assert!(lines[0].allows("TL001"));
         assert!(!lines[0].allows("TL003"));
+    }
+
+    #[test]
+    fn nondeterministic_directive_requires_a_reason() {
+        let lines = scan(
+            "a(); // lint: nondeterministic(wall-clock telemetry only)\nb(); // lint: nondeterministic()\nc();\n",
+        );
+        assert_eq!(
+            lines[0].nondet_reason.as_deref(),
+            Some("wall-clock telemetry only")
+        );
+        assert!(
+            lines[1].nondet_reason.is_none(),
+            "empty reason is no waiver"
+        );
+        assert!(lines[2].nondet_reason.is_none());
+    }
+
+    #[test]
+    fn combined_allow_and_nondeterministic_directive() {
+        let lines =
+            scan("t(); // lint: allow(TL003), nondeterministic(timing (stage) telemetry)\n");
+        assert!(lines[0].allows("TL003"));
+        assert_eq!(
+            lines[0].nondet_reason.as_deref(),
+            Some("timing (stage) telemetry")
+        );
+    }
+
+    #[test]
+    fn standalone_nondeterministic_comment_covers_next_code_line() {
+        let src = "// lint: nondeterministic(jitter is display-only)\nnow();\nlater();\n";
+        let lines = scan(src);
+        assert!(lines[1].nondet_reason.is_some());
+        assert!(lines[2].nondet_reason.is_none());
     }
 
     #[test]

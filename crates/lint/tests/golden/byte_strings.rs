@@ -1,0 +1,6 @@
+fn bytes() {
+    let a = b"raw bytes \x00";
+    let b = br#"byte raw with "quotes""#;
+    let c = b'x';
+    let d = b'\n';
+}

@@ -1,0 +1,8 @@
+fn chars<'a>(x: &'a str) -> char {
+    let c = 'a';
+    let nl = '\n';
+    let quote = '\'';
+    let s: &'static str = "s";
+    let _ = x;
+    c
+}

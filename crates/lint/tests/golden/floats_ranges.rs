@@ -1,0 +1,13 @@
+fn numbers(t: (u8, (u8, u8))) {
+    let a = 1.5;
+    let b = 1.;
+    let c = 1e3;
+    let d = 2f32;
+    let e = 0..10;
+    let f = 1..=2;
+    let g = t.0;
+    let h = t.1 .0;
+    let i = 0xff;
+    let j = 1_000u64;
+    let k = a.max(1.0);
+}

@@ -1,0 +1,6 @@
+/* outer /* inner /* deepest */ still inner */ outer again */
+fn after() -> u8 {
+    let x = 1; /* trailing /* nested */ comment */ let y = 2;
+    // line comment with /* no effect
+    x
+}

@@ -1,0 +1,7 @@
+fn raw() {
+    let a = r"plain raw \n not an escape";
+    let b = r#"has "quotes" inside"#;
+    let c = r##"nested "# terminator"##;
+    let d = r#match;
+    let e = "normal \"escaped\" string";
+}

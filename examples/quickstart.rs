@@ -20,13 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..Default::default()
         },
         ..Default::default()
-    });
-    let tasks = standard_tasks(&mut universe);
+    })
+    .expect("universe builds");
+    let tasks = standard_tasks(&mut universe).expect("standard tasks build");
     let corpus = universe.build_corpus(15, 0);
-    let scads = universe.build_scads(&corpus);
+    let scads = universe.build_scads(&corpus).expect("corpus is non-empty");
 
     println!("pretraining the backbone zoo (ResNet-50 / BiT stand-ins)...");
-    let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+    let zoo =
+        ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default()).expect("corpus is non-empty");
 
     println!("preparing TAGLETS (pretrains the ZSL-KG graph encoder)...");
     let config = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);

@@ -32,7 +32,11 @@ else
     echo
 fi
 
-step "lint" cargo run --offline --quiet -p taglets-lint -- --check
+# Lexer golden files first: every later lint result depends on the token
+# stream being right.
+step "lexer" cargo test --offline --quiet -p taglets-lint --test lexer_golden
+
+step "lint" cargo run --offline --quiet -p taglets-lint -- --check --json
 
 step "build" cargo build --offline --release
 

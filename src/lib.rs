@@ -21,13 +21,13 @@
 //!     TagletsSystem, ZooConfig,
 //! };
 //!
-//! # fn main() -> Result<(), taglets::CoreError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // 1. A world: knowledge graph + auxiliary corpus + target tasks.
-//! let mut universe = ConceptUniverse::with_seed(7);
-//! let tasks = standard_tasks(&mut universe);
+//! let mut universe = ConceptUniverse::with_seed(7)?;
+//! let tasks = standard_tasks(&mut universe)?;
 //! let corpus = universe.build_corpus(25, 0);
-//! let scads = universe.build_scads(&corpus);
-//! let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+//! let scads = universe.build_scads(&corpus)?;
+//! let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default())?;
 //!
 //! // 2. Prepare once, run per task/split.
 //! let system = TagletsSystem::prepare(
@@ -53,8 +53,9 @@ pub use taglets_core::{
     ZslKgConfig, ZslKgModule,
 };
 pub use taglets_data::{
-    standard_tasks, Augmenter, AuxiliaryCorpus, BackboneKind, ClassSpec, ConceptUniverse, Domain,
-    Image, ModelZoo, PretrainedModel, Task, TaskSplit, UniverseConfig, ZooConfig,
+    standard_tasks, Augmenter, AuxiliaryCorpus, BackboneKind, ClassSpec, ConceptUniverse,
+    DataError, Domain, Image, ModelZoo, PretrainedModel, Task, TaskSplit, UniverseConfig,
+    ZooConfig,
 };
 pub use taglets_graph::{ConceptGraph, ConceptId, GraphError, Relation, Taxonomy};
 pub use taglets_scads::{AuxiliarySelection, DatasetId, PruneLevel, Scads, ScadsError};

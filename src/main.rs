@@ -134,7 +134,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn build_env(opts: &Options) -> Experiment {
     eprintln!("[building the evaluation environment — one-time cost]");
-    Experiment::standard(opts.scale())
+    Experiment::standard(opts.scale()).expect("the standard environment builds at every scale")
 }
 
 fn cmd_tasks(opts: &Options) -> Result<(), String> {

@@ -26,11 +26,13 @@ pub fn world() -> &'static TestWorld {
                 ..Default::default()
             },
             ..Default::default()
-        });
-        let tasks = standard_tasks(&mut universe);
+        })
+        .expect("universe builds");
+        let tasks = standard_tasks(&mut universe).expect("standard tasks build");
         let corpus = universe.build_corpus(15, 0);
-        let scads = universe.build_scads(&corpus);
-        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default());
+        let scads = universe.build_scads(&corpus).expect("corpus is non-empty");
+        let zoo = ModelZoo::pretrain(&universe, &corpus, &ZooConfig::default())
+            .expect("corpus is non-empty");
         TestWorld {
             universe,
             tasks,

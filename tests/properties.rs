@@ -226,8 +226,9 @@ fn splits_partition_the_pool_for_every_seed() {
             ..Default::default()
         },
         ..Default::default()
-    });
-    let tasks = taglets::standard_tasks(&mut universe);
+    })
+    .expect("universe builds");
+    let tasks = taglets::standard_tasks(&mut universe).expect("standard tasks build");
     let fmd = tasks.iter().find(|t| t.name == "flickr_materials").unwrap();
     for split_seed in 0..6 {
         for shots in [1usize, 5, 20] {
