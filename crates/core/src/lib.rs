@@ -41,6 +41,7 @@ mod ensemble;
 pub mod exec;
 mod modules;
 mod servable;
+pub mod serve;
 mod system;
 mod taglet;
 mod telemetry;
@@ -53,6 +54,10 @@ pub use ensemble::Ensemble;
 pub use exec::{Concurrency, Executor};
 pub use modules::{fixmatch_train, FixMatchModule, MultiTaskModule, TransferModule, ZslKgModule};
 pub use servable::ServableModel;
+pub use serve::{
+    Clock, ServeConfig, ServeError, ServeResponse, ServeRun, ServeTelemetry, ServingEngine,
+    TimedRequest, VirtualClock,
+};
 pub use system::{TagletsRun, TagletsSystem};
 pub use taglet::{ClassifierTaglet, ModuleContext, Taglet, TagletModule, TrainedTaglet};
 pub use telemetry::{ModuleTelemetry, RunTelemetry, StageTelemetry};

@@ -5,7 +5,7 @@
 //! path — unlike the taglet ensemble, whose inference cost grows with the
 //! number of modules. The `serving_latency` bench quantifies the gap.
 
-use taglets_nn::{Classifier, Module};
+use taglets_nn::{Classifier, InferScratch, Module};
 use taglets_tensor::Tensor;
 
 /// A production-ready classifier produced by the distillation stage.
@@ -23,6 +23,19 @@ impl ServableModel {
     /// Class probabilities for a batch.
     pub fn predict_proba(&self, x: &Tensor) -> Tensor {
         self.classifier.predict_proba(x)
+    }
+
+    /// Class probabilities via the tape-free fast path, reusing the
+    /// caller's scratch buffers — bitwise identical to
+    /// [`ServableModel::predict_proba`]. This is the serving hot path used
+    /// by [`crate::serve::ServingEngine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 or its width differs from
+    /// [`ServableModel::input_dim`].
+    pub fn predict_proba_batched(&self, x: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        self.classifier.predict_proba_batched(x, scratch)
     }
 
     /// Predicted class per row.
@@ -71,12 +84,25 @@ impl ServableModel {
 
     /// Loads a model previously written by [`ServableModel::save`].
     ///
+    /// Beyond the format checks in [`taglets_nn::load_classifier`], this
+    /// rejects classifiers that deserialize cleanly but cannot serve —
+    /// a zero input width or zero classes would make every subsequent
+    /// `predict` call panic deep inside the forward pass.
+    ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on malformed input and propagates reader I/O
-    /// errors.
+    /// Returns `InvalidData` on malformed input or a degenerate
+    /// (`input_dim == 0` / `num_classes == 0`) model, and propagates reader
+    /// I/O errors.
     pub fn load<R: std::io::Read>(r: R) -> std::io::Result<Self> {
-        Ok(ServableModel::new(taglets_nn::load_classifier(r)?))
+        let classifier = taglets_nn::load_classifier(r)?;
+        if classifier.input_dim() == 0 || classifier.num_classes() == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "degenerate model: zero input width or zero classes",
+            ));
+        }
+        Ok(ServableModel::new(classifier))
     }
 }
 
@@ -96,6 +122,47 @@ mod tests {
         let x = Tensor::randn(&[3, 6], 1.0, &mut rng);
         assert_eq!(m.predict(&x), loaded.predict(&x));
         assert_eq!(m.num_parameters(), loaded.num_parameters());
+    }
+
+    #[test]
+    fn corrupted_bytes_round_trip_errors_instead_of_panicking() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let clf = Classifier::from_dims(&[5, 6], 3, 0.0, &mut rng);
+        let mut buf = Vec::new();
+        ServableModel::new(clf).save(&mut buf).unwrap();
+
+        // Corrupt every header byte in turn: loading must either fail with
+        // an error or succeed having read a well-formed (if different)
+        // model — never panic, never hang on an absurd allocation.
+        let header_len = 8 + 4 + 3 * 4;
+        for i in 0..header_len {
+            let mut bad = buf.clone();
+            bad[i] ^= 0xA5;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ServableModel::load(bad.as_slice()).map(|_| ())
+            }));
+            assert!(result.is_ok(), "byte {i}: load panicked");
+        }
+
+        // Truncations anywhere in the payload are clean errors too.
+        for cut in [header_len, buf.len() / 2, buf.len() - 1] {
+            let mut bad = buf.clone();
+            bad.truncate(cut);
+            assert!(ServableModel::load(bad.as_slice()).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn batched_fast_path_matches_tape_path() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let clf = Classifier::from_dims(&[6, 12, 8], 4, 0.0, &mut rng);
+        let m = ServableModel::new(clf);
+        let x = Tensor::randn(&[5, 6], 1.0, &mut rng);
+        let mut scratch = InferScratch::new();
+        assert_eq!(
+            m.predict_proba_batched(&x, &mut scratch).data(),
+            m.predict_proba(&x).data()
+        );
     }
 
     #[test]

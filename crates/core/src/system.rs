@@ -264,6 +264,7 @@ impl<'a> TagletsSystem<'a> {
                 stages,
                 modules: module_telemetry,
                 end_model: end_telemetry,
+                serve: None,
             },
         })
     }

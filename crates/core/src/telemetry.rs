@@ -10,6 +10,7 @@
 use taglets_nn::FitReport;
 
 use crate::exec::Concurrency;
+use crate::serve::ServeTelemetry;
 
 /// Wall-clock timing of one named pipeline stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +48,9 @@ pub struct RunTelemetry {
     pub modules: Vec<ModuleTelemetry>,
     /// The distillation stage's end-model training record.
     pub end_model: ModuleTelemetry,
+    /// Serving telemetry, when the run's end model was exercised through a
+    /// [`crate::ServingEngine`] (`None` for train-only runs).
+    pub serve: Option<ServeTelemetry>,
 }
 
 impl RunTelemetry {
@@ -124,6 +128,7 @@ mod tests {
                 seconds: 0.75,
                 report: FitReport::default(),
             },
+            serve: None,
         }
     }
 

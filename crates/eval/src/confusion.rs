@@ -100,6 +100,24 @@ impl ConfusionMatrix {
         (0..c).map(|k| self.f1(k)).sum::<f32>() / c as f32
     }
 
+    /// Row-normalized rates: `rates[t][p]` is the fraction of true-`t`
+    /// examples predicted as `p`, so each row with support sums to 1 and a
+    /// diagonal entry is that class's recall. Zero-support rows are
+    /// all-zero rather than NaN.
+    pub fn row_rates(&self) -> Vec<Vec<f32>> {
+        self.counts
+            .iter()
+            .map(|row| {
+                let support: usize = row.iter().sum();
+                if support == 0 {
+                    vec![0.0; row.len()]
+                } else {
+                    row.iter().map(|&n| n as f32 / support as f32).collect()
+                }
+            })
+            .collect()
+    }
+
     /// The `top_n` most frequent off-diagonal confusions as
     /// `(truth, predicted, count)`, sorted descending.
     pub fn top_confusions(&self, top_n: usize) -> Vec<(usize, usize, usize)> {

@@ -15,6 +15,7 @@ mod error;
 mod format;
 mod metrics;
 mod runner;
+mod serve_report;
 
 pub use confusion::ConfusionMatrix;
 pub use error::EvalError;
@@ -24,3 +25,4 @@ pub use runner::{
     run_taglets_detailed, sweep_method, Experiment, ExperimentScale, Method, SweepCell,
     TagletsDetail,
 };
+pub use serve_report::{render_serve_json, render_serve_text};

@@ -496,6 +496,7 @@ mod tests {
                     seconds: 0.0,
                     report: taglets_nn::FitReport::default(),
                 },
+                serve: None,
             },
         };
         assert!((d.module_mean() - 0.4).abs() < 1e-6);

@@ -23,12 +23,14 @@ fn tl007_reports_a_multi_hop_chain_from_the_seeded_root() {
         .collect();
     assert_eq!(
         tl007.len(),
-        1,
-        "exactly one reachable time source expected, got: {violations:?}"
+        2,
+        "one reachable time source per fixture root expected, got: {violations:?}"
     );
 
-    let v = tl007[0];
-    assert_eq!(v.file, "crates/core/src/system.rs");
+    let v = tl007
+        .iter()
+        .find(|v| v.file == "crates/core/src/system.rs")
+        .expect("system.rs chain present");
     assert!(
         v.excerpt.contains("Instant::now"),
         "excerpt names the source: {}",
@@ -52,6 +54,31 @@ fn tl007_reports_a_multi_hop_chain_from_the_seeded_root() {
     for hop in &v.chain {
         assert_eq!(hop.file, "crates/core/src/system.rs");
         assert!(hop.line >= 1);
+    }
+}
+
+#[test]
+fn tl007_roots_the_serving_engine_run_path() {
+    // `ServingEngine::run` is a seeded taint root (ISSUE 4): an
+    // `Instant::now()` injected anywhere in the serve path must surface as
+    // a TL007 chain from the root down to the offending function.
+    let violations = scan_workspace(&fixture_root()).expect("fixture workspace scans");
+    let v = violations
+        .iter()
+        .find(|v| v.rule == Rule::Tl007 && v.file == "crates/core/src/serve.rs")
+        .expect("serve.rs chain present");
+    assert!(
+        v.excerpt.contains("Instant::now"),
+        "excerpt names the source: {}",
+        v.excerpt
+    );
+    let names: Vec<&str> = v.chain.iter().map(|h| h.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["ServingEngine::run", "flush_deadline", "batch_clock"]
+    );
+    for hop in &v.chain {
+        assert_eq!(hop.file, "crates/core/src/serve.rs");
     }
 }
 

@@ -1,0 +1,226 @@
+//! Tape-free batched inference fast path.
+//!
+//! [`Classifier::predict_proba`] builds an autograd [`Tape`], clones every
+//! parameter tensor onto it, and allocates a node per op — fine for
+//! training-time evaluation, wasteful on a serving hot path that answers the
+//! same-shaped batch thousands of times. [`Classifier::predict_proba_batched`]
+//! runs the identical arithmetic directly on two caller-owned ping-pong
+//! activation buffers ([`InferScratch`]), allocating nothing but the output
+//! tensor.
+//!
+//! **Bitwise contract:** the fast path replicates the tape ops exactly —
+//! the `ikj` matmul loop with its exact-zero skip, row-broadcast bias add,
+//! then activation, with the final probabilities produced by the same
+//! [`softmax_rows`] function — so its output is bitwise identical to
+//! `predict_proba` row by row. Because every op is row-independent, each
+//! output row is also bitwise identical no matter which batch (of any size)
+//! the input row rides in; `core::serve` leans on this to make micro-batched
+//! parallel serving indistinguishable from serial single-request serving.
+//! The `batched_path_is_bitwise_identical` tests below pin both claims.
+//!
+//! [`Tape`]: taglets_tensor::Tape
+//! [`softmax_rows`]: taglets_tensor::softmax_rows
+
+use taglets_tensor::{softmax_rows, Tensor};
+
+use crate::{Activation, Classifier, Linear};
+
+/// Reusable activation buffers for [`Classifier::predict_proba_batched`].
+///
+/// Holds two flat `f32` buffers that ping-pong between layers; they grow to
+/// the largest `batch × width` seen and are never shrunk, so a serving loop
+/// that reuses one scratch performs zero steady-state allocations besides
+/// the returned tensor.
+#[derive(Debug, Default, Clone)]
+pub struct InferScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl InferScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        InferScratch::default()
+    }
+
+    /// Current capacity in `f32` elements across both buffers.
+    pub fn capacity(&self) -> usize {
+        self.a.capacity() + self.b.capacity()
+    }
+}
+
+/// Rows processed per weight-matrix pass: each weight row loaded into L1
+/// is reused across the block instead of the whole matrix being
+/// re-streamed per input row. Serving throughput on wide layers is
+/// memory-bound, so this is the fast path's main win over the tape.
+const ROW_BLOCK: usize = 4;
+
+/// `out = x · w + b` over flat row-major buffers, replicating
+/// [`Tensor::matmul`]'s `ikj` loop (including the exact-zero skip) followed
+/// by the row-broadcast bias add of `Tape::add_row`, so results are bitwise
+/// identical to the tape path.
+///
+/// Rows are blocked [`ROW_BLOCK`] at a time purely for locality; every
+/// row's accumulation order is still `p` ascending per output element,
+/// and rows never mix, so blocking cannot change any bit of the result.
+fn linear_forward(x: &[f32], rows: usize, layer: &Linear, out: &mut Vec<f32>) {
+    let (k, n) = (layer.fan_in(), layer.fan_out());
+    debug_assert_eq!(x.len(), rows * k, "input buffer shape mismatch");
+    let w = layer.weight().data();
+    let bias = layer.bias().data();
+    out.clear();
+    out.resize(rows * n, 0.0);
+    let mut row0 = 0;
+    while row0 < rows {
+        let block = (rows - row0).min(ROW_BLOCK);
+        for p in 0..k {
+            let w_row = &w[p * n..(p + 1) * n];
+            for r in row0..row0 + block {
+                let a = x[r * k + p];
+                // Exact-zero skip, mirroring Tensor::matmul: only a bitwise
+                // zero contributes nothing. lint: allow(TL004)
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[r * n..(r + 1) * n];
+                for (o, &wv) in out_row.iter_mut().zip(w_row.iter()) {
+                    *o += a * wv;
+                }
+            }
+        }
+        for r in row0..row0 + block {
+            let out_row = &mut out[r * n..(r + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(bias.iter()) {
+                *o += bv;
+            }
+        }
+        row0 += block;
+    }
+}
+
+impl Classifier {
+    /// Class probabilities for a batch, computed without a tape on reusable
+    /// scratch buffers — bitwise identical to [`Classifier::predict_proba`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 or its width differs from
+    /// [`Classifier::input_dim`].
+    pub fn predict_proba_batched(&self, x: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        softmax_rows(&self.logits_batched(x, scratch))
+    }
+
+    /// Raw logits for a batch via the tape-free fast path — bitwise
+    /// identical to [`Classifier::logits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 or its width differs from
+    /// [`Classifier::input_dim`].
+    pub fn logits_batched(&self, x: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        assert_eq!(x.rank(), 2, "batched inference expects a rank-2 input");
+        assert_eq!(
+            x.cols(),
+            self.input_dim(),
+            "input width must match the classifier"
+        );
+        let rows = x.rows();
+        let backbone = self.backbone();
+
+        // Ping-pong: after each layer the freshly written buffer becomes the
+        // next layer's source. The first layer reads the input tensor
+        // directly, so the scratch never holds a copy of `x`.
+        let mut src_vec = std::mem::take(&mut scratch.a);
+        let mut dst_vec = std::mem::take(&mut scratch.b);
+        let mut first = true;
+        for layer in backbone.layers() {
+            let src: &[f32] = if first { x.data() } else { &src_vec };
+            linear_forward(src, rows, layer, &mut dst_vec);
+            first = false;
+            match backbone.activation() {
+                Activation::Relu => {
+                    for v in dst_vec.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+                Activation::Tanh => {
+                    for v in dst_vec.iter_mut() {
+                        *v = v.tanh();
+                    }
+                }
+            }
+            // Dropout is inactive at inference (the tape op is the identity
+            // when `training == false`), so nothing to replicate here.
+            std::mem::swap(&mut src_vec, &mut dst_vec);
+        }
+
+        let src: &[f32] = if first { x.data() } else { &src_vec };
+        linear_forward(src, rows, self.head(), &mut dst_vec);
+        let logits = Tensor::from_vec(dst_vec.clone()).reshaped(&[rows, self.num_classes()]);
+        scratch.a = src_vec;
+        scratch.b = dst_vec;
+        logits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn batched_path_is_bitwise_identical_to_tape_path() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for dims in [&[6, 8, 5][..], &[4, 4][..], &[9, 16, 16, 3][..]] {
+            let clf = Classifier::from_dims(dims, 4, 0.0, &mut rng);
+            let x = Tensor::randn(&[7, dims[0]], 1.3, &mut rng);
+            let mut scratch = InferScratch::new();
+            let fast = clf.predict_proba_batched(&x, &mut scratch);
+            let slow = clf.predict_proba(&x);
+            assert_eq!(fast.shape(), slow.shape());
+            assert_eq!(fast.data(), slow.data(), "dims {dims:?}");
+            assert_eq!(
+                clf.logits_batched(&x, &mut scratch).data(),
+                clf.logits(&x).data()
+            );
+        }
+    }
+
+    #[test]
+    fn rows_are_independent_of_batch_composition() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let clf = Classifier::from_dims(&[5, 12, 6], 3, 0.0, &mut rng);
+        let batch = Tensor::randn(&[9, 5], 1.0, &mut rng);
+        let mut scratch = InferScratch::new();
+        let together = clf.predict_proba_batched(&batch, &mut scratch);
+        for i in 0..batch.rows() {
+            let single = batch.gather_rows(&[i]);
+            let alone = clf.predict_proba_batched(&single, &mut scratch);
+            assert_eq!(alone.row(0), together.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_previous_batches() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let clf = Classifier::from_dims(&[4, 8], 2, 0.0, &mut rng);
+        let mut scratch = InferScratch::new();
+        let big = Tensor::randn(&[16, 4], 1.0, &mut rng);
+        let _ = clf.predict_proba_batched(&big, &mut scratch);
+        let small = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let fast = clf.predict_proba_batched(&small, &mut scratch);
+        assert_eq!(fast.data(), clf.predict_proba(&small).data());
+        assert_eq!(fast.shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn width_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let clf = Classifier::from_dims(&[4, 8], 2, 0.0, &mut rng);
+        let x = Tensor::zeros(&[2, 5]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clf.predict_proba_batched(&x, &mut InferScratch::new())
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -251,6 +251,17 @@ impl Mlp {
         self.layers.len()
     }
 
+    /// The linear layers, in forward order (read-only; used by the
+    /// tape-free inference fast path).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The activation applied after every layer.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
     /// Forward pass. `training` enables dropout; `rng` drives the masks.
     ///
     /// ReLU is applied after every layer *including the last*, so features

@@ -26,12 +26,14 @@
 
 mod augment;
 mod classifier;
+mod infer;
 mod layers;
 mod serialize;
 mod train;
 
 pub use augment::Augmenter;
 pub use classifier::{accuracy, Classifier};
+pub use infer::InferScratch;
 pub use layers::{Activation, Linear, Mlp, Module};
 pub use serialize::{load_classifier, save_classifier};
 pub use train::{fit, fit_hard, fit_soft, shuffled_batches, FitConfig, FitReport, Targets};

@@ -13,6 +13,16 @@ use taglets_tensor::Tensor;
 
 const MAGIC: &[u8; 8] = b"TAGLETS1";
 
+/// Largest layer width a well-formed model file may declare. Every model in
+/// the workspace is orders of magnitude below this; the cap exists so a
+/// corrupted header cannot request an absurd allocation.
+const MAX_LAYER_WIDTH: usize = 1 << 20;
+
+/// Largest single parameter tensor (in scalars) a model file may declare
+/// (64M scalars = 256 MB) — the per-tensor allocation guard behind
+/// [`load_classifier`].
+const MAX_TENSOR_SCALARS: usize = 1 << 26;
+
 /// Writes a classifier to `w`.
 ///
 /// # Errors
@@ -75,9 +85,23 @@ pub fn load_classifier<R: Read>(mut r: R) -> io::Result<Classifier> {
             "zero-width layer",
         ));
     }
+    // Cap plausible layer widths *before* sizing any buffer: a corrupted
+    // header must produce `InvalidData`, never a multi-gigabyte allocation.
+    if dims.iter().any(|&d| d > MAX_LAYER_WIDTH) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible layer width",
+        ));
+    }
 
     let mut read_tensor = |shape: &[usize]| -> io::Result<Tensor> {
         let numel: usize = shape.iter().product();
+        if numel > MAX_TENSOR_SCALARS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible tensor size",
+            ));
+        }
         let mut data = vec![0f32; numel];
         let mut fbuf = [0u8; 4];
         for v in data.iter_mut() {
@@ -126,6 +150,20 @@ mod tests {
     #[test]
     fn bad_magic_is_rejected() {
         let buf = b"NOTAMODL____".to_vec();
+        let err = load_classifier(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn implausible_header_dims_are_rejected_before_allocating() {
+        // A header that claims two 2^24-wide layers would ask for a
+        // petabyte-scale weight matrix; loading must fail fast instead.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        for d in [1u32 << 24, 1 << 24, 4] {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
         let err = load_classifier(buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }

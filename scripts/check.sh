@@ -46,6 +46,12 @@ step "test" cargo test --offline --quiet
 # skipped test run can never mask a determinism regression.
 step "determinism" cargo test --offline --quiet --test exec_determinism
 
+# Serving-engine contract (properties a–d of ISSUE 4). Proptest seeds are
+# derived from test names, so this run is fixed-seed by construction; the
+# second pass pins batched dispatch under multi-worker resolution.
+step "serve" cargo test --offline --quiet --test serve_properties
+step "serve-threads" env TAGLETS_THREADS=4 cargo test --offline --quiet --test serve_properties
+
 step "strict-numerics" cargo test --offline --quiet -p taglets-tensor --features strict-numerics
 
 if [ "$failures" -ne 0 ]; then

@@ -48,8 +48,9 @@
 pub use taglets_core::{
     fixmatch_train, ClassifierTaglet, Concurrency, CoreError, EndModelConfig, Ensemble, Executor,
     FixMatchConfig, FixMatchModule, ModuleContext, ModuleTelemetry, MultiTaskConfig,
-    MultiTaskModule, RunTelemetry, ServableModel, StageTelemetry, Taglet, TagletModule,
-    TagletsConfig, TagletsRun, TagletsSystem, TrainedTaglet, TransferConfig, TransferModule,
+    MultiTaskModule, RunTelemetry, ServableModel, ServeConfig, ServeError, ServeResponse, ServeRun,
+    ServeTelemetry, ServingEngine, StageTelemetry, Taglet, TagletModule, TagletsConfig, TagletsRun,
+    TagletsSystem, TimedRequest, TrainedTaglet, TransferConfig, TransferModule, VirtualClock,
     ZslKgConfig, ZslKgModule,
 };
 pub use taglets_data::{
