@@ -1,0 +1,352 @@
+//! GEMM kernel baseline: blocked kernels vs the seed's naive loops, per
+//! variant, shape, and worker count.
+//!
+//! Default mode prints a table and writes `results/kernels.txt`; with
+//! `--json` it additionally writes the machine-readable baseline
+//! `BENCH_kernels.json` at the workspace root, one record per
+//! (op, impl, m, k, n, workers) with `ns_per_iter` and `gflops`. CI and
+//! future sessions diff that file instead of re-parsing prose.
+//!
+//! The kernels are bitwise identical at every worker count (asserted here
+//! on every timed configuration, not just claimed), so the only thing this
+//! bench measures is speed. Honest-reporting note: on a single-core box the
+//! multi-worker rows legitimately read ~1.0x of the 1-worker row; the
+//! speedup that must hold everywhere is blocked-vs-reference at workers=1.
+
+use std::time::Instant;
+
+use rand::{rngs::StdRng, SeedableRng};
+use taglets_bench::write_results;
+use taglets_tensor::{Concurrency, Executor, Tensor};
+
+/// One timed configuration.
+struct Record {
+    op: &'static str,
+    imp: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+    ns_per_iter: u128,
+    gflops: f64,
+}
+
+/// Min-of-9 timing of `f`, with iteration count chosen so each sample runs
+/// at least ~25ms (one warmup call calibrates). Minimum, not median: timer
+/// noise and scheduler preemption only ever *add* time, so the fastest
+/// sample is the closest estimate of the true cost.
+fn time_ns(mut f: impl FnMut()) -> u128 {
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_nanos().max(1);
+    let iters = (25_000_000 / once).clamp(1, 250) as u32;
+    (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() / iters as u128
+        })
+        .min()
+        .unwrap_or(u128::MAX)
+}
+
+/// Paired min-of-9 timing: samples of `fa` and `fb` alternate inside one
+/// window, so a shared-box clock-speed drift hits both the same way and
+/// the reported *ratio* stays honest. Timing them back-to-back in separate
+/// windows (seconds apart) was observed to swing the ref/blocked ratio by
+/// ±15% run to run purely from when each window landed.
+fn time_pair(mut fa: impl FnMut(), mut fb: impl FnMut()) -> (u128, u128) {
+    let calibrate = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        let once = start.elapsed().as_nanos().max(1);
+        (25_000_000 / once).clamp(1, 250) as u32
+    };
+    let ia = calibrate(&mut fa);
+    let ib = calibrate(&mut fb);
+    let sample = |f: &mut dyn FnMut(), iters: u32| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_nanos() / iters as u128
+    };
+    let (mut best_a, mut best_b) = (u128::MAX, u128::MAX);
+    for _ in 0..9 {
+        best_a = best_a.min(sample(&mut fa, ia));
+        best_b = best_b.min(sample(&mut fb, ib));
+    }
+    (best_a, best_b)
+}
+
+fn gflops(m: usize, k: usize, n: usize, ns: u128) -> f64 {
+    (2.0 * m as f64 * k as f64 * n as f64) / ns as f64
+}
+
+fn main() {
+    let json_mode = std::env::args().any(|a| a == "--json");
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let shapes = [
+        (128usize, 128usize, 128usize),
+        (256, 256, 256),
+        (192, 96, 56),
+    ];
+    let worker_counts = [1usize, 2, 4];
+    let mut records: Vec<Record> = Vec::new();
+
+    for &(m, k, n) in &shapes {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let bt = b.transposed();
+        let at = a.transposed();
+
+        let nn_ref = a.matmul_reference(&b);
+        let nt_ref = a.matmul_nt_reference(&bt);
+        let tn_ref = at.matmul_tn_reference(&b);
+
+        // Reference vs blocked-at-1-worker are the headline ratio, so they
+        // are timed as interleaved pairs. `*_into` with a reused output is
+        // the steady-state training/serving call pattern (no allocation
+        // inside the timed region); bitwise equality is asserted on every
+        // timed configuration, not just claimed.
+        let serial = Executor::serial();
+        let mut out = Tensor::default();
+
+        a.matmul_into(&b, &serial, &mut out);
+        assert_eq!(
+            out.data(),
+            nn_ref.data(),
+            "blocked Nn must match reference bitwise"
+        );
+        let (rns, bns) = time_pair(
+            || {
+                std::hint::black_box(a.matmul_reference(&b));
+            },
+            || {
+                a.matmul_into(&b, &serial, &mut out);
+                std::hint::black_box(&out);
+            },
+        );
+        records.push(Record {
+            op: "matmul",
+            imp: "reference",
+            m,
+            k,
+            n,
+            workers: 1,
+            ns_per_iter: rns,
+            gflops: gflops(m, k, n, rns),
+        });
+        records.push(Record {
+            op: "matmul",
+            imp: "blocked",
+            m,
+            k,
+            n,
+            workers: 1,
+            ns_per_iter: bns,
+            gflops: gflops(m, k, n, bns),
+        });
+
+        a.matmul_nt_into(&bt, &serial, &mut out);
+        assert_eq!(
+            out.data(),
+            nt_ref.data(),
+            "blocked Nt must match reference bitwise"
+        );
+        let (rns, bns) = time_pair(
+            || {
+                std::hint::black_box(a.matmul_nt_reference(&bt));
+            },
+            || {
+                a.matmul_nt_into(&bt, &serial, &mut out);
+                std::hint::black_box(&out);
+            },
+        );
+        records.push(Record {
+            op: "matmul_nt",
+            imp: "reference",
+            m,
+            k,
+            n,
+            workers: 1,
+            ns_per_iter: rns,
+            gflops: gflops(m, k, n, rns),
+        });
+        records.push(Record {
+            op: "matmul_nt",
+            imp: "blocked",
+            m,
+            k,
+            n,
+            workers: 1,
+            ns_per_iter: bns,
+            gflops: gflops(m, k, n, bns),
+        });
+
+        at.matmul_tn_into(&b, &serial, &mut out);
+        assert_eq!(
+            out.data(),
+            tn_ref.data(),
+            "blocked Tn must match reference bitwise"
+        );
+        let (rns, bns) = time_pair(
+            || {
+                std::hint::black_box(at.matmul_tn_reference(&b));
+            },
+            || {
+                at.matmul_tn_into(&b, &serial, &mut out);
+                std::hint::black_box(&out);
+            },
+        );
+        records.push(Record {
+            op: "matmul_tn",
+            imp: "reference",
+            m,
+            k,
+            n,
+            workers: 1,
+            ns_per_iter: rns,
+            gflops: gflops(m, k, n, rns),
+        });
+        records.push(Record {
+            op: "matmul_tn",
+            imp: "blocked",
+            m,
+            k,
+            n,
+            workers: 1,
+            ns_per_iter: bns,
+            gflops: gflops(m, k, n, bns),
+        });
+
+        for &w in &worker_counts {
+            if w == 1 {
+                continue; // timed above, paired with the reference
+            }
+            let exec = Executor::new(Concurrency::Threads(w));
+            a.matmul_into(&b, &exec, &mut out);
+            assert_eq!(
+                out.data(),
+                nn_ref.data(),
+                "blocked Nn must match reference bitwise"
+            );
+            let ns = time_ns(|| {
+                a.matmul_into(&b, &exec, &mut out);
+                std::hint::black_box(&out);
+            });
+            records.push(Record {
+                op: "matmul",
+                imp: "blocked",
+                m,
+                k,
+                n,
+                workers: w,
+                ns_per_iter: ns,
+                gflops: gflops(m, k, n, ns),
+            });
+
+            a.matmul_nt_into(&bt, &exec, &mut out);
+            assert_eq!(
+                out.data(),
+                nt_ref.data(),
+                "blocked Nt must match reference bitwise"
+            );
+            let ns = time_ns(|| {
+                a.matmul_nt_into(&bt, &exec, &mut out);
+                std::hint::black_box(&out);
+            });
+            records.push(Record {
+                op: "matmul_nt",
+                imp: "blocked",
+                m,
+                k,
+                n,
+                workers: w,
+                ns_per_iter: ns,
+                gflops: gflops(m, k, n, ns),
+            });
+
+            at.matmul_tn_into(&b, &exec, &mut out);
+            assert_eq!(
+                out.data(),
+                tn_ref.data(),
+                "blocked Tn must match reference bitwise"
+            );
+            let ns = time_ns(|| {
+                at.matmul_tn_into(&b, &exec, &mut out);
+                std::hint::black_box(&out);
+            });
+            records.push(Record {
+                op: "matmul_tn",
+                imp: "blocked",
+                m,
+                k,
+                n,
+                workers: w,
+                ns_per_iter: ns,
+                gflops: gflops(m, k, n, ns),
+            });
+        }
+    }
+
+    let mut out =
+        String::from("GEMM kernels — blocked vs seed-naive reference (bitwise identical)\n\n");
+    out.push_str(&format!(
+        "{:<10} {:<10} {:>4} {:>4} {:>4} {:>7} {:>14} {:>8}\n",
+        "op", "impl", "m", "k", "n", "workers", "ns/iter", "GFLOP/s"
+    ));
+    for r in &records {
+        out.push_str(&format!(
+            "{:<10} {:<10} {:>4} {:>4} {:>4} {:>7} {:>14} {:>8.3}\n",
+            r.op, r.imp, r.m, r.k, r.n, r.workers, r.ns_per_iter, r.gflops
+        ));
+    }
+    // Headline: the acceptance number for the 256^3 matmul.
+    let speedup = |op: &str| -> f64 {
+        let ref_ns = records
+            .iter()
+            .find(|r| r.op == op && r.imp == "reference" && r.m == 256)
+            .map_or(0, |r| r.ns_per_iter);
+        let blk_ns = records
+            .iter()
+            .find(|r| r.op == op && r.imp == "blocked" && r.m == 256 && r.workers == 1)
+            .map_or(1, |r| r.ns_per_iter);
+        ref_ns as f64 / blk_ns as f64
+    };
+    out.push_str(&format!(
+        "\nsingle-thread blocked speedup over naive at 256x256x256: matmul {:.2}x, matmul_nt {:.2}x, matmul_tn {:.2}x\n",
+        speedup("matmul"),
+        speedup("matmul_nt"),
+        speedup("matmul_tn")
+    ));
+    write_results("kernels", &out);
+
+    if json_mode {
+        let mut json = String::from("{\n  \"bench\": \"kernels\",\n  \"unit\": {\"ns_per_iter\": \"min of 9 samples\", \"gflops\": \"2*m*k*n / ns_per_iter\"},\n  \"results\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"op\": \"{}\", \"impl\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"workers\": {}, \"ns_per_iter\": {}, \"gflops\": {:.4}}}{}\n",
+                r.op,
+                r.imp,
+                r.m,
+                r.k,
+                r.n,
+                r.workers,
+                r.ns_per_iter,
+                r.gflops,
+                if i + 1 == records.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|m| std::path::Path::new(&m).join("../.."))
+            .unwrap_or_else(|_| std::path::Path::new(".").to_path_buf());
+        let path = root.join("BENCH_kernels.json");
+        std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+        eprintln!("[written to {}]", path.display());
+        println!("{json}");
+    }
+}

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 
 use taglets_data::{BackboneKind, ModelZoo};
 use taglets_nn::{fit_soft, Classifier, FitConfig, FitReport};
-use taglets_tensor::{Adam, AdamConfig, LrSchedule, Tensor};
+use taglets_tensor::{Adam, AdamConfig, Executor, LrSchedule, Tensor};
 
 use crate::EndModelConfig;
 
@@ -65,6 +65,11 @@ pub fn distillation_set(
 /// Trains the end model `h` (Eq. 7): a fresh pretrained backbone fine-tuned
 /// on the distillation set with soft cross-entropy, Adam, and the paper's
 /// milestone decay. Returns the classifier together with its fit telemetry.
+///
+/// Distillation trains a *single* model, so unlike the module stage (which
+/// parallelizes across modules) the workers go to intra-op row-block
+/// parallelism inside the training matmuls via `executor` — bitwise
+/// identical to serial at any worker count.
 pub fn train_end_model(
     zoo: &ModelZoo,
     backbone: BackboneKind,
@@ -72,6 +77,7 @@ pub fn train_end_model(
     soft_targets: &Tensor,
     num_classes: usize,
     cfg: &EndModelConfig,
+    executor: &Executor,
     rng: &mut StdRng,
 ) -> (Classifier, FitReport) {
     let mut clf = Classifier::new(zoo.get(backbone).backbone(), num_classes, rng);
@@ -84,7 +90,8 @@ pub fn train_end_model(
         .map(|&e| e * steps_per_epoch)
         .collect();
     let fit = FitConfig::new(cfg.epochs, cfg.batch_size, cfg.lr)
-        .with_schedule(LrSchedule::milestones(cfg.lr, milestones, 0.1));
+        .with_schedule(LrSchedule::milestones(cfg.lr, milestones, 0.1))
+        .with_executor(*executor);
     let mut opt = Adam::new(AdamConfig {
         lr: cfg.lr,
         weight_decay: cfg.weight_decay,
@@ -158,6 +165,7 @@ mod tests {
             &soft,
             2,
             &EndModelConfig::default(),
+            &Executor::new(taglets_tensor::Concurrency::Threads(2)),
             &mut rng,
         );
         assert!(report.steps > 0, "distillation telemetry must be populated");

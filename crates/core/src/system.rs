@@ -244,8 +244,14 @@ impl<'a> TagletsSystem<'a> {
 
         // Stage 4: distill into the end model (Eq. 7).
         let start = std::time::Instant::now(); // lint: allow(TL003), nondeterministic(stage timing telemetry; the value never feeds model state)
-        let (end_model, end_telemetry) =
-            self.distill(task, split, &selected.unlabeled_used, &pseudo_labels, seed);
+        let (end_model, end_telemetry) = self.distill(
+            task,
+            split,
+            &selected.unlabeled_used,
+            &pseudo_labels,
+            seed,
+            &executor,
+        );
         stages.push(StageTelemetry {
             name: "distill",
             seconds: start.elapsed().as_secs_f32(),
@@ -411,7 +417,9 @@ impl<'a> TagletsSystem<'a> {
     }
 
     /// `distill` stage: train the servable end model on pseudo-labeled plus
-    /// labeled data (Eq. 7).
+    /// labeled data (Eq. 7). The stage trains one model, so the run's
+    /// workers are spent on intra-op row-block parallelism inside its
+    /// matmuls instead of across modules.
     fn distill(
         &self,
         task: &Task,
@@ -419,6 +427,7 @@ impl<'a> TagletsSystem<'a> {
         unlabeled_used: &Tensor,
         pseudo_labels: &Tensor,
         seed: u64,
+        executor: &Executor,
     ) -> (ServableModel, ModuleTelemetry) {
         let (inputs, soft_targets) = distillation::distillation_set(
             unlabeled_used,
@@ -437,6 +446,7 @@ impl<'a> TagletsSystem<'a> {
             &soft_targets,
             task.num_classes(),
             &self.config.end_model,
+            executor,
             &mut rng,
         );
         let telemetry = ModuleTelemetry {

@@ -12,7 +12,7 @@
 //! | TL003 | nondeterminism sources (`thread_rng`, `rand::random`, `Instant::now`, `SystemTime`) |
 //! | TL004 | `==` / `!=` on float expressions (token-level) |
 //! | TL005 | missing doc comment on `pub fn` in `tensor`/`core` (advisory) |
-//! | TL006 | thread spawning outside `core::exec` |
+//! | TL006 | thread spawning outside `tensor::exec` |
 //! | TL007 | nondeterminism reachable from a deterministic root (taint, with call chain) |
 //! | TL008 | iteration over unordered `HashMap`/`HashSet` in library code |
 //! | TL009 | RNG construction not derived from a seed |

@@ -8,26 +8,30 @@
 //! activation buffers ([`InferScratch`]), allocating nothing but the output
 //! tensor.
 //!
-//! **Bitwise contract:** the fast path replicates the tape ops exactly —
-//! the `ikj` matmul loop with its exact-zero skip, row-broadcast bias add,
-//! then activation, with the final probabilities produced by the same
-//! [`softmax_rows`] function — so its output is bitwise identical to
-//! `predict_proba` row by row. Because every op is row-independent, each
-//! output row is also bitwise identical no matter which batch (of any size)
-//! the input row rides in; `core::serve` leans on this to make micro-batched
-//! parallel serving indistinguishable from serial single-request serving.
-//! The `batched_path_is_bitwise_identical` tests below pin both claims.
+//! **Bitwise contract:** the fast path runs the *same* blocked GEMM kernel
+//! as the tape ([`taglets_tensor::kernels::gemm_into`], including its
+//! exact-zero skip for the `Nn` variant), then the row-broadcast bias add
+//! of `Tape::add_row` and the activation, with the final probabilities
+//! produced by the same [`softmax_rows`] function — so its output is
+//! bitwise identical to `predict_proba` row by row. Because every op is
+//! row-independent, each output row is also bitwise identical no matter
+//! which batch (of any size) the input row rides in; `core::serve` leans on
+//! this to make micro-batched parallel serving indistinguishable from
+//! serial single-request serving. The `batched_path_is_bitwise_identical`
+//! tests below pin both claims.
 //!
 //! [`Tape`]: taglets_tensor::Tape
 //! [`softmax_rows`]: taglets_tensor::softmax_rows
 
-use taglets_tensor::{softmax_rows, Tensor};
+use taglets_tensor::kernels::{self, GemmKind};
+use taglets_tensor::{softmax_rows, Executor, Tensor};
 
 use crate::{Activation, Classifier, Linear};
 
 /// Reusable activation buffers for [`Classifier::predict_proba_batched`].
 ///
-/// Holds two flat `f32` buffers that ping-pong between layers; they grow to
+/// Holds two flat `f32` activation buffers that ping-pong between layers
+/// plus the packed-panel buffer the shared GEMM kernel uses; they grow to
 /// the largest `batch × width` seen and are never shrunk, so a serving loop
 /// that reuses one scratch performs zero steady-state allocations besides
 /// the returned tensor.
@@ -35,6 +39,7 @@ use crate::{Activation, Classifier, Linear};
 pub struct InferScratch {
     a: Vec<f32>,
     b: Vec<f32>,
+    panel: Vec<f32>,
 }
 
 impl InferScratch {
@@ -43,58 +48,48 @@ impl InferScratch {
         InferScratch::default()
     }
 
-    /// Current capacity in `f32` elements across both buffers.
+    /// Current capacity in `f32` elements across all buffers.
     pub fn capacity(&self) -> usize {
-        self.a.capacity() + self.b.capacity()
+        self.a.capacity() + self.b.capacity() + self.panel.capacity()
     }
 }
 
-/// Rows processed per weight-matrix pass: each weight row loaded into L1
-/// is reused across the block instead of the whole matrix being
-/// re-streamed per input row. Serving throughput on wide layers is
-/// memory-bound, so this is the fast path's main win over the tape.
-const ROW_BLOCK: usize = 4;
-
-/// `out = x · w + b` over flat row-major buffers, replicating
-/// [`Tensor::matmul`]'s `ikj` loop (including the exact-zero skip) followed
-/// by the row-broadcast bias add of `Tape::add_row`, so results are bitwise
-/// identical to the tape path.
+/// `out = x · w + b` over flat row-major buffers: the matmul is the shared
+/// blocked kernel ([`kernels::gemm_into`], `Nn` variant — the same call the
+/// tape's `matmul` makes), followed by the row-broadcast bias add of
+/// `Tape::add_row`, so results are bitwise identical to the tape path.
 ///
-/// Rows are blocked [`ROW_BLOCK`] at a time purely for locality; every
-/// row's accumulation order is still `p` ascending per output element,
-/// and rows never mix, so blocking cannot change any bit of the result.
-fn linear_forward(x: &[f32], rows: usize, layer: &Linear, out: &mut Vec<f32>) {
+/// Intra-op parallelism stays off here: `core::serve` already runs one
+/// inference per worker, so the serial kernel keeps workers independent.
+fn linear_forward(
+    x: &[f32],
+    rows: usize,
+    layer: &Linear,
+    panel: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) {
     let (k, n) = (layer.fan_in(), layer.fan_out());
     debug_assert_eq!(x.len(), rows * k, "input buffer shape mismatch");
-    let w = layer.weight().data();
     let bias = layer.bias().data();
-    out.clear();
+    // The kernel overwrites every element, so a dirty resize (no re-zeroing
+    // of the kept prefix) is safe.
     out.resize(rows * n, 0.0);
-    let mut row0 = 0;
-    while row0 < rows {
-        let block = (rows - row0).min(ROW_BLOCK);
-        for p in 0..k {
-            let w_row = &w[p * n..(p + 1) * n];
-            for r in row0..row0 + block {
-                let a = x[r * k + p];
-                // Exact-zero skip, mirroring Tensor::matmul: only a bitwise
-                // zero contributes nothing. lint: allow(TL004)
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[r * n..(r + 1) * n];
-                for (o, &wv) in out_row.iter_mut().zip(w_row.iter()) {
-                    *o += a * wv;
-                }
-            }
+    kernels::gemm_into(
+        GemmKind::Nn,
+        rows,
+        k,
+        n,
+        x,
+        layer.weight().data(),
+        &Executor::serial(),
+        panel,
+        out,
+    );
+    for r in 0..rows {
+        let out_row = &mut out[r * n..(r + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(bias.iter()) {
+            *o += bv;
         }
-        for r in row0..row0 + block {
-            let out_row = &mut out[r * n..(r + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(bias.iter()) {
-                *o += bv;
-            }
-        }
-        row0 += block;
     }
 }
 
@@ -135,7 +130,7 @@ impl Classifier {
         let mut first = true;
         for layer in backbone.layers() {
             let src: &[f32] = if first { x.data() } else { &src_vec };
-            linear_forward(src, rows, layer, &mut dst_vec);
+            linear_forward(src, rows, layer, &mut scratch.panel, &mut dst_vec);
             first = false;
             match backbone.activation() {
                 Activation::Relu => {
@@ -155,7 +150,7 @@ impl Classifier {
         }
 
         let src: &[f32] = if first { x.data() } else { &src_vec };
-        linear_forward(src, rows, self.head(), &mut dst_vec);
+        linear_forward(src, rows, self.head(), &mut scratch.panel, &mut dst_vec);
         let logits = Tensor::from_vec(dst_vec.clone()).reshaped(&[rows, self.num_classes()]);
         scratch.a = src_vec;
         scratch.b = dst_vec;

@@ -243,7 +243,9 @@ impl Mlp {
 
     /// Output (feature) width.
     pub fn output_dim(&self) -> usize {
-        self.layers.last().expect("MLP has layers").fan_out()
+        // Both constructors reject empty layer lists, so the fallback arm is
+        // unreachable; 0 keeps the accessor total without a panic path.
+        self.layers.last().map_or(0, Linear::fan_out)
     }
 
     /// Number of linear layers.

@@ -8,7 +8,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use taglets_tensor::{LrSchedule, Optimizer, Tape, Tensor};
+use taglets_tensor::{Executor, GradScratch, LrSchedule, Optimizer, Tape, Tensor};
 
 use crate::{Classifier, Module};
 
@@ -50,6 +50,10 @@ pub struct FitConfig {
     /// (Appendix A.5). On by default; essential in the 1-shot regime, where
     /// unaugmented full fine-tuning collapses onto single exemplars.
     pub augment: Option<crate::Augmenter>,
+    /// Executor for intra-op (row-block) parallelism inside the forward and
+    /// backward matmuls. The blocked kernels are bitwise identical at any
+    /// worker count, so this only affects wall-clock time, never results.
+    pub executor: Executor,
 }
 
 impl FitConfig {
@@ -61,12 +65,19 @@ impl FitConfig {
             batch_size,
             schedule: LrSchedule::constant(lr),
             augment: Some(crate::Augmenter::default()),
+            executor: Executor::serial(),
         }
     }
 
     /// Replaces the schedule.
     pub fn with_schedule(mut self, schedule: LrSchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Replaces the executor used for intra-op kernel parallelism.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
         self
     }
 
@@ -144,6 +155,10 @@ pub fn fit<R: Rng + ?Sized>(
         return report;
     }
     let batch_size = cfg.batch_size.min(x.rows()).max(1);
+    // One gradient-buffer pool for the whole fit: after the first batch the
+    // backward pass runs allocation-free, recycling each step's gradient
+    // tensors (and the GEMM packing panel) for the next step.
+    let mut scratch = GradScratch::new();
     for _epoch in 0..cfg.epochs {
         let mut epoch_loss = 0.0;
         let batches = shuffled_batches(x.rows(), batch_size, rng);
@@ -153,7 +168,7 @@ pub fn fit<R: Rng + ?Sized>(
             if let Some(aug) = &cfg.augment {
                 xb = aug.weak_batch(&xb, rng);
             }
-            let mut tape = Tape::new();
+            let mut tape = Tape::with_executor(cfg.executor);
             let vars = clf.bind(&mut tape);
             let xv = tape.constant(xb);
             let logits = clf.forward_logits(&mut tape, &vars, xv, true, rng);
@@ -168,11 +183,16 @@ pub fn fit<R: Rng + ?Sized>(
                 }
             };
             epoch_loss += tape.value(loss).item();
-            let mut grads = tape.backward(loss);
+            let mut grads = tape.backward_with(loss, &mut scratch);
             let grad_vec: Vec<Option<Tensor>> = vars.iter().map(|&v| grads.take(v)).collect();
             opt.set_lr(cfg.schedule.lr_at(report.steps));
             opt.step(&mut clf.parameters_mut(), &grad_vec);
             report.steps += 1;
+            // Hand every gradient buffer back to the pool for the next batch.
+            scratch.recycle(grads);
+            for g in grad_vec.into_iter().flatten() {
+                scratch.recycle_tensor(g);
+            }
         }
         report.epoch_losses.push(epoch_loss / n_batches as f32);
     }

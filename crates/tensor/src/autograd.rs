@@ -17,6 +17,9 @@
 //! assert_eq!(gw.data(), &[1.0, 2.0]);
 //! ```
 
+use crate::exec::Executor;
+use crate::kernels::GemmKind;
+use crate::tensor::gemm_tensors;
 use crate::{argmax_slice, Tensor};
 
 /// Handle to a node on a [`Tape`].
@@ -117,10 +120,17 @@ struct Node {
 
 /// A gradient tape for reverse-mode differentiation.
 ///
-/// See the [module documentation](self) for a usage example.
+/// Matmul nodes (forward and backward) run through the blocked kernel
+/// layer ([`crate::kernels`]) on the tape's [`Executor`] — serial by
+/// default, row-block parallel via [`Tape::with_executor`], bitwise
+/// identical either way. See the [module documentation](self) for a usage
+/// example.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    exec: Executor,
+    /// Packed-panel scratch reused by every forward matmul on this tape.
+    panel: Vec<f32>,
     #[cfg(feature = "strict-numerics")]
     fault: Option<BackwardFault>,
 }
@@ -151,10 +161,120 @@ impl Gradients {
     }
 }
 
+/// A pool of reusable gradient buffers for [`Tape::backward_with`].
+///
+/// Every tensor the backward pass produces draws its `Vec<f32>` from this
+/// pool instead of the allocator; [`GradScratch::recycle`] (and
+/// [`GradScratch::recycle_tensor`]) return buffers after the optimizer step
+/// consumed the gradients, so a training loop that keeps one `GradScratch`
+/// across steps reaches zero steady-state backward allocations.
+///
+/// Reuse is bitwise safe by construction: every `take_*` helper either
+/// overwrites the whole buffer or hands it to a kernel that assigns each
+/// element exactly once (see [`crate::kernels`]); the scratch-reuse
+/// property tests pin `backward_with(dirty scratch) == backward(fresh)`.
+#[derive(Debug, Default)]
+pub struct GradScratch {
+    pool: Vec<Vec<f32>>,
+    /// Packed-panel scratch for the backward gemm calls.
+    panel: Vec<f32>,
+}
+
+impl GradScratch {
+    /// An empty pool; buffers are created on demand and retained on recycle.
+    pub fn new() -> Self {
+        GradScratch::default()
+    }
+
+    /// Number of idle buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Returns every gradient buffer still held by `grads` to the pool.
+    pub fn recycle(&mut self, grads: Gradients) {
+        for g in grads.grads.into_iter().flatten() {
+            self.recycle_tensor(g);
+        }
+    }
+
+    /// Returns one tensor's buffer to the pool.
+    pub fn recycle_tensor(&mut self, t: Tensor) {
+        let buf = t.into_vec();
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// A pooled buffer with whatever stale length/contents it last had.
+    fn buf(&mut self) -> Vec<f32> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// A rank-1 tensor wrapping a pooled buffer as-is (dirty); callers hand
+    /// it to a kernel that resizes and fully overwrites it.
+    fn take_any(&mut self) -> Tensor {
+        let buf = self.buf();
+        Tensor::from_raw(vec![buf.len()], buf)
+    }
+
+    /// A pooled tensor of `shape` filled with `value`.
+    fn take_full(&mut self, shape: &[usize], value: f32) -> Tensor {
+        let mut buf = self.buf();
+        buf.clear();
+        buf.resize(shape.iter().product(), value);
+        Tensor::from_raw(shape.to_vec(), buf)
+    }
+
+    /// A pooled tensor of `shape` filled with zeros.
+    fn take_zeroed(&mut self, shape: &[usize]) -> Tensor {
+        self.take_full(shape, 0.0)
+    }
+
+    /// A pooled bitwise copy of `src` (no arithmetic).
+    fn take_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut buf = self.buf();
+        buf.clear();
+        buf.extend_from_slice(src.data());
+        Tensor::from_raw(src.shape().to_vec(), buf)
+    }
+
+    /// Pooled equivalent of [`Tensor::map`]: `f` applied elementwise.
+    fn take_map(&mut self, src: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut buf = self.buf();
+        buf.clear();
+        buf.extend(src.data().iter().map(|&v| f(v)));
+        Tensor::from_raw(src.shape().to_vec(), buf)
+    }
+
+    /// Pooled equivalent of [`Tensor::zip_map`] over same-shaped tensors.
+    fn take_zip(&mut self, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(a.shape(), b.shape(), "shape mismatch in elementwise op");
+        let mut buf = self.buf();
+        buf.clear();
+        buf.extend(a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)));
+        Tensor::from_raw(a.shape().to_vec(), buf)
+    }
+}
+
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Tape::default()
+    }
+
+    /// Creates an empty tape whose matmul nodes dispatch row blocks through
+    /// `exec` (bitwise identical to a serial tape at any worker count).
+    pub fn with_executor(exec: Executor) -> Self {
+        Tape {
+            exec,
+            ..Tape::default()
+        }
+    }
+
+    /// The executor this tape's matmul nodes dispatch through.
+    pub fn executor(&self) -> Executor {
+        self.exec
     }
 
     /// Names of every op the tape can record, in declaration order.
@@ -229,16 +349,33 @@ impl Tape {
     // Ops
     // ------------------------------------------------------------------
 
+    /// Runs a kernel-layer gemm on this tape's executor, reusing the tape's
+    /// packed-panel scratch across ops.
+    fn forward_gemm(&mut self, kind: GemmKind, a: Var, b: Var) -> Tensor {
+        let mut panel = std::mem::take(&mut self.panel);
+        let mut value = Tensor::default();
+        gemm_tensors(
+            kind,
+            self.value(a),
+            self.value(b),
+            &self.exec,
+            &mut panel,
+            &mut value,
+        );
+        self.panel = panel;
+        value
+    }
+
     /// Matrix product `a × b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let value = self.forward_gemm(GemmKind::Nn, a, b);
         let rg = self.needs(a) || self.needs(b);
         self.push(value, Op::MatMul(a, b), rg)
     }
 
     /// Matrix product with transposed rhs, `a × bᵀ`.
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul_nt(self.value(b));
+        let value = self.forward_gemm(GemmKind::Nt, a, b);
         let rg = self.needs(a) || self.needs(b);
         self.push(value, Op::MatMulNt(a, b), rg)
     }
@@ -529,10 +666,43 @@ impl Tape {
 
     /// Runs reverse-mode differentiation from the scalar node `loss`.
     ///
+    /// Equivalent to [`Tape::backward_with`] on a throwaway
+    /// [`GradScratch`]; training loops should hold one scratch across steps
+    /// to eliminate backward allocations.
+    ///
     /// # Panics
     ///
     /// Panics if `loss` is not a scalar node.
     pub fn backward(&self, loss: Var) -> Gradients {
+        self.backward_with(loss, &mut GradScratch::new())
+    }
+
+    /// Backward gemm through the kernel layer, output and panel drawn from
+    /// the scratch pool.
+    fn grad_gemm(
+        &self,
+        kind: GemmKind,
+        a: &Tensor,
+        b: &Tensor,
+        scratch: &mut GradScratch,
+    ) -> Tensor {
+        let mut out = scratch.take_any();
+        gemm_tensors(kind, a, b, &self.exec, &mut scratch.panel, &mut out);
+        out
+    }
+
+    /// [`Tape::backward`] drawing every gradient buffer from `scratch`.
+    ///
+    /// The scratch may be fresh, or dirty from any previous backward pass
+    /// (same or different tape/shapes) — the result is bitwise identical
+    /// either way, because every pooled buffer is fully overwritten before
+    /// use. Recycle the returned [`Gradients`] (and any tensors taken out of
+    /// them) back into the scratch once the optimizer has consumed them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar node.
+    pub fn backward_with(&self, loss: Var, scratch: &mut GradScratch) -> Gradients {
         assert!(
             self.value(loss).is_scalar(),
             "backward must start from a scalar loss node"
@@ -557,93 +727,123 @@ impl Tape {
                 // Still re-store for Leaf retrieval semantics below.
                 if matches!(node.op, Op::Leaf) {
                     grads[idx] = Some(g);
+                } else {
+                    scratch.recycle_tensor(g);
                 }
                 continue;
             }
+            // Every arm below computes the same arithmetic, in the same
+            // order, as the pre-kernel backward pass — pooled buffers and
+            // in-place reuse of `g` change allocation, never bits. Arms
+            // that do not move `g` into a gradient slot recycle it.
             match &node.op {
                 Op::Leaf | Op::Constant => {
                     grads[idx] = Some(g);
                 }
                 Op::MatMul(a, b) => {
                     if self.needs(*a) {
-                        let da = g.matmul_nt(self.value(*b));
-                        accumulate(&mut grads, a.0, da);
+                        let da = self.grad_gemm(GemmKind::Nt, &g, self.value(*b), scratch);
+                        accumulate(&mut grads, a.0, da, scratch);
                     }
                     if self.needs(*b) {
-                        let db = self.value(*a).matmul_tn(&g);
-                        accumulate(&mut grads, b.0, db);
+                        let db = self.grad_gemm(GemmKind::Tn, self.value(*a), &g, scratch);
+                        accumulate(&mut grads, b.0, db, scratch);
                     }
+                    scratch.recycle_tensor(g);
                 }
                 Op::MatMulNt(a, b) => {
                     // y = a bᵀ ⇒ da = g b ; db = gᵀ a
                     if self.needs(*a) {
-                        let da = g.matmul(self.value(*b));
-                        accumulate(&mut grads, a.0, da);
+                        let da = self.grad_gemm(GemmKind::Nn, &g, self.value(*b), scratch);
+                        accumulate(&mut grads, a.0, da, scratch);
                     }
                     if self.needs(*b) {
-                        let db = g.matmul_tn(self.value(*a));
-                        accumulate(&mut grads, b.0, db);
+                        let db = self.grad_gemm(GemmKind::Tn, &g, self.value(*a), scratch);
+                        accumulate(&mut grads, b.0, db, scratch);
                     }
+                    scratch.recycle_tensor(g);
                 }
                 Op::Add(a, b) => {
                     if self.needs(*a) {
-                        accumulate(&mut grads, a.0, g.clone());
+                        let da = scratch.take_copy(&g);
+                        accumulate(&mut grads, a.0, da, scratch);
                     }
                     if self.needs(*b) {
-                        accumulate(&mut grads, b.0, g);
+                        accumulate(&mut grads, b.0, g, scratch);
+                    } else {
+                        scratch.recycle_tensor(g);
                     }
                 }
                 Op::AddRow(x, b) => {
                     if self.needs(*b) {
                         let cols = self.value(*b).numel();
-                        let mut db = vec![0.0f32; cols];
+                        let mut db = scratch.take_zeroed(&[cols]);
                         for row in g.data().chunks(cols) {
-                            for (d, &gv) in db.iter_mut().zip(row) {
+                            for (d, &gv) in db.data_mut().iter_mut().zip(row) {
                                 *d += gv;
                             }
                         }
-                        accumulate(&mut grads, b.0, Tensor::from_vec(db));
+                        accumulate(&mut grads, b.0, db, scratch);
                     }
                     if self.needs(*x) {
-                        accumulate(&mut grads, x.0, g);
+                        accumulate(&mut grads, x.0, g, scratch);
+                    } else {
+                        scratch.recycle_tensor(g);
                     }
                 }
                 Op::Sub(a, b) => {
                     if self.needs(*a) {
-                        accumulate(&mut grads, a.0, g.clone());
+                        let da = scratch.take_copy(&g);
+                        accumulate(&mut grads, a.0, da, scratch);
                     }
                     if self.needs(*b) {
-                        accumulate(&mut grads, b.0, g.scale(-1.0));
+                        let db = scratch.take_map(&g, |v| v * -1.0);
+                        accumulate(&mut grads, b.0, db, scratch);
                     }
+                    scratch.recycle_tensor(g);
                 }
                 Op::Mul(a, b) => {
                     if self.needs(*a) {
-                        accumulate(&mut grads, a.0, g.mul(self.value(*b)));
+                        let da = scratch.take_zip(&g, self.value(*b), |x, y| x * y);
+                        accumulate(&mut grads, a.0, da, scratch);
                     }
                     if self.needs(*b) {
-                        accumulate(&mut grads, b.0, g.mul(self.value(*a)));
+                        let db = scratch.take_zip(&g, self.value(*a), |x, y| x * y);
+                        accumulate(&mut grads, b.0, db, scratch);
                     }
+                    scratch.recycle_tensor(g);
                 }
                 Op::Scale(a, s) => {
-                    accumulate(&mut grads, a.0, g.scale(*s));
+                    let s = *s;
+                    let da = scratch.take_map(&g, |v| v * s);
+                    accumulate(&mut grads, a.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
                 Op::Relu(a) => {
-                    let da = g.zip_map(self.value(*a), |gv, x| if x > 0.0 { gv } else { 0.0 });
-                    accumulate(&mut grads, a.0, da);
+                    let da = scratch.take_zip(
+                        &g,
+                        self.value(*a),
+                        |gv, x| if x > 0.0 { gv } else { 0.0 },
+                    );
+                    accumulate(&mut grads, a.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
                 Op::Tanh(a) => {
-                    let da = g.zip_map(&node.value, |gv, y| gv * (1.0 - y * y));
-                    accumulate(&mut grads, a.0, da);
+                    let da = scratch.take_zip(&g, &node.value, |gv, y| gv * (1.0 - y * y));
+                    accumulate(&mut grads, a.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
                 Op::Exp(a) => {
                     // y = exp(x) ⇒ dx = g · y
-                    let da = g.mul(&node.value);
-                    accumulate(&mut grads, a.0, da);
+                    let da = scratch.take_zip(&g, &node.value, |gv, y| gv * y);
+                    accumulate(&mut grads, a.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
                 Op::LogSoftmax(a) => {
-                    // dL/dx = g - softmax(x) * rowsum(g)
+                    // dL/dx = g - softmax(x) * rowsum(g); `g` is mutated in
+                    // place (each row reads its own pre-update sum first).
                     let cols = node.value.cols();
-                    let mut da = g.clone();
+                    let mut da = g;
                     for (g_row, y_row) in da
                         .data_mut()
                         .chunks_mut(cols)
@@ -654,20 +854,22 @@ impl Tape {
                             *gv -= ly.exp() * row_sum;
                         }
                     }
-                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, a.0, da, scratch);
                 }
                 Op::Dropout(a, mask) => {
                     let mut da = g;
                     for (v, &m) in da.data_mut().iter_mut().zip(mask.iter()) {
                         *v *= m;
                     }
-                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, a.0, da, scratch);
                 }
                 Op::RowNormalize(a) => {
-                    // y = x / ||x|| ⇒ dx = (g - y (g·y)) / ||x||, per row
+                    // y = x / ||x|| ⇒ dx = (g - y (g·y)) / ||x||, per row;
+                    // `g` is mutated in place (g·y is read out per row before
+                    // that row is rewritten).
                     let x = self.value(*a);
                     let cols = x.cols();
-                    let mut da = g.clone();
+                    let mut da = g;
                     for ((g_row, y_row), x_row) in da
                         .data_mut()
                         .chunks_mut(cols)
@@ -684,47 +886,55 @@ impl Tape {
                             *gv = (*gv - yv * gy) / n;
                         }
                     }
-                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, a.0, da, scratch);
                 }
                 Op::Mean(a) => {
                     let x = self.value(*a);
                     let s = g.item() / x.numel().max(1) as f32;
-                    accumulate(&mut grads, a.0, Tensor::full(x.shape(), s));
+                    let da = scratch.take_full(x.shape(), s);
+                    accumulate(&mut grads, a.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
                 Op::Sum(a) => {
                     let x = self.value(*a);
-                    accumulate(&mut grads, a.0, Tensor::full(x.shape(), g.item()));
+                    let da = scratch.take_full(x.shape(), g.item());
+                    accumulate(&mut grads, a.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
                 Op::NllHard(lp, labels) => {
                     let x = self.value(*lp);
                     let m = labels.len().max(1) as f32;
-                    let mut da = Tensor::zeros(x.shape());
+                    let mut da = scratch.take_zeroed(x.shape());
                     let gv = g.item();
                     for (i, &y) in labels.iter().enumerate() {
                         da.set(i, y, -gv / m);
                     }
-                    accumulate(&mut grads, lp.0, da);
+                    accumulate(&mut grads, lp.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
                 Op::NllSoft(lp, targets) => {
                     let m = self.value(*lp).rows().max(1) as f32;
                     let gv = g.item();
-                    let da = targets.scale(-gv / m);
-                    accumulate(&mut grads, lp.0, da);
+                    let s = -gv / m;
+                    let da = scratch.take_map(targets, |p| p * s);
+                    accumulate(&mut grads, lp.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
                 Op::NllWeighted(lp, labels, weights) => {
                     let x = self.value(*lp);
                     let m = labels.len().max(1) as f32;
                     let gv = g.item();
-                    let mut da = Tensor::zeros(x.shape());
+                    let mut da = scratch.take_zeroed(x.shape());
                     for (i, (&y, &w)) in labels.iter().zip(weights.iter()).enumerate() {
                         da.set(i, y, -w * gv / m);
                     }
-                    accumulate(&mut grads, lp.0, da);
+                    accumulate(&mut grads, lp.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
                 Op::GatherRows(a, indices) => {
                     let x = self.value(*a);
                     let cols = x.cols();
-                    let mut da = Tensor::zeros(x.shape());
+                    let mut da = scratch.take_zeroed(x.shape());
                     for (out_row, &src) in indices.iter().enumerate() {
                         let g_row = &g.data()[out_row * cols..(out_row + 1) * cols];
                         let d_row = &mut da.data_mut()[src * cols..(src + 1) * cols];
@@ -732,14 +942,16 @@ impl Tape {
                             *d += gv;
                         }
                     }
-                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, a.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
                 Op::Mse(pred, target) => {
                     let p = self.value(*pred);
                     let n = p.numel().max(1) as f32;
                     let gv = g.item();
-                    let da = p.zip_map(target, |a, b| 2.0 * (a - b) * gv / n);
-                    accumulate(&mut grads, pred.0, da);
+                    let da = scratch.take_zip(p, target, |a, b| 2.0 * (a - b) * gv / n);
+                    accumulate(&mut grads, pred.0, da, scratch);
+                    scratch.recycle_tensor(g);
                 }
             }
         }
@@ -747,9 +959,14 @@ impl Tape {
     }
 }
 
-fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
+/// Adds `g` into the slot for `idx`, or installs it if the slot is empty;
+/// an added-in tensor's buffer goes straight back to the pool.
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor, scratch: &mut GradScratch) {
     match &mut grads[idx] {
-        Some(existing) => existing.add_assign(&g),
+        Some(existing) => {
+            existing.add_assign(&g);
+            scratch.recycle_tensor(g);
+        }
         slot => *slot = Some(g),
     }
 }

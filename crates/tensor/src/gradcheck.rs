@@ -50,10 +50,16 @@ pub fn check_gradients(
 ) -> GradCheckReport {
     let (tape, var, loss) = f(param);
     let grads = tape.backward(loss);
-    let analytic = grads
-        .get(var)
-        .expect("parameter must require grad in gradient check")
-        .clone();
+    // A parameter without a gradient (constant node, or detached from the
+    // loss) can never match finite differences: report an unconditional
+    // failure instead of panicking inside a diagnostic helper.
+    let Some(analytic) = grads.get(var) else {
+        return GradCheckReport {
+            max_rel_error: f32::INFINITY,
+            coords_checked: 0,
+        };
+    };
+    let analytic = analytic.clone();
 
     let mut max_rel = 0.0f32;
     for i in 0..param.numel() {
@@ -243,6 +249,19 @@ mod tests {
             (tape, bv, loss)
         });
         assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn constant_param_reports_unconditional_failure() {
+        let p = Tensor::from_vec(vec![1.0, 2.0]);
+        let report = check_gradients(&p, 1e-3, |value| {
+            let mut tape = Tape::new();
+            let x = tape.constant(value.clone());
+            let loss = tape.sum(x);
+            (tape, x, loss)
+        });
+        assert!(!report.passes(f32::MAX));
+        assert_eq!(report.coords_checked, 0);
     }
 
     #[test]

@@ -1,0 +1,525 @@
+//! Blocked, register-tiled matmul kernels shared by every dense product in
+//! the workspace.
+//!
+//! One micro-kernel ([`MR`]×[`NR`] accumulator tile over packed B panels)
+//! backs all three matmul variants — `A·B` ([`GemmKind::Nn`]), `A·Bᵀ`
+//! ([`GemmKind::Nt`]) and `Aᵀ·B` ([`GemmKind::Tn`]) — replacing the naive
+//! triple loops the crate shipped with (which are kept as `*_reference`
+//! methods on `Tensor` behind `#[cfg(any(test, feature =
+//! "reference-kernels"))]` and pinned bitwise-equal by the test suite).
+//!
+//! # Why this is fast
+//!
+//! The seed `ikj` loop re-streams the entire B matrix from memory once per
+//! output row (`m·k·n` reads of B for `2·m·k·n` flops). Here B is packed
+//! once into zero-padded, [`NR`]-wide column panels laid out in the exact
+//! order the micro-kernel reads them, and each micro-kernel invocation keeps
+//! an [`MR`]×[`NR`] tile of outputs in registers across the whole `k`
+//! reduction — every loaded A scalar and B panel row is reused [`NR`] and
+//! [`MR`] times respectively before leaving registers.
+//!
+//! # Why this is bitwise identical to the reference loops
+//!
+//! Floating-point addition is not associative, so "fast" must not mean
+//! "reordered". Three properties make the blocked kernels produce the exact
+//! bits of the seed loops:
+//!
+//! 1. **Per-element accumulation order is unchanged.** Each output element
+//!    `out[i][j]` is the sum over `p` of `a·b` terms; the micro-kernel runs
+//!    the full `k` reduction for a tile in ascending `p` from a `0.0`
+//!    register, exactly like the reference loops. Tiling changes *which*
+//!    elements are computed together, never the order of adds *within* an
+//!    element, and there is no k-splitting (no partial writebacks that
+//!    would, e.g., turn `-0.0` into `+0.0` via `acc + 0.0`).
+//! 2. **The exact-zero skip is replicated per variant.** The seed `Nn` and
+//!    `Tn` loops skip terms whose A scalar is bitwise zero, while the seed
+//!    `Nt` dot-product loop does not; the micro-kernel takes the skip as a
+//!    const-generic so each variant keeps its own semantics (this matters:
+//!    `0.0 * inf` is NaN, so skipping is observable). Because the skip can
+//!    only fire when some A scalar *is* zero, each row tile is scanned once
+//!    and dense tiles dispatch the branch-free kernel — identical terms in
+//!    identical order, minus the un-vectorizable branch.
+//! 3. **Every output element is assigned exactly once** (a register store,
+//!    not a read-modify-write), so the kernels never read `out` — calling
+//!    them with a dirty reused buffer gives the same bits as a fresh
+//!    allocation. The `*_into` scratch-reuse property tests pin this.
+//!
+//! # Deterministic parallelism
+//!
+//! Output rows are split into fixed [`PAR_ROW_BLOCK`]-row blocks and the
+//! disjoint `&mut` row blocks are dispatched through
+//! [`Executor::for_each`]. Block boundaries depend only on `m` — never on
+//! the worker count — and each block's bytes are computed by the same
+//! serial code regardless of which worker runs it, so results are bitwise
+//! identical serial vs 1/2/4 workers (pinned at both settings by
+//! `tests/kernels.rs` and the `scripts/check.sh` kernel-equivalence step).
+
+use crate::exec::Executor;
+
+/// Rows of the register accumulator tile. 6- and 8-row tiles both
+/// measured slower here: they spill accumulators to the stack.
+pub const MR: usize = 4;
+
+/// Columns of the register accumulator tile (and the packed panel width).
+///
+/// The 4×32 tile holds 8 512-bit (or 16 256-bit) accumulator registers —
+/// without FMA contraction each `acc += a*b` is a dependent add chain per
+/// register, and ~8 independent chains are what it takes to hide the
+/// 4-cycle FP-add latency on both vector ports. Measured at 256³: 4×32
+/// ≈ 71 GFLOP/s vs 4×16 ≈ 41 (the 256-bit two-port ceiling).
+pub const NR: usize = 32;
+
+/// Rows per parallel work item. A multiple of [`MR`] so serial and parallel
+/// dispatch tile the output identically; fixed (never derived from the
+/// worker count) so the block decomposition is the same at any concurrency.
+pub const PAR_ROW_BLOCK: usize = 32;
+
+/// Minimum `m·k·n` before parallel dispatch is worth the thread-scope
+/// overhead; below this the kernel always runs serially. Depends only on
+/// the problem shape, so it cannot make output worker-count dependent.
+pub const PAR_MIN_WORK: usize = 1 << 18;
+
+/// Which dense product a [`gemm_into`] call computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmKind {
+    /// `out[m,n] = A[m,k] · B[k,n]` (both operands row-major as stored).
+    Nn,
+    /// `out[m,n] = A[m,k] · Bᵀ` where B is stored `[n,k]`.
+    Nt,
+    /// `out[m,n] = Aᵀ · B[k,n]` where A is stored `[k,m]`.
+    Tn,
+}
+
+/// Computes a dense product into a caller-owned output buffer.
+///
+/// `a`, `b` and `out` are flat row-major buffers; `m`/`k`/`n` are the
+/// *logical* GEMM dimensions (`out` is always `m×n`, the reduction length
+/// is always `k`; see [`GemmKind`] for each variant's storage layout).
+/// `panel` is a reusable scratch buffer for the packed B panels — it is
+/// cleared and refilled on every call, grows to `k × n.next_multiple_of(NR)`
+/// elements, and may be shared (dirty) across calls of any shape.
+///
+/// `out` is write-only: every element is assigned exactly once and never
+/// read, so a dirty reused buffer produces bits identical to a fresh
+/// zeroed allocation.
+///
+/// Row blocks are dispatched through `exec`; see the module docs for why
+/// the result is bitwise independent of the worker count.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with `m`/`k`/`n`.
+pub fn gemm_into(
+    kind: GemmKind,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    exec: &Executor,
+    panel: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm lhs buffer length");
+    assert_eq!(b.len(), k * n, "gemm rhs buffer length");
+    assert_eq!(out.len(), m * n, "gemm output buffer length");
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    pack_b(kind, k, n, b, panel);
+    let panel: &[f32] = panel;
+
+    let blocks = (m + PAR_ROW_BLOCK - 1) / PAR_ROW_BLOCK;
+    let workers = exec.concurrency().workers(blocks);
+    if workers <= 1 || blocks <= 1 || m * k * n < PAR_MIN_WORK {
+        gemm_rows(kind, a, 0, m, k, n, panel, out);
+        return;
+    }
+
+    // Disjoint &mut row blocks: block i owns global rows
+    // [i*PAR_ROW_BLOCK, ..). Ownership depends only on m, so any schedule
+    // writes the same bytes.
+    let row_blocks: Vec<&mut [f32]> = out.chunks_mut(PAR_ROW_BLOCK * n).collect();
+    exec.for_each(row_blocks, |bi, block| {
+        let row0 = bi * PAR_ROW_BLOCK;
+        let rows = block.len() / n;
+        gemm_rows(kind, a, row0, rows, k, n, panel, block);
+    });
+}
+
+/// Serial kernel over one block of output rows.
+///
+/// `out` holds rows `row0 .. row0 + rows` of the logical output (`row0` is
+/// only used to index into A); the block is walked in [`MR`]-row tiles and
+/// [`NR`]-column panels with the micro-kernel doing the full-`k` reduction
+/// per tile.
+fn gemm_rows(
+    kind: GemmKind,
+    a: &[f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    panel: &[f32],
+    out: &mut [f32],
+) {
+    // A addressing per variant: Nn/Nt read A rows (stride k between rows),
+    // Tn reads A columns of a [k,m] buffer (stride m between p steps).
+    let a_stride = match kind {
+        GemmKind::Nn | GemmKind::Nt => k,
+        GemmKind::Tn => a.len() / k.max(1),
+    };
+    // Tn transposes each A tile into `apack` (row-major: element `(r, p)`
+    // at `r*k + p`) so every variant runs the one row-major micro-kernel.
+    // The [k, m] storage layout touches one cache line per `p` step; that
+    // strided walk is paid once per row tile here (O(mr·k), amortized over
+    // the O(mr·k·n) tile flops) instead of on every column panel in the
+    // micro-kernel. Copies preserve bits, and the micro-kernel still
+    // consumes each output element's terms in ascending-`p` order, so the
+    // result is bitwise unchanged.
+    let mut apack: Vec<f32> = Vec::new();
+    let mut it = 0;
+    while it < rows {
+        let mr = (rows - it).min(MR);
+        let (ta, ts, tr) = if matches!(kind, GemmKind::Tn) {
+            apack.clear();
+            apack.resize(mr * k, 0.0);
+            for p in 0..k {
+                let src = &a[p * a_stride + row0 + it..p * a_stride + row0 + it + mr];
+                for (r, &v) in src.iter().enumerate() {
+                    apack[r * k + p] = v;
+                }
+            }
+            (apack.as_slice(), k, 0)
+        } else {
+            (a, a_stride, row0 + it)
+        };
+        // The exact-zero skip of the Nn/Tn reference loops only fires when
+        // some A scalar of this row tile is bitwise zero. Scan the tile
+        // once: dense tiles — the overwhelmingly common case for weights
+        // and activations before a ReLU — dispatch the branch-free
+        // micro-kernel, which vectorizes, and is term-for-term identical
+        // arithmetic when no zero exists. Sparse tiles keep the skipping
+        // kernel, where skipping saves work.
+        let skip = match kind {
+            GemmKind::Nt => false,
+            GemmKind::Nn | GemmKind::Tn => tile_has_zero(ta, ts, tr, mr, k),
+        };
+        let mut jp = 0;
+        let mut j0 = 0;
+        while j0 < n {
+            let nr = (n - j0).min(NR);
+            let bpanel = &panel[jp * k * NR..(jp + 1) * k * NR];
+            match (skip, mr) {
+                (true, 4) => micro::<4, true>(ta, ts, tr, k, bpanel, out, it, n, j0, nr),
+                (true, 3) => micro::<3, true>(ta, ts, tr, k, bpanel, out, it, n, j0, nr),
+                (true, 2) => micro::<2, true>(ta, ts, tr, k, bpanel, out, it, n, j0, nr),
+                (true, _) => micro::<1, true>(ta, ts, tr, k, bpanel, out, it, n, j0, nr),
+                (false, 4) => micro::<4, false>(ta, ts, tr, k, bpanel, out, it, n, j0, nr),
+                (false, 3) => micro::<3, false>(ta, ts, tr, k, bpanel, out, it, n, j0, nr),
+                (false, 2) => micro::<2, false>(ta, ts, tr, k, bpanel, out, it, n, j0, nr),
+                (false, _) => micro::<1, false>(ta, ts, tr, k, bpanel, out, it, n, j0, nr),
+            }
+            jp += 1;
+            j0 += NR;
+        }
+        it += mr;
+    }
+}
+
+/// `true` when any A scalar feeding this `mr`-row (row-major) tile is
+/// bitwise zero — i.e. when the reference loops' exact-zero skip could
+/// fire. The tile reads `mr` length-`k` rows starting at `arow0`.
+fn tile_has_zero(a: &[f32], a_stride: usize, arow0: usize, mr: usize, k: usize) -> bool {
+    if k == 0 {
+        return false;
+    }
+    a[arow0 * a_stride..(arow0 + mr - 1) * a_stride + k]
+        .chunks(a_stride)
+        .any(|row| row[..k].iter().any(|v| v.to_bits() << 1 == 0))
+}
+
+/// The register micro-kernel: an `MRR`×[`NR`] output tile accumulated in
+/// registers over the full `k` reduction, then stored (assignment, not
+/// read-modify-write).
+///
+/// * `MRR` — live tile rows (`1..=MR`, ragged m-tails use smaller tiles).
+/// * `SKIP` — replicate the seed loops' exact-zero skip on the A scalar
+///   (`Nn`/`Tn` skip, `Nt` does not).
+///
+/// A is always row-major here — `Tn` tiles arrive pre-transposed by
+/// `gemm_rows`, so all three variants share this one code path (and its
+/// codegen). Accumulation for every output element is ascending-`p` from
+/// `0.0`, matching the reference loops term for term.
+fn micro<const MRR: usize, const SKIP: bool>(
+    a: &[f32],
+    a_stride: usize,
+    arow0: usize,
+    k: usize,
+    bpanel: &[f32],
+    out: &mut [f32],
+    orow0: usize,
+    n: usize,
+    j0: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MRR];
+    let mut ar: [&[f32]; MRR] = [&[]; MRR];
+    for (r, slot) in ar.iter_mut().enumerate() {
+        *slot = &a[(arow0 + r) * a_stride..(arow0 + r) * a_stride + k];
+    }
+    for p in 0..k {
+        let bp = &bpanel[p * NR..(p + 1) * NR];
+        for r in 0..MRR {
+            let av = ar[r][p];
+            // Exact-zero skip, mirroring the reference Nn/Tn loops;
+            // compiled out for Nt, whose reference loop has no skip.
+            // lint: allow(TL004)
+            if SKIP && av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in acc[r].iter_mut().zip(bp) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let dst = &mut out[(orow0 + r) * n + j0..(orow0 + r) * n + j0 + nr];
+        dst.copy_from_slice(&acc_row[..nr]);
+    }
+}
+
+/// Packs B into [`NR`]-wide column panels, zero-padded to full width.
+///
+/// Panel `jp` holds logical B columns `jp*NR .. jp*NR+NR` in `p`-major
+/// order: element `(p, j)` of the panel sits at `jp*k*NR + p*NR + j`, the
+/// exact order the micro-kernel streams. Padding columns are zero, so tail
+/// accumulators compute `0.0` lanes that are simply never stored.
+fn pack_b(kind: GemmKind, k: usize, n: usize, b: &[f32], panel: &mut Vec<f32>) {
+    let np = (n + NR - 1) / NR;
+    panel.clear();
+    panel.resize(np * k * NR, 0.0);
+    match kind {
+        // B stored [k,n]: copy NR-wide slices of each B row.
+        GemmKind::Nn | GemmKind::Tn => {
+            for jp in 0..np {
+                let j0 = jp * NR;
+                let nr = (n - j0).min(NR);
+                let dst = &mut panel[jp * k * NR..(jp + 1) * k * NR];
+                for p in 0..k {
+                    dst[p * NR..p * NR + nr].copy_from_slice(&b[p * n + j0..p * n + j0 + nr]);
+                }
+            }
+        }
+        // B stored [n,k]: logical column j is storage row j; scatter each
+        // storage row across the panel's p-major layout.
+        GemmKind::Nt => {
+            for jp in 0..np {
+                let j0 = jp * NR;
+                let nr = (n - j0).min(NR);
+                let dst = &mut panel[jp * k * NR..(jp + 1) * k * NR];
+                for jj in 0..nr {
+                    let brow = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+                    for (p, &v) in brow.iter().enumerate() {
+                        dst[p * NR + jj] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Concurrency;
+    use crate::Tensor;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn reference(kind: GemmKind, a: &Tensor, b: &Tensor) -> Tensor {
+        match kind {
+            GemmKind::Nn => a.matmul_reference(b),
+            GemmKind::Nt => a.matmul_nt_reference(b),
+            GemmKind::Tn => a.matmul_tn_reference(b),
+        }
+    }
+
+    fn logical_dims(kind: GemmKind, a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+        match kind {
+            GemmKind::Nn => (a.rows(), a.cols(), b.cols()),
+            GemmKind::Nt => (a.rows(), a.cols(), b.rows()),
+            GemmKind::Tn => (a.cols(), a.rows(), b.cols()),
+        }
+    }
+
+    fn assert_kernel_matches(kind: GemmKind, a: &Tensor, b: &Tensor, conc: Concurrency) {
+        let (m, k, n) = logical_dims(kind, a, b);
+        let expect = reference(kind, a, b);
+        // Dirty scratch on purpose: out must be write-only.
+        let mut out = vec![f32::NAN; m * n];
+        let mut panel = vec![7.5f32; 3];
+        gemm_into(
+            kind,
+            m,
+            k,
+            n,
+            a.data(),
+            b.data(),
+            &Executor::new(conc),
+            &mut panel,
+            &mut out,
+        );
+        assert_eq!(
+            out.as_slice(),
+            expect.data(),
+            "{kind:?} m={m} k={k} n={n} {conc}"
+        );
+    }
+
+    #[test]
+    fn blocked_matches_reference_on_ragged_shapes() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let shapes = [
+            (1, 1, 1),
+            (4, 8, 8),
+            (5, 3, 9),
+            (7, 13, 11),
+            (33, 17, 25),
+            (64, 1, 8),
+            (3, 40, 1),
+        ];
+        for &(m, k, n) in &shapes {
+            for kind in [GemmKind::Nn, GemmKind::Nt, GemmKind::Tn] {
+                let (a_shape, b_shape) = match kind {
+                    GemmKind::Nn => ([m, k], [k, n]),
+                    GemmKind::Nt => ([m, k], [n, k]),
+                    GemmKind::Tn => ([k, m], [k, n]),
+                };
+                let a = Tensor::randn(&a_shape, 1.0, &mut rng);
+                let b = Tensor::randn(&b_shape, 1.0, &mut rng);
+                for conc in [
+                    Concurrency::Serial,
+                    Concurrency::Threads(2),
+                    Concurrency::Threads(4),
+                ] {
+                    assert_kernel_matches(kind, &a, &b, conc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_threshold_shapes_agree_across_worker_counts() {
+        // Big enough to cross PAR_MIN_WORK and span several row blocks.
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = Tensor::randn(&[97, 64], 1.0, &mut rng);
+        let b = Tensor::randn(&[64, 50], 1.0, &mut rng);
+        assert!(97 * 64 * 50 >= PAR_MIN_WORK);
+        for conc in [
+            Concurrency::Serial,
+            Concurrency::Threads(2),
+            Concurrency::Threads(4),
+        ] {
+            assert_kernel_matches(GemmKind::Nn, &a, &b, conc);
+        }
+    }
+
+    #[test]
+    fn sparse_inputs_exercise_the_zero_skip() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut a = Tensor::randn(&[9, 14], 1.0, &mut rng);
+        let mut b = Tensor::randn(&[14, 6], 1.0, &mut rng);
+        for v in a.data_mut().iter_mut() {
+            if rng.gen_bool(0.5) {
+                *v = 0.0;
+            }
+        }
+        for v in b.data_mut().iter_mut() {
+            if rng.gen_bool(0.3) {
+                *v = 0.0;
+            }
+        }
+        assert_kernel_matches(GemmKind::Nn, &a, &b, Concurrency::Threads(4));
+        let bt = b.transposed();
+        assert_kernel_matches(GemmKind::Nt, &a, &bt, Concurrency::Threads(4));
+        let at = a.transposed();
+        assert_kernel_matches(GemmKind::Tn, &at, &b, Concurrency::Threads(4));
+    }
+
+    #[test]
+    fn zero_skip_semantics_preserve_nan_propagation() {
+        // 0.0 * inf = NaN: the Nt reference has no zero skip, so a zero row
+        // against an infinite column must still produce NaN — while Nn's
+        // skip swallows it. The kernels must reproduce both behaviours.
+        let a = Tensor::from_rows(&[&[0.0, 0.0]]);
+        let inf = Tensor::from_rows(&[&[f32::INFINITY, 1.0], &[1.0, 1.0]]);
+        let nn = a.matmul(&inf);
+        assert_eq!(nn.data(), &[0.0, 0.0], "Nn skip swallows 0*inf");
+        let nt = a.matmul_nt(&inf.transposed());
+        assert!(nt.data()[0].is_nan(), "Nt keeps 0*inf = NaN");
+        assert_eq!(nn.data(), a.matmul_reference(&inf).data());
+        let nt_ref = a.matmul_nt_reference(&inf.transposed());
+        assert!(nt_ref.data()[0].is_nan());
+    }
+
+    #[test]
+    fn degenerate_dims_are_handled() {
+        let exec = Executor::serial();
+        // k = 0: reduction over nothing must leave exact +0.0 everywhere,
+        // even in a dirty output buffer.
+        let mut out = vec![f32::NAN; 6];
+        let mut panel = Vec::new();
+        gemm_into(GemmKind::Nn, 2, 0, 3, &[], &[], &exec, &mut panel, &mut out);
+        assert_eq!(out, vec![0.0; 6]);
+        assert!(out.iter().all(|v| v.to_bits() == 0), "exact +0.0");
+        // m = 0 / n = 0: nothing to write.
+        let mut empty: Vec<f32> = Vec::new();
+        gemm_into(
+            GemmKind::Nn,
+            0,
+            4,
+            3,
+            &[],
+            &[0.0; 12],
+            &exec,
+            &mut panel,
+            &mut empty,
+        );
+        gemm_into(
+            GemmKind::Nn,
+            3,
+            4,
+            0,
+            &[0.0; 12],
+            &[],
+            &exec,
+            &mut panel,
+            &mut empty,
+        );
+    }
+
+    #[test]
+    fn panel_reuse_across_shapes_is_safe() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut panel = Vec::new();
+        let exec = Executor::serial();
+        for &(m, k, n) in &[(10usize, 20usize, 30usize), (3, 2, 1), (17, 5, 9)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_into(
+                GemmKind::Nn,
+                m,
+                k,
+                n,
+                a.data(),
+                b.data(),
+                &exec,
+                &mut panel,
+                &mut out,
+            );
+            assert_eq!(out.as_slice(), a.matmul_reference(&b).data());
+        }
+    }
+}

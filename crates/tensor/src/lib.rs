@@ -46,16 +46,19 @@
 
 mod autograd;
 mod checks;
+pub mod exec;
 mod gradcheck;
 mod init;
+pub mod kernels;
 mod optim;
 mod schedule;
 mod tensor;
 
 #[cfg(feature = "strict-numerics")]
 pub use autograd::BackwardFault;
-pub use autograd::{confidence_rows, softmax_rows, Gradients, Tape, Var};
+pub use autograd::{confidence_rows, softmax_rows, GradScratch, Gradients, Tape, Var};
 pub use checks::validate_shape;
+pub use exec::{Concurrency, Executor};
 pub use gradcheck::{check_gradients, GradCheckReport};
 pub use init::Init;
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd, SgdConfig};

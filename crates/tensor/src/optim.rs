@@ -68,6 +68,9 @@ impl Default for SgdConfig {
 pub struct Sgd {
     cfg: SgdConfig,
     velocity: Vec<Option<Tensor>>,
+    /// Reused effective-gradient buffer (replaces the per-step `clone()`);
+    /// resized by `copy_from` per slot, so one buffer serves all shapes.
+    scratch: Tensor,
 }
 
 impl Sgd {
@@ -81,6 +84,7 @@ impl Sgd {
         Sgd {
             cfg,
             velocity: Vec::new(),
+            scratch: Tensor::default(),
         }
     }
 
@@ -101,27 +105,46 @@ impl Optimizer for Sgd {
             self.velocity = vec![None; params.len()];
         }
         assert_eq!(self.velocity.len(), params.len(), "parameter count changed");
-        let slots = params.iter_mut().zip(grads).zip(self.velocity.iter_mut());
+        // The update below is arithmetic-for-arithmetic the classic
+        // `g = grad.clone(); ...` formulation, with the effective gradient
+        // living either in `grad` itself (read-only cases) or in the
+        // reused `scratch` buffer — copies carry exact bits, so removing
+        // the per-slot allocations cannot change any update.
+        let Sgd {
+            cfg,
+            velocity,
+            scratch,
+        } = self;
+        let wd = cfg.weight_decay > 0.0;
+        let slots = params.iter_mut().zip(grads).zip(velocity.iter_mut());
         for (_slot, ((param, grad), vel)) in slots.enumerate() {
             let Some(grad) = grad else { continue };
             #[cfg(feature = "strict-numerics")]
             crate::checks::enforce_optimizer_invariants("SGD", _slot, param, grad);
             assert_eq!(param.shape(), grad.shape(), "gradient shape mismatch");
-            let mut g = grad.clone();
-            if self.cfg.weight_decay > 0.0 {
-                g.add_scaled(param, self.cfg.weight_decay);
+            if wd {
+                scratch.copy_from(grad);
+                scratch.add_scaled(param, cfg.weight_decay);
             }
-            if self.cfg.momentum > 0.0 {
+            if cfg.momentum > 0.0 {
                 let v = vel.get_or_insert_with(|| Tensor::zeros(param.shape()));
-                v.scale_assign(self.cfg.momentum);
-                v.add_assign(&g);
-                if self.cfg.nesterov {
-                    g.add_scaled(v, self.cfg.momentum);
+                v.scale_assign(cfg.momentum);
+                v.add_assign(if wd { &*scratch } else { grad });
+                if cfg.nesterov {
+                    if !wd {
+                        scratch.copy_from(grad);
+                    }
+                    scratch.add_scaled(v, cfg.momentum);
+                    param.add_scaled(scratch, -cfg.lr);
                 } else {
-                    g = v.clone();
+                    // Formerly `g = v.clone()`: the update reads v directly.
+                    param.add_scaled(v, -cfg.lr);
                 }
+            } else if wd {
+                param.add_scaled(scratch, -cfg.lr);
+            } else {
+                param.add_scaled(grad, -cfg.lr);
             }
-            param.add_scaled(&g, -self.cfg.lr);
         }
     }
 
@@ -170,6 +193,9 @@ pub struct Adam {
     t: u64,
     m: Vec<Option<Tensor>>,
     v: Vec<Option<Tensor>>,
+    /// Reused weight-decay effective-gradient buffer (replaces the per-step
+    /// `clone()`).
+    scratch: Tensor,
 }
 
 impl Adam {
@@ -181,6 +207,7 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            scratch: Tensor::default(),
         }
     }
 
@@ -202,27 +229,46 @@ impl Optimizer for Adam {
         }
         assert_eq!(self.m.len(), params.len(), "parameter count changed");
         self.t += 1;
-        let b1t = 1.0 - self.cfg.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.cfg.beta2.powi(self.t as i32);
+        let Adam {
+            cfg,
+            t,
+            m,
+            v,
+            scratch,
+        } = self;
+        let b1t = 1.0 - cfg.beta1.powi(*t as i32);
+        let b2t = 1.0 - cfg.beta2.powi(*t as i32);
+        let wd = cfg.weight_decay > 0.0;
         for (i, (param, grad)) in params.iter_mut().zip(grads).enumerate() {
             let Some(grad) = grad else { continue };
             #[cfg(feature = "strict-numerics")]
             crate::checks::enforce_optimizer_invariants("Adam", i, param, grad);
             assert_eq!(param.shape(), grad.shape(), "gradient shape mismatch");
-            let mut g = grad.clone();
-            if self.cfg.weight_decay > 0.0 {
-                g.add_scaled(param, self.cfg.weight_decay);
+            // Effective gradient: `grad` itself, or the reused scratch when
+            // weight decay modifies it (bitwise identical to the former
+            // `grad.clone()` since copies carry exact bits).
+            let g: &Tensor = if wd {
+                scratch.copy_from(grad);
+                scratch.add_scaled(param, cfg.weight_decay);
+                scratch
+            } else {
+                grad
+            };
+            let mi = m[i].get_or_insert_with(|| Tensor::zeros(param.shape()));
+            let vi = v[i].get_or_insert_with(|| Tensor::zeros(param.shape()));
+            mi.scale_assign(cfg.beta1);
+            mi.add_scaled(g, 1.0 - cfg.beta1);
+            vi.scale_assign(cfg.beta2);
+            // Fused form of `v.add_scaled(&g.mul(&g), 1-β2)` without the g²
+            // temporary: `gv*gv` then `c2 * (gv*gv)` then `+=` is the exact
+            // rounding sequence of the two-step original.
+            let c2 = 1.0 - cfg.beta2;
+            for (vv, gv) in vi.data_mut().iter_mut().zip(g.data()) {
+                *vv += c2 * (gv * gv);
             }
-            let m = self.m[i].get_or_insert_with(|| Tensor::zeros(param.shape()));
-            let v = self.v[i].get_or_insert_with(|| Tensor::zeros(param.shape()));
-            m.scale_assign(self.cfg.beta1);
-            m.add_scaled(&g, 1.0 - self.cfg.beta1);
-            v.scale_assign(self.cfg.beta2);
-            let g2 = g.mul(&g);
-            v.add_scaled(&g2, 1.0 - self.cfg.beta2);
-            let lr = self.cfg.lr;
-            let eps = self.cfg.eps;
-            for ((p, mv), vv) in param.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+            let lr = cfg.lr;
+            let eps = cfg.eps;
+            for ((p, mv), vv) in param.data_mut().iter_mut().zip(mi.data()).zip(vi.data()) {
                 let m_hat = mv / b1t;
                 let v_hat = vv / b2t;
                 *p -= lr * m_hat / (v_hat.sqrt() + eps);

@@ -10,6 +10,8 @@ use std::fmt;
 
 use rand::Rng;
 
+use crate::exec::Executor;
+use crate::kernels::{self, GemmKind};
 use crate::TensorError;
 
 /// A dense, row-major tensor of `f32` values.
@@ -451,111 +453,126 @@ impl Tensor {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Makes `self` an exact copy of `src`, reusing `self`'s allocations
+    /// (the scratch-buffer analogue of `clone()`): no arithmetic, so the
+    /// copy is bitwise identical to the source.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     // ------------------------------------------------------------------
     // Linear algebra
     // ------------------------------------------------------------------
 
     /// Matrix product `self [m,k] × other [k,n] → [m,n]`.
     ///
+    /// Routed through the blocked kernel layer ([`crate::kernels`]); bitwise
+    /// identical to the seed naive loop, which is kept as
+    /// [`Tensor::matmul_reference`] under `test`/`reference-kernels`.
+    ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree or either operand is not rank 2.
     #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
-        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        // ikj loop order: streams over contiguous rows of `other`.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                // Exact-zero skip: `0.0 * b` contributes nothing, so only a
-                // bitwise zero may take the shortcut. lint: allow(TL004)
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor {
-            shape: vec![m, n],
-            data: out,
-        }
+        self.matmul_with(other, &Executor::serial())
+    }
+
+    /// [`Tensor::matmul`] with output row blocks dispatched through `exec`
+    /// (bitwise identical at any worker count; see [`crate::kernels`]).
+    #[must_use = "this op returns a new tensor and does not modify self"]
+    pub fn matmul_with(&self, other: &Tensor, exec: &Executor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_into(other, exec, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] into a caller-owned output tensor, reshaping it
+    /// as needed. `out` may be dirty (any old shape or contents): every
+    /// element is overwritten, and reuse is bitwise identical to a fresh
+    /// allocation.
+    pub fn matmul_into(&self, other: &Tensor, exec: &Executor, out: &mut Tensor) {
+        let mut panel = Vec::new();
+        gemm_tensors(GemmKind::Nn, self, other, exec, &mut panel, out);
     }
 
     /// Matrix product with transposed rhs: `self [m,k] × otherᵀ [n,k] → [m,n]`.
+    ///
+    /// Routed through the blocked kernel layer; bitwise identical to the
+    /// seed loop kept as [`Tensor::matmul_nt_reference`].
     #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2);
-        assert_eq!(other.rank(), 2);
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (n, k2) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += a_row[p] * b_row[p];
-                }
-                out[i * n + j] = acc;
-            }
-        }
-        Tensor {
-            shape: vec![m, n],
-            data: out,
-        }
+        self.matmul_nt_with(other, &Executor::serial())
+    }
+
+    /// [`Tensor::matmul_nt`] with row blocks dispatched through `exec`.
+    #[must_use = "this op returns a new tensor and does not modify self"]
+    pub fn matmul_nt_with(&self, other: &Tensor, exec: &Executor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_nt_into(other, exec, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_nt`] into a caller-owned (possibly dirty) output.
+    pub fn matmul_nt_into(&self, other: &Tensor, exec: &Executor, out: &mut Tensor) {
+        let mut panel = Vec::new();
+        gemm_tensors(GemmKind::Nt, self, other, exec, &mut panel, out);
     }
 
     /// Matrix product with transposed lhs: `selfᵀ [k,m] × other [k,n] → [m,n]`.
+    ///
+    /// Routed through the blocked kernel layer; bitwise identical to the
+    /// seed loop kept as [`Tensor::matmul_tn_reference`].
     #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2);
-        assert_eq!(other.rank(), 2);
-        let (k, m) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                // Exact-zero skip: `0.0 * b` contributes nothing, so only a
-                // bitwise zero may take the shortcut. lint: allow(TL004)
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor {
-            shape: vec![m, n],
-            data: out,
-        }
+        self.matmul_tn_with(other, &Executor::serial())
+    }
+
+    /// [`Tensor::matmul_tn`] with row blocks dispatched through `exec`.
+    #[must_use = "this op returns a new tensor and does not modify self"]
+    pub fn matmul_tn_with(&self, other: &Tensor, exec: &Executor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_tn_into(other, exec, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_tn`] into a caller-owned (possibly dirty) output.
+    pub fn matmul_tn_into(&self, other: &Tensor, exec: &Executor, out: &mut Tensor) {
+        let mut panel = Vec::new();
+        gemm_tensors(GemmKind::Tn, self, other, exec, &mut panel, out);
     }
 
     /// Transposed copy of a rank-2 tensor.
+    ///
+    /// Blocked [`TRANSPOSE_BLOCK`]²-tile walk: both the source reads and the
+    /// destination writes stay within a tile that fits in L1, instead of the
+    /// seed's column-strided writes that touched `m` distinct cache lines
+    /// per source row. Pure data movement, so blocking cannot change any
+    /// bit (pinned against [`Tensor::transposed_reference`] in the tests).
     #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn transposed(&self) -> Tensor {
         assert_eq!(self.rank(), 2);
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut data = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                data[j * m + i] = self.data[i * n + j];
+        const TB: usize = TRANSPOSE_BLOCK;
+        let mut i0 = 0;
+        while i0 < m {
+            let ib = (m - i0).min(TB);
+            let mut j0 = 0;
+            while j0 < n {
+                let jb = (n - j0).min(TB);
+                for i in i0..i0 + ib {
+                    let src = &self.data[i * n + j0..i * n + j0 + jb];
+                    for (dj, &v) in src.iter().enumerate() {
+                        data[(j0 + dj) * m + i] = v;
+                    }
+                }
+                j0 += TB;
             }
+            i0 += TB;
         }
         Tensor {
             shape: vec![n, m],
@@ -608,6 +625,175 @@ impl Tensor {
     /// `true` if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Infallible internal constructor for buffers whose length is correct
+    /// by construction (e.g. kernel outputs sized from the gemm dims).
+    pub(crate) fn from_raw(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+        debug_assert_eq!(shape.iter().product::<usize>(), data.len());
+        Tensor { shape, data }
+    }
+}
+
+/// Square tile edge for the blocked [`Tensor::transposed`]: a 16×16 `f32`
+/// tile is 1 KiB on each side of the copy, comfortably inside L1.
+pub(crate) const TRANSPOSE_BLOCK: usize = 16;
+
+/// Shape-checks a tensor-level gemm and runs it through the kernel layer
+/// into `out`, reusing `out`'s and `panel`'s allocations.
+///
+/// This is the one funnel between [`Tensor`] operands and the flat-slice
+/// [`kernels::gemm_into`]; the autograd tape calls it directly so its
+/// backward pass can reuse pooled buffers for both the output and the
+/// packed panel.
+pub(crate) fn gemm_tensors(
+    kind: GemmKind,
+    a: &Tensor,
+    b: &Tensor,
+    exec: &Executor,
+    panel: &mut Vec<f32>,
+    out: &mut Tensor,
+) {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+    let (m, k, n) = match kind {
+        GemmKind::Nn => {
+            let (m, k) = (a.shape[0], a.shape[1]);
+            let (k2, n) = (b.shape[0], b.shape[1]);
+            assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+            (m, k, n)
+        }
+        GemmKind::Nt => {
+            let (m, k) = (a.shape[0], a.shape[1]);
+            let (n, k2) = (b.shape[0], b.shape[1]);
+            assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+            (m, k, n)
+        }
+        GemmKind::Tn => {
+            let (k, m) = (a.shape[0], a.shape[1]);
+            let (k2, n) = (b.shape[0], b.shape[1]);
+            assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
+            (m, k, n)
+        }
+    };
+    out.shape.clear();
+    out.shape.extend_from_slice(&[m, n]);
+    // Old contents (whatever their values) are never read by the kernel:
+    // resize only adjusts the length.
+    out.data.resize(m * n, 0.0);
+    kernels::gemm_into(kind, m, k, n, &a.data, &b.data, exec, panel, &mut out.data);
+}
+
+/// The seed naive loops, kept verbatim as bitwise references for the
+/// blocked kernels. Compiled only for tests and the `reference-kernels`
+/// feature (the bench crate enables it to measure blocked vs naive).
+#[cfg(any(test, feature = "reference-kernels"))]
+impl Tensor {
+    /// Seed `ikj` matmul loop — the bitwise reference for [`Tensor::matmul`].
+    #[must_use = "this op returns a new tensor and does not modify self"]
+    pub fn matmul_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: streams over contiguous rows of `other`.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                // Exact-zero skip: `0.0 * b` contributes nothing, so only a
+                // bitwise zero may take the shortcut. lint: allow(TL004)
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Seed dot-product loop — the bitwise reference for
+    /// [`Tensor::matmul_nt`] (note: no exact-zero skip).
+    #[must_use = "this op returns a new tensor and does not modify self"]
+    pub fn matmul_nt_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(other.rank(), 2);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Seed `p`-outer loop — the bitwise reference for
+    /// [`Tensor::matmul_tn`].
+    #[must_use = "this op returns a new tensor and does not modify self"]
+    pub fn matmul_tn_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(other.rank(), 2);
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                // Exact-zero skip: `0.0 * b` contributes nothing, so only a
+                // bitwise zero may take the shortcut. lint: allow(TL004)
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Seed column-strided transpose — the bitwise reference for the
+    /// blocked [`Tensor::transposed`].
+    #[must_use = "this op returns a new tensor and does not modify self"]
+    pub fn transposed_reference(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut data = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            shape: vec![n, m],
+            data,
+        }
     }
 }
 

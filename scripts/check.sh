@@ -54,6 +54,13 @@ step "serve-threads" env TAGLETS_THREADS=4 cargo test --offline --quiet --test s
 
 step "strict-numerics" cargo test --offline --quiet -p taglets-tensor --features strict-numerics
 
+# Kernel equivalence: the blocked GEMM kernels must be bitwise identical
+# to the seed's naive reference loops, serially and under multi-worker
+# row-block dispatch (the second pass resolves TAGLETS_THREADS=4 through
+# Concurrency::from_env, the path production configs take).
+step "kernels" cargo test --offline --quiet -p taglets-tensor --features reference-kernels --test kernels
+step "kernels-threads" env TAGLETS_THREADS=4 cargo test --offline --quiet -p taglets-tensor --features reference-kernels --test kernels
+
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) failed"
     exit 1
