@@ -78,6 +78,7 @@ pub trait Clock {
 /// virtual time.
 #[derive(Debug, Default)]
 pub struct VirtualClock {
+    // lint: concurrency(Cell makes VirtualClock !Sync, so the replay clock can never be shared across workers; time advances single-threaded in the run loop)
     now: Cell<u64>,
 }
 

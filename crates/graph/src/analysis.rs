@@ -19,13 +19,14 @@ pub fn bfs_distances(graph: &ConceptGraph, source: ConceptId) -> Vec<Option<usiz
         return dist;
     }
     dist[source.0] = Some(0);
-    let mut queue = VecDeque::from([source]);
-    while let Some(cur) = queue.pop_front() {
-        let d = dist[cur.0].expect("queued nodes have distances");
+    // Queueing (node, distance) pairs keeps the distance at hand without
+    // re-reading (and asserting on) the dist table.
+    let mut queue = VecDeque::from([(source, 0usize)]);
+    while let Some((cur, d)) = queue.pop_front() {
         for e in graph.neighbors(cur) {
             if dist[e.to.0].is_none() {
                 dist[e.to.0] = Some(d + 1);
-                queue.push_back(e.to);
+                queue.push_back((e.to, d + 1));
             }
         }
     }

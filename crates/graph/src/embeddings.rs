@@ -62,18 +62,30 @@ impl ConceptEmbeddings {
 
     /// Appends a vector for a newly added concept.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the vector length differs from [`ConceptEmbeddings::dim`].
-    pub fn push(&mut self, vector: &[f32]) -> ConceptId {
-        assert_eq!(vector.len(), self.dim(), "embedding dim mismatch");
-        let n = self.vectors.rows();
+    /// Returns [`GraphError::EmbeddingDim`] when the vector length differs
+    /// from [`ConceptEmbeddings::dim`].
+    pub fn push(&mut self, vector: &[f32]) -> Result<ConceptId, GraphError> {
         let d = self.dim();
+        if vector.len() != d {
+            return Err(GraphError::EmbeddingDim {
+                expected: d,
+                actual: vector.len(),
+            });
+        }
+        let n = self.vectors.rows();
         let mut data = std::mem::take(&mut self.vectors).into_vec();
         data.extend_from_slice(vector);
+        // `(n + 1) * d` elements by construction; the tensor constructor's
+        // shape check can only agree, so surface its error instead of
+        // asserting on it.
         self.vectors =
-            Tensor::from_shape(vec![n + 1, d], data).expect("dimension arithmetic is consistent");
-        ConceptId(n)
+            Tensor::from_shape(vec![n + 1, d], data).map_err(|_| GraphError::EmbeddingDim {
+                expected: d,
+                actual: vector.len(),
+            })?;
+        Ok(ConceptId(n))
     }
 
     /// The `top_n` most cosine-similar concepts to `query`, excluding ids for
@@ -289,9 +301,16 @@ mod tests {
     #[test]
     fn push_extends_matrix() {
         let mut e = ConceptEmbeddings::new(Tensor::eye(2));
-        let id = e.push(&[0.5, 0.5]);
+        let id = e.push(&[0.5, 0.5]).unwrap();
         assert_eq!(id, ConceptId(2));
         assert_eq!(e.len(), 3);
         assert_eq!(e.get(id), &[0.5, 0.5]);
+        assert!(matches!(
+            e.push(&[1.0]),
+            Err(GraphError::EmbeddingDim {
+                expected: 2,
+                actual: 1
+            })
+        ));
     }
 }

@@ -114,46 +114,9 @@ impl GraphEncoder {
             self.parameters().len(),
             "vars must come from this encoder's bind()"
         );
-        // Under attention: a constant mask with 0 on edges/diagonal and a
-        // large negative value elsewhere.
-        let mask = match self.aggregation {
-            Aggregation::Mean => None,
-            Aggregation::Attention => {
-                let a = tape.value(a_norm).clone();
-                let n = a.rows();
-                let mut m = Tensor::full(&[n, n], -1e4);
-                for i in 0..n {
-                    m.set(i, i, 0.0);
-                    for j in 0..n {
-                        if a.at(i, j) > 0.0 {
-                            m.set(i, j, 0.0);
-                        }
-                    }
-                }
-                Some(tape.constant(m))
-            }
-        };
-        let scale = |hidden: usize| 1.0 / (hidden as f32).sqrt();
-
-        let aggregate = |tape: &mut Tape,
-                         h: Var,
-                         qk: Option<(&Linear, &Linear, &[Var], &[Var])>| {
-            match (self.aggregation, qk, mask) {
-                (Aggregation::Mean, _, _) => tape.matmul(a_norm, h),
-                (Aggregation::Attention, Some((qw, kw, qv, kv)), Some(mask)) => {
-                    let q = qw.forward(tape, qv, h);
-                    let k = kw.forward(tape, kv, h);
-                    let scores = tape.matmul_nt(q, k);
-                    let scaled = tape.scale(scores, scale(qw.fan_out()));
-                    let masked = tape.add(scaled, mask);
-                    let lp = tape.log_softmax(masked);
-                    let att = tape.exp(lp);
-                    tape.matmul(att, h)
-                }
-                _ => unreachable!("attention params exist iff aggregation is Attention"),
-            }
-        };
-
+        // Keying the two code paths on `self.attn` (rather than the
+        // aggregation mode plus an option dance) makes the attention
+        // parameters available by construction wherever they are used.
         match &self.attn {
             None => {
                 let layer =
@@ -176,14 +139,42 @@ impl GraphEncoder {
                 self.out.forward(tape, &vars[8..10], h2)
             }
             Some([q1, k1, q2, k2]) => {
+                // A constant mask with 0 on edges/diagonal and a large
+                // negative value elsewhere, built first so the tape's op
+                // order matches the pre-refactor layout exactly.
+                let a = tape.value(a_norm).clone();
+                let n = a.rows();
+                let mut m = Tensor::full(&[n, n], -1e4);
+                for i in 0..n {
+                    m.set(i, i, 0.0);
+                    for j in 0..n {
+                        if a.at(i, j) > 0.0 {
+                            m.set(i, j, 0.0);
+                        }
+                    }
+                }
+                let mask = tape.constant(m);
+
+                let aggregate =
+                    |tape: &mut Tape, h: Var, qw: &Linear, kw: &Linear, qv: &[Var], kv: &[Var]| {
+                        let q = qw.forward(tape, qv, h);
+                        let k = kw.forward(tape, kv, h);
+                        let scores = tape.matmul_nt(q, k);
+                        let scaled = tape.scale(scores, 1.0 / (qw.fan_out() as f32).sqrt());
+                        let masked = tape.add(scaled, mask);
+                        let lp = tape.log_softmax(masked);
+                        let att = tape.exp(lp);
+                        tape.matmul(att, h)
+                    };
+
                 // Binding order: self1, neigh1, self2, neigh2, out, q1, k1, q2, k2.
-                let agg1 = aggregate(tape, x, Some((q1, k1, &vars[10..12], &vars[12..14])));
+                let agg1 = aggregate(tape, x, q1, k1, &vars[10..12], &vars[12..14]);
                 let hs1 = self.self1.forward(tape, &vars[0..2], x);
                 let hn1 = self.neigh1.forward(tape, &vars[2..4], agg1);
                 let sum1 = tape.add(hs1, hn1);
                 let h1 = tape.tanh(sum1);
 
-                let agg2 = aggregate(tape, h1, Some((q2, k2, &vars[14..16], &vars[16..18])));
+                let agg2 = aggregate(tape, h1, q2, k2, &vars[14..16], &vars[16..18]);
                 let hs2 = self.self2.forward(tape, &vars[4..6], h1);
                 let hn2 = self.neigh2.forward(tape, &vars[6..8], agg2);
                 let sum2 = tape.add(hs2, hn2);
@@ -382,7 +373,15 @@ pub fn pretrain_encoder(
         }
     }
 
-    let (best_validation_loss, best_epoch, snapshot) = best.expect("at least one epoch ran");
+    // Zero configured epochs runs no training at all: report a degenerate
+    // result instead of asserting that the loop body executed.
+    let Some((best_validation_loss, best_epoch, snapshot)) = best else {
+        return GnnPretrainReport {
+            best_validation_loss: f32::INFINITY,
+            best_epoch: 0,
+            train_losses,
+        };
+    };
     for (param, saved) in encoder.parameters_mut().into_iter().zip(snapshot) {
         *param = saved;
     }

@@ -74,6 +74,13 @@ pub enum GraphError {
     },
     /// An out-of-vocabulary approximation was requested with no usable terms.
     EmptyApproximation,
+    /// A pushed embedding vector's length does not match the matrix width.
+    EmbeddingDim {
+        /// The matrix's dimensionality.
+        expected: usize,
+        /// The pushed vector's length.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -95,6 +102,12 @@ impl fmt::Display for GraphError {
                 write!(
                     f,
                     "embedding approximation requires at least one weighted term"
+                )
+            }
+            GraphError::EmbeddingDim { expected, actual } => {
+                write!(
+                    f,
+                    "pushed embedding has length {actual} but the matrix dimensionality is {expected}"
                 )
             }
         }

@@ -84,11 +84,7 @@ mod tests {
 
     fn graph(src: &str) -> CallGraph {
         let lines = scan(src);
-        build(crate::items::extract(
-            "crates/x/src/lib.rs",
-            &lex(src),
-            &lines,
-        ))
+        build(crate::items::extract("crates/x/src/lib.rs", &lex(src), &lines).fns)
     }
 
     fn names(g: &CallGraph, from: &str) -> Vec<String> {

@@ -1,0 +1,356 @@
+//! Concurrency-safety dataflow over the workspace call-graph.
+//!
+//! PRs 2 and 5 moved training, eval sweeps, GEMM row-blocks, and serving
+//! batches onto scoped-thread parallelism — exactly the machinery that can
+//! silently break the bitwise-identical-at-1/2/4-workers invariant. This
+//! fifth stage complements the determinism taint pass with *shared mutable
+//! state* analysis over the same item facts and call-graph:
+//!
+//! * **TL010** — `unsafe` code anywhere in library code, unless the site
+//!   carries a reasoned `// lint: unsafe(reason)` waiver. Fires at the
+//!   site; the waiver text is the written-down safety argument.
+//! * **TL011** — an interior-mutability type (`Mutex`, `RwLock`, `RefCell`,
+//!   `Cell`, `UnsafeCell`, once/lazy cells, atomics, `static mut`)
+//!   *reachable* from an executor dispatch point. Function-level facts fire
+//!   only when a BFS from a dispatching function reaches them, and carry
+//!   the full dispatch → … → state chain in TL007 style. File-level facts
+//!   (struct fields, statics) fire at the site without a chain: the
+//!   name-based call-graph cannot see field accesses, so declarations are
+//!   flagged conservatively wherever they sit.
+//! * **TL012** — an atomic memory ordering weaker than `SeqCst`
+//!   (`Relaxed`/`Acquire`/`Release`/`AcqRel`). Fires at the site.
+//! * **TL013** — a compound floating-point accumulation (`acc += x`) onto
+//!   state declared *outside* a dispatched worker closure: the
+//!   non-associative-reduction smell. A separate token walk
+//!   ([`check_closures`]) inspects the closure arguments of each dispatch
+//!   call site directly, since reductions are an expression-level property
+//!   the per-function facts cannot carry.
+//!
+//! TL011/TL012/TL013 sites are silenced by `// lint: concurrency(reason)`,
+//! TL010 by `// lint: unsafe(reason)`; both waivers *must* carry a
+//! non-empty reason. Per-rule `// lint: allow(TLxxx)` works as everywhere
+//! else. The executor core (`tensor::exec`) is deliberately *not* exempt:
+//! its claim counter and `Relaxed` ordering carry reasoned waivers instead,
+//! so the safety argument lives next to the code.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::items::{is_dispatch, CFact, CFactKind};
+use crate::lexer::{Tok, Token};
+use crate::rules::{Rule, Violation};
+use crate::scanner::SourceLine;
+use crate::taint::chain_to;
+
+/// Runs the graph-level analysis: TL010/TL012 at every fact site, TL011 at
+/// file-scope sites and — with chains — at function-level sites reachable
+/// from a dispatch root. `file_cfacts` pairs each workspace-relative path
+/// with the facts found outside any function body in that file.
+pub fn analyze(graph: &CallGraph, file_cfacts: &[(String, CFact)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Site-level rules over function bodies: unsafe code and weak orderings
+    // are flagged wherever they sit — reachability does not make an
+    // unwaived `unsafe` block any safer.
+    for f in &graph.fns {
+        for fact in &f.cfacts {
+            let rule = match fact.kind {
+                CFactKind::UnsafeCode => Rule::Tl010,
+                CFactKind::WeakOrdering => Rule::Tl012,
+                CFactKind::InteriorMutability => continue, // needs reachability
+            };
+            if rule.applies_to(&f.file) && !suppressed(fact, rule) {
+                out.push(site_violation(rule, &f.file, fact));
+            }
+        }
+    }
+
+    // File-scope facts: declarations (struct fields, statics, unsafe impl)
+    // have no containing function, so every kind fires at the site.
+    for (file, fact) in file_cfacts {
+        let rule = match fact.kind {
+            CFactKind::UnsafeCode => Rule::Tl010,
+            CFactKind::WeakOrdering => Rule::Tl012,
+            CFactKind::InteriorMutability => Rule::Tl011,
+        };
+        if rule.applies_to(file) && !suppressed(fact, rule) {
+            out.push(site_violation(rule, file, fact));
+        }
+    }
+
+    // Reachability pass: BFS from every function containing a dispatch
+    // site. A shared-state fact is reported once, with the first (shortest)
+    // chain that reaches it; roots are scanned in definition order so the
+    // output is deterministic. The root's own facts count as hop zero — an
+    // atomic next to the dispatch is still shared with the workers.
+    let mut reported: BTreeMap<(usize, usize), ()> = BTreeMap::new();
+    let roots: Vec<usize> = (0..graph.fns.len())
+        .filter(|&i| !graph.fns[i].dispatches.is_empty())
+        .collect();
+    for &root in &roots {
+        let mut parent: Vec<Option<usize>> = vec![None; graph.fns.len()];
+        let mut seen = vec![false; graph.fns.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[root] = true;
+        queue.push_back(root);
+        while let Some(at) = queue.pop_front() {
+            let f = &graph.fns[at];
+            for (fact_idx, fact) in f.cfacts.iter().enumerate() {
+                if fact.kind != CFactKind::InteriorMutability
+                    || !Rule::Tl011.applies_to(&f.file)
+                    || suppressed(fact, Rule::Tl011)
+                    || reported.contains_key(&(at, fact_idx))
+                {
+                    continue;
+                }
+                reported.insert((at, fact_idx), ());
+                out.push(Violation {
+                    rule: Rule::Tl011,
+                    file: f.file.clone(),
+                    line: fact.line,
+                    excerpt: format!("{} [{}]", fact.what, fact.kind.describe()),
+                    chain: chain_to(graph, &parent, root, at),
+                });
+            }
+            for &(next, _) in &graph.edges[at] {
+                if !seen[next] {
+                    seen[next] = true;
+                    parent[next] = Some(at);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// TL013: inspects the closure arguments of each dispatch call site in one
+/// file for compound float accumulation onto non-closure-local state.
+///
+/// Within the span of a dispatch call (`executor.map(n, |i| ...)`,
+/// `exec.for_each(items, |i, x| { ... })`, `scope.spawn(|| ...)`), the
+/// closure's locals are its pipe-delimited parameters plus every `let`
+/// binding in the span. A `+=`/`-=`/`*=`/`/=` whose target's base
+/// identifier is not local is flagged when the accumulation is visibly
+/// floating-point: a float literal or `f32`/`f64` in the statement, or an
+/// accumulator-style target name (`sum`, `acc`, `total`, `loss`, `mean`).
+pub fn check_closures(path: &str, tokens: &[Token], lines: &[SourceLine]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !Rule::Tl013.applies_to(path) {
+        return out;
+    }
+    let meta = |line: usize| lines.get(line.saturating_sub(1));
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let Some(name) = tokens[i].ident() else {
+            i += 1;
+            continue;
+        };
+        let is_call = tokens
+            .get(i + 1)
+            .map(|t| matches!(t.kind, Tok::Open('(')))
+            .unwrap_or(false);
+        let in_test = meta(tokens[i].line).map(|l| l.in_test).unwrap_or(true);
+        if !is_call || !is_dispatch(tokens, i, name) || in_test {
+            i += 1;
+            continue;
+        }
+
+        // Span of the dispatch call's argument list.
+        let start = i + 2;
+        let mut depth = 1usize;
+        let mut end = start;
+        while end < tokens.len() && depth > 0 {
+            match tokens[end].kind {
+                Tok::Open(_) => depth += 1,
+                Tok::Close(_) => depth -= 1,
+                _ => {}
+            }
+            end += 1;
+        }
+        let span = &tokens[start..end.saturating_sub(1)];
+
+        // Closure locals: pipe-delimited parameters plus `let` bindings.
+        let mut locals: Vec<&str> = Vec::new();
+        let mut j = 0usize;
+        while j < span.len() {
+            if span[j].is_punct("|") {
+                j += 1;
+                while j < span.len() && !span[j].is_punct("|") {
+                    if let Some(id) = span[j].ident() {
+                        locals.push(id);
+                    }
+                    j += 1;
+                }
+            } else if span[j].ident() == Some("let") {
+                let mut k = j + 1;
+                if span.get(k).and_then(Token::ident) == Some("mut") {
+                    k += 1;
+                }
+                if let Some(id) = span.get(k).and_then(Token::ident) {
+                    locals.push(id);
+                }
+            }
+            j += 1;
+        }
+
+        // Compound assignments onto non-local targets.
+        for (op_idx, op) in span.iter().enumerate() {
+            if !(op.is_punct("+=") || op.is_punct("-=") || op.is_punct("*=") || op.is_punct("/=")) {
+                continue;
+            }
+            let line_meta = meta(op.line);
+            let silenced = line_meta
+                .map(|l| l.in_test || l.conc_reason.is_some() || l.allows("TL013"))
+                .unwrap_or(false);
+            if silenced {
+                continue;
+            }
+            // Statement extent around the operator.
+            let stmt_start = span[..op_idx]
+                .iter()
+                .rposition(|t| matches!(t.kind, Tok::Punct(";") | Tok::Open('{') | Tok::Close('}')))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let stmt_end = span[op_idx..]
+                .iter()
+                .position(|t| t.is_punct(";"))
+                .map(|p| op_idx + p)
+                .unwrap_or(span.len());
+            let Some(base) = span[stmt_start..op_idx]
+                .iter()
+                .find_map(|t| t.ident().filter(|id| *id != "mut"))
+            else {
+                continue;
+            };
+            if locals.contains(&base) {
+                continue;
+            }
+            let lower = base.to_lowercase();
+            let named_like_accumulator = ["sum", "acc", "total", "loss", "mean"]
+                .iter()
+                .any(|n| lower.contains(n));
+            let stmt_is_float = span[stmt_start..stmt_end]
+                .iter()
+                .any(|t| matches!(t.kind, Tok::Float) || matches!(t.ident(), Some("f32" | "f64")));
+            if named_like_accumulator || stmt_is_float {
+                out.push(Violation {
+                    rule: Rule::Tl013,
+                    file: path.to_string(),
+                    line: op.line,
+                    excerpt: line_meta
+                        .map(|l| l.raw.trim().to_string())
+                        .unwrap_or_else(|| format!("{base} += ...")),
+                    chain: Vec::new(),
+                });
+            }
+        }
+        i = end;
+    }
+    out
+}
+
+/// True when the fact's line suppresses `rule` — either an explicit
+/// `allow(TLxxx)` or the matching reasoned waiver (already resolved into
+/// `waived` by the extractor).
+fn suppressed(fact: &CFact, rule: Rule) -> bool {
+    fact.waived || fact.allows.iter().any(|a| a == rule.code())
+}
+
+fn site_violation(rule: Rule, file: &str, fact: &CFact) -> Violation {
+    Violation {
+        rule,
+        file: file.to_string(),
+        line: fact.line,
+        excerpt: format!("{} [{}]", fact.what, fact.kind.describe()),
+        chain: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::items::extract;
+    use crate::lexer::lex;
+    use crate::scanner::scan;
+
+    fn analyze_src(src: &str) -> Vec<Violation> {
+        let lines = scan(src);
+        let ex = extract("crates/core/src/pool.rs", &lex(src), &lines);
+        let file_cfacts: Vec<(String, CFact)> = ex
+            .file_cfacts
+            .iter()
+            .map(|f| ("crates/core/src/pool.rs".to_string(), f.clone()))
+            .collect();
+        analyze(&build(ex.fns), &file_cfacts)
+    }
+
+    #[test]
+    fn reachable_mutex_is_reported_with_chain() {
+        let src = "fn run_pool(executor: &Executor) {\n    executor.map(4, |i| evaluate(i));\n}\nfn evaluate(i: usize) -> u64 { lookup(i) }\nfn lookup(i: usize) -> u64 {\n    let cache = Mutex::new(0u64);\n    i as u64\n}\n";
+        let v = analyze_src(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Tl011);
+        let names: Vec<&str> = v[0].chain.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, vec!["run_pool", "evaluate", "lookup"]);
+    }
+
+    #[test]
+    fn unreachable_interior_mutability_is_not_flagged() {
+        let src = "fn run_pool(executor: &Executor) {\n    executor.map(4, |i| i);\n}\nfn orphan() {\n    let cache = Mutex::new(0u64);\n}\n";
+        assert!(analyze_src(src).is_empty());
+    }
+
+    #[test]
+    fn file_scope_facts_fire_without_a_chain() {
+        let src = "struct Clock {\n    now: Cell<u64>,\n}\n";
+        let v = analyze_src(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Tl011);
+        assert!(v[0].chain.is_empty());
+    }
+
+    #[test]
+    fn unsafe_and_weak_ordering_fire_at_site() {
+        let src =
+            "fn f() {\n    let n = unsafe { read() };\n    let o = x.load(Ordering::Relaxed);\n}\n";
+        let v = analyze_src(src);
+        let rules: Vec<Rule> = v.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec![Rule::Tl010, Rule::Tl012]);
+    }
+
+    #[test]
+    fn reasoned_waivers_silence_their_rules() {
+        let src = "fn run_pool(executor: &Executor) {\n    let next = AtomicUsize::new(0); // lint: concurrency(claim counter; results reassembled by index)\n    let i = next.fetch_add(1, Ordering::Relaxed); // lint: concurrency(atomic RMW yields unique indices)\n    let p = unsafe { buf.as_mut_ptr() }; // lint: unsafe(chunks are disjoint by construction)\n    executor.map(4, |i| i);\n}\n";
+        assert!(analyze_src(src).is_empty());
+    }
+
+    #[test]
+    fn tl013_flags_external_float_accumulation_only() {
+        let src = "fn reduce(executor: &Executor, total: &mut f32) {\n    executor.for_each(chunks, |i, chunk| {\n        total += chunk;\n    });\n    executor.for_each(chunks, |i, chunk| {\n        let mut local = 0.0;\n        local += chunk;\n    });\n}\n";
+        let lines = scan(src);
+        let v = check_closures("crates/core/src/pool.rs", &lex(src), &lines);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Tl013);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn tl013_ignores_integer_counters_and_waived_lines() {
+        let src = "fn reduce(executor: &Executor) {\n    executor.for_each(chunks, |i, chunk| {\n        count += 1;\n        weight_sum += chunk; // lint: concurrency(merged in index order after join)\n    });\n}\n";
+        let lines = scan(src);
+        assert!(check_closures("crates/core/src/pool.rs", &lex(src), &lines).is_empty());
+    }
+
+    #[test]
+    fn tl013_skips_bench_and_plain_iterator_maps() {
+        let src = "fn reduce(xs: &[f32]) {\n    let mut total = 0.0;\n    xs.iter().for_each(|x| total += x);\n}\n";
+        let lines = scan(src);
+        // `xs.iter().for_each` is not a dispatch: the receiver is `)`.
+        assert!(check_closures("crates/core/src/pool.rs", &lex(src), &lines).is_empty());
+        let src2 = "fn reduce(executor: &Executor) {\n    executor.for_each(chunks, |i, chunk| { total += chunk; });\n}\n";
+        let lines2 = scan(src2);
+        assert!(check_closures("crates/bench/src/lib.rs", &lex(src2), &lines2).is_empty());
+    }
+}

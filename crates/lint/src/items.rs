@@ -61,6 +61,53 @@ pub struct Fact {
     pub waived: bool,
 }
 
+/// A concurrency-safety fact: direct evidence of shared mutable state or
+/// relaxed synchronisation, extracted for the [`crate::concurrency`] stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CFactKind {
+    /// An `unsafe` keyword (block, fn, impl, or trait).
+    UnsafeCode,
+    /// An interior-mutability type mentioned outside a `use` item (`Mutex`,
+    /// `RwLock`, `RefCell`, `Cell`, `UnsafeCell`, `OnceCell`/`OnceLock`,
+    /// `LazyCell`/`LazyLock`, any `Atomic*`), or a `static mut` item.
+    InteriorMutability,
+    /// An atomic memory ordering weaker than `SeqCst`
+    /// (`Ordering::Relaxed`/`Acquire`/`Release`/`AcqRel`).
+    WeakOrdering,
+}
+
+impl CFactKind {
+    /// Human description used in diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            CFactKind::UnsafeCode => "unsafe code without a reasoned waiver",
+            CFactKind::InteriorMutability => "interior-mutability type (shared mutable state)",
+            CFactKind::WeakOrdering => "atomic ordering weaker than SeqCst",
+        }
+    }
+}
+
+/// One concurrency fact, located and carrying its suppression state.
+///
+/// Facts inside a `fn` body land on that function's record (so the
+/// call-graph can propagate them from dispatch points); facts at file scope
+/// — struct fields, statics — land on [`Extraction::file_cfacts`], since no
+/// call edge can reach a declaration.
+#[derive(Debug, Clone)]
+pub struct CFact {
+    pub kind: CFactKind,
+    /// 1-based line of the source expression.
+    pub line: usize,
+    /// Short rendering of the offending expression for diagnostics.
+    pub what: String,
+    /// Rule codes suppressed at this line via `lint: allow(...)`.
+    pub allows: Vec<String>,
+    /// True when the line carries the matching reasoned waiver with a
+    /// non-empty reason: `lint: unsafe(reason)` for [`CFactKind::UnsafeCode`],
+    /// `lint: concurrency(reason)` for the other kinds.
+    pub waived: bool,
+}
+
 /// An outgoing call site.
 #[derive(Debug, Clone)]
 pub struct Call {
@@ -87,6 +134,12 @@ pub struct FnInfo {
     /// 1-based line of the `fn` keyword.
     pub line: usize,
     pub facts: Vec<Fact>,
+    /// Concurrency-safety facts found in the body.
+    pub cfacts: Vec<CFact>,
+    /// Lines of executor dispatch sites in the body (`executor.map(...)`,
+    /// `exec.for_each(...)`, `Executor::run(...)`, `scope.spawn(...)`).
+    /// Non-empty means this function hands closures to worker threads.
+    pub dispatches: Vec<usize>,
     pub calls: Vec<Call>,
 }
 
@@ -121,11 +174,23 @@ enum Scope {
     Other,
 }
 
-/// Extracts all non-test functions from one lexed file. `lines` supplies
-/// test-region and suppression metadata for each source line.
-pub fn extract(file: &str, tokens: &[Token], lines: &[SourceLine]) -> Vec<FnInfo> {
+/// Everything one file contributes to the workspace-level analyses.
+#[derive(Debug, Default)]
+pub struct Extraction {
+    /// All non-test functions, in source order.
+    pub fns: Vec<FnInfo>,
+    /// Concurrency facts found *outside* any function body — struct fields
+    /// holding interior-mutability types, `static mut` items, `unsafe impl`.
+    pub file_cfacts: Vec<CFact>,
+}
+
+/// Extracts all non-test functions (plus file-scope concurrency facts) from
+/// one lexed file. `lines` supplies test-region and suppression metadata for
+/// each source line.
+pub fn extract(file: &str, tokens: &[Token], lines: &[SourceLine]) -> Extraction {
     let in_exec = file.ends_with("tensor/src/exec.rs");
     let mut fns: Vec<FnInfo> = Vec::new();
+    let mut file_cfacts: Vec<CFact> = Vec::new();
     let mut scopes: Vec<Scope> = Vec::new();
     // Pending scope classification for the next `{`.
     let mut pending: Option<Scope> = None;
@@ -143,6 +208,17 @@ pub fn extract(file: &str, tokens: &[Token], lines: &[SourceLine]) -> Vec<FnInfo
             .get(line.saturating_sub(1))
             .map(|l| (l.allows.clone(), l.nondet_reason.is_some()))
             .unwrap_or_default()
+    };
+    // `use std::sync::Mutex;` names a type without touching shared state —
+    // import lines never produce concurrency facts.
+    let is_use_line = |line: usize| -> bool {
+        lines
+            .get(line.saturating_sub(1))
+            .map(|l| {
+                let t = l.code.trim_start();
+                t.starts_with("use ") || t.starts_with("pub use ")
+            })
+            .unwrap_or(false)
     };
 
     let mut i = 0usize;
@@ -171,6 +247,8 @@ pub fn extract(file: &str, tokens: &[Token], lines: &[SourceLine]) -> Vec<FnInfo
                         file: file.to_string(),
                         line: tok.line,
                         facts: Vec::new(),
+                        cfacts: Vec::new(),
+                        dispatches: Vec::new(),
                         calls: Vec::new(),
                     });
                     // A trait method *declaration* ends in `;` — parse past
@@ -204,6 +282,24 @@ pub fn extract(file: &str, tokens: &[Token], lines: &[SourceLine]) -> Vec<FnInfo
                 continue;
             }
             _ => {}
+        }
+
+        // Concurrency facts are collected at *any* scope depth: a struct
+        // field holding a `Cell` or a `static mut` sits outside every fn
+        // body, where no call edge can reach, so those land on the file
+        // record; facts inside a body land on the enclosing function so the
+        // dispatch taint walk can propagate them. Test-fn bodies are not
+        // attributed to any record, hence the explicit per-line test check.
+        if let Tok::Ident(name) = &tok.kind {
+            if !in_test(tok.line) && !is_use_line(tok.line) {
+                if let Some((kind, what)) = concurrency_fact(tokens, i, name) {
+                    let sink = match innermost_fn(&scopes) {
+                        Some(fn_index) => &mut fns[fn_index].cfacts,
+                        None => &mut file_cfacts,
+                    };
+                    push_cfact(sink, kind, tok.line, what, lines);
+                }
+            }
         }
 
         // Everything below only matters inside a function body.
@@ -353,6 +449,15 @@ pub fn extract(file: &str, tokens: &[Token], lines: &[SourceLine]) -> Vec<FnInfo
                 }
             }
 
+            // Executor dispatch sites: the function hands a closure to
+            // worker threads here, making it a root for the shared-state
+            // taint walk. The receiver must *look like* an executor or a
+            // thread-scope handle, so ordinary iterator `.map(...)` chains
+            // never count.
+            if matches!(next_kind, Some(Tok::Open('('))) && is_dispatch(tokens, i, name) {
+                fns[fn_index].dispatches.push(tok.line);
+            }
+
             // Plain call sites: `name(...)`, `Qual::name(...)`, `.name(...)`.
             if matches!(next_kind, Some(Tok::Open('('))) && !KEYWORDS.contains(&name.as_str()) {
                 record_call(&mut fns[fn_index], tokens, i);
@@ -360,7 +465,105 @@ pub fn extract(file: &str, tokens: &[Token], lines: &[SourceLine]) -> Vec<FnInfo
         }
         i += 1;
     }
-    fns
+    Extraction { fns, file_cfacts }
+}
+
+/// Interior-mutability types of the standard library. Matched as exact
+/// identifiers (`SweepCell` is not `Cell`), plus the `Atomic*` family by
+/// prefix.
+const INTERIOR_MUTABILITY: [&str; 9] = [
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "OnceCell",
+    "LazyCell",
+    "OnceLock",
+    "LazyLock",
+];
+
+fn is_interior_mutability(name: &str) -> bool {
+    INTERIOR_MUTABILITY.contains(&name)
+        || (name.starts_with("Atomic") && name.len() > "Atomic".len())
+}
+
+/// Classifies the identifier token at `i` as a concurrency fact, if it is
+/// one. Token-level matching keeps `#![forbid(unsafe_code)]` (the ident
+/// `unsafe_code`) and `std::cmp::Ordering::Less` structurally incapable of
+/// false positives.
+fn concurrency_fact(tokens: &[Token], i: usize, name: &str) -> Option<(CFactKind, String)> {
+    if name == "unsafe" {
+        return Some((CFactKind::UnsafeCode, "unsafe".to_string()));
+    }
+    if name == "static" && tokens.get(i + 1).and_then(Token::ident) == Some("mut") {
+        return Some((CFactKind::InteriorMutability, "static mut".to_string()));
+    }
+    if is_interior_mutability(name) {
+        return Some((CFactKind::InteriorMutability, name.to_string()));
+    }
+    if name == "Ordering" && tokens.get(i + 1).map(|t| t.is_punct("::")).unwrap_or(false) {
+        if let Some(variant) = tokens.get(i + 2).and_then(Token::ident) {
+            if matches!(variant, "Relaxed" | "Acquire" | "Release" | "AcqRel") {
+                return Some((CFactKind::WeakOrdering, format!("Ordering::{variant}")));
+            }
+        }
+    }
+    None
+}
+
+/// Appends a concurrency fact, capturing the line's suppression metadata.
+/// Which reasoned waiver applies depends on the kind: `unsafe(reason)` for
+/// unsafe code, `concurrency(reason)` for shared-state facts.
+fn push_cfact(
+    out: &mut Vec<CFact>,
+    kind: CFactKind,
+    line: usize,
+    what: String,
+    lines: &[SourceLine],
+) {
+    let meta = lines.get(line.saturating_sub(1));
+    let allows = meta.map(|l| l.allows.clone()).unwrap_or_default();
+    let waived = match kind {
+        CFactKind::UnsafeCode => meta.map(|l| l.unsafe_reason.is_some()).unwrap_or(false),
+        CFactKind::InteriorMutability | CFactKind::WeakOrdering => {
+            meta.map(|l| l.conc_reason.is_some()).unwrap_or(false)
+        }
+    };
+    out.push(CFact {
+        kind,
+        line,
+        what,
+        allows,
+        waived,
+    });
+}
+
+/// True when the call at `i` (an identifier followed by `(`) hands closures
+/// to worker threads: `map`/`run`/`for_each` on an executor-named receiver
+/// (or `Executor::`-qualified), or `spawn` on a thread-scope handle. Also
+/// used by [`crate::concurrency`] to locate the closures TL013 inspects.
+pub(crate) fn is_dispatch(tokens: &[Token], i: usize, name: &str) -> bool {
+    let receiver = if i >= 2 && tokens[i - 1].is_punct(".") {
+        tokens[i - 2].ident()
+    } else {
+        None
+    };
+    let qualifier = if i >= 2 && tokens[i - 1].is_punct("::") {
+        tokens[i - 2].ident()
+    } else {
+        None
+    };
+    match name {
+        "map" | "run" | "for_each" => {
+            receiver
+                .map(|r| r.to_lowercase().contains("exec"))
+                .unwrap_or(false)
+                || qualifier == Some("Executor")
+        }
+        "spawn" => matches!(receiver, Some("scope") | Some("s")),
+        _ => false,
+    }
 }
 
 /// Appends a fact, capturing the line's suppression metadata.
@@ -627,7 +830,7 @@ mod tests {
     use crate::scanner::scan;
 
     fn extract_src(src: &str) -> Vec<FnInfo> {
-        extract("crates/x/src/lib.rs", &lex(src), &scan(src))
+        extract("crates/x/src/lib.rs", &lex(src), &scan(src)).fns
     }
 
     #[test]
@@ -662,11 +865,11 @@ mod tests {
     #[test]
     fn exec_module_may_spawn_threads() {
         let src = "fn run() { std::thread::scope(|s| {}); }\n";
-        let fns = extract("crates/tensor/src/exec.rs", &lex(src), &scan(src));
+        let fns = extract("crates/tensor/src/exec.rs", &lex(src), &scan(src)).fns;
         assert!(fns[0].facts.is_empty());
         // The old executor home is a plain re-export shim now; spawning
         // there is no longer exempt.
-        let fns = extract("crates/core/src/exec.rs", &lex(src), &scan(src));
+        let fns = extract("crates/core/src/exec.rs", &lex(src), &scan(src)).fns;
         assert!(!fns[0].facts.is_empty());
     }
 
@@ -717,6 +920,62 @@ mod tests {
         );
         assert_eq!(fns.len(), 1);
         assert_eq!(fns[0].name, "lib");
+    }
+
+    #[test]
+    fn concurrency_facts_split_fn_and_file_scope() {
+        let src = "struct Clock {\n    now: Cell<u64>,\n}\nfn claim() {\n    let next = AtomicUsize::new(0);\n    let i = next.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let ex = extract("crates/x/src/lib.rs", &lex(src), &scan(src));
+        assert_eq!(ex.file_cfacts.len(), 1, "struct field is file-scope");
+        assert_eq!(ex.file_cfacts[0].kind, CFactKind::InteriorMutability);
+        assert_eq!(ex.file_cfacts[0].what, "Cell");
+        let kinds: Vec<CFactKind> = ex.fns[0].cfacts.iter().map(|f| f.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![CFactKind::InteriorMutability, CFactKind::WeakOrdering]
+        );
+        assert_eq!(ex.fns[0].cfacts[1].what, "Ordering::Relaxed");
+    }
+
+    #[test]
+    fn use_lines_and_lookalike_idents_produce_no_cfacts() {
+        let src = "use std::sync::atomic::{AtomicUsize, Ordering};\nuse std::cell::Cell;\nfn f() {\n    let forbid = unsafe_code;\n    let c = cmp::Ordering::Less;\n    let s = SweepCell::new();\n    let seq = x.load(Ordering::SeqCst);\n}\n";
+        let ex = extract("crates/x/src/lib.rs", &lex(src), &scan(src));
+        assert!(ex.file_cfacts.is_empty(), "{:?}", ex.file_cfacts);
+        assert!(ex.fns[0].cfacts.is_empty(), "{:?}", ex.fns[0].cfacts);
+    }
+
+    #[test]
+    fn unsafe_and_static_mut_are_cfacts() {
+        let src = "static mut COUNTER: usize = 0;\nfn f() {\n    let n = unsafe { read() };\n    // lint: unsafe(audited: bounds checked above)\n    let m = unsafe { read() };\n}\n";
+        let ex = extract("crates/x/src/lib.rs", &lex(src), &scan(src));
+        assert_eq!(ex.file_cfacts.len(), 1);
+        assert_eq!(ex.file_cfacts[0].what, "static mut");
+        let cfacts = &ex.fns[0].cfacts;
+        assert_eq!(cfacts.len(), 2);
+        assert_eq!(cfacts[0].kind, CFactKind::UnsafeCode);
+        assert!(!cfacts[0].waived);
+        assert!(cfacts[1].waived, "unsafe(reason) waives the second block");
+    }
+
+    #[test]
+    fn concurrency_waiver_covers_shared_state_kinds_only() {
+        let src = "fn f() {\n    let a = AtomicUsize::new(0); // lint: concurrency(claim counter only)\n    let b = unsafe { read() }; // lint: concurrency(not the right waiver)\n}\n";
+        let ex = extract("crates/x/src/lib.rs", &lex(src), &scan(src));
+        let cfacts = &ex.fns[0].cfacts;
+        assert!(cfacts[0].waived);
+        assert!(
+            !cfacts[1].waived,
+            "unsafe code needs unsafe(reason), not concurrency(reason)"
+        );
+    }
+
+    #[test]
+    fn dispatch_sites_require_executor_like_receivers() {
+        let src = "fn a(executor: &Executor) { executor.map(4, |i| i); }\nfn b(exec: &Executor) { exec.for_each(v, |i, x| x); }\nfn c() { scope.spawn(|| {}); }\nfn d(xs: &[u8]) { xs.iter().map(|x| x).count(); }\nfn e() { Executor::run(4); }\n";
+        let ex = extract("crates/x/src/lib.rs", &lex(src), &scan(src));
+        let dispatched: Vec<bool> = ex.fns.iter().map(|f| !f.dispatches.is_empty()).collect();
+        assert_eq!(dispatched, vec![true, true, true, false, true]);
     }
 
     #[test]

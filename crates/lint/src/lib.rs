@@ -16,10 +16,17 @@
 //! | TL007 | nondeterminism reachable from a deterministic root (taint, with call chain) |
 //! | TL008 | iteration over unordered `HashMap`/`HashSet` in library code |
 //! | TL009 | RNG construction not derived from a seed |
+//! | TL010 | `unsafe` code without a reasoned `lint: unsafe(reason)` waiver |
+//! | TL011 | interior mutability reachable from an executor dispatch (with call chain) |
+//! | TL012 | atomic memory ordering weaker than `SeqCst` |
+//! | TL013 | float accumulation onto shared state in a worker closure |
 //!
 //! TL001–TL006 come from the line scanner and token stream per file;
-//! TL007–TL009 come from the workspace-level determinism pipeline
-//! ([`lexer`] → [`items`] → [`callgraph`] → [`taint`]).
+//! TL007–TL009 from the workspace-level determinism pipeline ([`lexer`] →
+//! [`items`] → [`callgraph`] → [`taint`]); TL010–TL013 from the
+//! concurrency-safety stage ([`concurrency`]) over the same item facts and
+//! call-graph. `--explain TLxxx` prints each rule's rationale and waiver
+//! syntax.
 //!
 //! Pre-existing violations live in `lint-baseline.txt` as per-(rule, file)
 //! counts; `--check` fails only on *new* violations and `--update-baseline`
@@ -32,8 +39,10 @@
 
 pub mod baseline;
 pub mod callgraph;
+pub mod concurrency;
 pub mod items;
 pub mod lexer;
+pub mod report;
 pub mod rules;
 pub mod scanner;
 pub mod taint;
@@ -50,9 +59,104 @@ pub const BASELINE_FILE: &str = "lint-baseline.txt";
 /// Directory components never scanned (generated, vendored, or test-only).
 const SKIP_DIRS: [&str; 6] = ["target", "vendor", ".git", "tests", "benches", "examples"];
 
+/// The analysis stages, in execution order, as reported by
+/// [`scan_workspace_timed`]. The names are part of the `--json` contract.
+pub const STAGES: [&str; 6] = [
+    "scan",
+    "rules",
+    "items",
+    "callgraph",
+    "taint",
+    "concurrency",
+];
+
+/// Wall-time spent in one analysis stage. Telemetry only: the values feed
+/// the `--json` report so lint performance regressions are visible
+/// PR-over-PR, never the analysis results.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// One of [`STAGES`].
+    pub stage: &'static str,
+    /// Elapsed wall-clock milliseconds.
+    pub millis: u128,
+}
+
 /// Scans the workspace rooted at `root` and returns all violations, sorted
 /// by (file, line, rule).
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    scan_workspace_timed(root).map(|(v, _)| v)
+}
+
+/// [`scan_workspace`] plus per-stage wall-times, in [`STAGES`] order.
+pub fn scan_workspace_timed(root: &Path) -> io::Result<(Vec<Violation>, Vec<StageTiming>)> {
+    let mut timings = Vec::new();
+
+    // Stage "scan": file discovery, comment stripping, lexing.
+    let t = stage_clock();
+    let files = workspace_file_paths(root)?;
+    let mut parsed = Vec::new();
+    for file in &files {
+        let source = fs::read_to_string(file)?;
+        let rel = relative_path(root, file);
+        let lines = scanner::scan(&source);
+        let tokens = lexer::lex(&source);
+        parsed.push((rel, lines, tokens));
+    }
+    push_timing(&mut timings, "scan", t);
+
+    // Stage "rules": per-file line- and token-level rules.
+    let t = stage_clock();
+    let mut violations = Vec::new();
+    for (rel, lines, tokens) in &parsed {
+        violations.extend(rules::check_file(rel, lines, tokens));
+    }
+    push_timing(&mut timings, "rules", t);
+
+    // Stage "items": per-function determinism and concurrency facts.
+    let t = stage_clock();
+    let mut fns = Vec::new();
+    let mut file_cfacts = Vec::new();
+    for (rel, lines, tokens) in &parsed {
+        let extraction = items::extract(rel, tokens, lines);
+        fns.extend(extraction.fns);
+        file_cfacts.extend(extraction.file_cfacts.into_iter().map(|f| (rel.clone(), f)));
+    }
+    push_timing(&mut timings, "items", t);
+
+    // Stage "callgraph": name-based over-approximate call resolution.
+    let t = stage_clock();
+    let graph = callgraph::build(fns);
+    push_timing(&mut timings, "callgraph", t);
+
+    // Stage "taint": determinism dataflow (TL007–TL009).
+    let t = stage_clock();
+    violations.extend(taint::analyze(&graph));
+    push_timing(&mut timings, "taint", t);
+
+    // Stage "concurrency": shared-state dataflow (TL010–TL013).
+    let t = stage_clock();
+    violations.extend(concurrency::analyze(&graph, &file_cfacts));
+    for (rel, lines, tokens) in &parsed {
+        violations.extend(concurrency::check_closures(rel, tokens, lines));
+    }
+    push_timing(&mut timings, "concurrency", t);
+
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok((violations, timings))
+}
+
+/// Workspace-relative paths of every file the scan covers, sorted. Public
+/// so integration tests can assert scan coverage without re-implementing
+/// the walk.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    Ok(workspace_file_paths(root)?
+        .iter()
+        .map(|f| relative_path(root, f))
+        .collect())
+}
+
+/// Absolute paths of every scannable source file under `root`, sorted.
+fn workspace_file_paths(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -68,21 +172,21 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
         collect_rust_files(&root_src, &mut files)?;
     }
     files.sort();
+    Ok(files)
+}
 
-    let mut violations = Vec::new();
-    let mut fns = Vec::new();
-    for file in &files {
-        let source = fs::read_to_string(file)?;
-        let rel = relative_path(root, file);
-        let lines = scanner::scan(&source);
-        let tokens = lexer::lex(&source);
-        violations.extend(rules::check_file(&rel, &lines, &tokens));
-        fns.extend(items::extract(&rel, &tokens, &lines));
-    }
-    let graph = callgraph::build(fns);
-    violations.extend(taint::analyze(&graph));
-    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(violations)
+/// Starts a stage clock. Isolated here so the telemetry waiver covers the
+/// single wall-clock read in the crate.
+fn stage_clock() -> std::time::Instant {
+    // lint: allow(TL003), nondeterministic(lint stage telemetry; the value never feeds analysis results)
+    std::time::Instant::now()
+}
+
+fn push_timing(timings: &mut Vec<StageTiming>, stage: &'static str, start: std::time::Instant) {
+    timings.push(StageTiming {
+        stage,
+        millis: start.elapsed().as_millis(),
+    });
 }
 
 /// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`].

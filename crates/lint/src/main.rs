@@ -6,8 +6,15 @@
 //!   tree (how burn-down progress is locked in).
 //! * `--list`: print every current violation (including baselined ones).
 //! * `--json`: machine-readable output — one JSON diagnostic per line,
-//!   including TL007 taint chains (combines with `--check` or `--list`).
+//!   including TL007/TL011 call chains, plus a summary object with
+//!   per-stage wall-times and per-rule hit counts (combines with `--check`
+//!   or `--list`).
+//! * `--explain TLxxx`: print one rule's rationale and waiver syntax.
 //! * `--root <dir>`: override workspace-root autodetection.
+//!
+//! Exit codes: `0` clean, `1` new violations above the baseline, `2`
+//! internal lint error (bad arguments, unreadable workspace, malformed
+//! baseline).
 
 use std::collections::BTreeMap;
 use std::env;
@@ -15,13 +22,15 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use taglets_lint::{baseline, find_workspace_root, load_baseline, scan_workspace};
+use taglets_lint::report::{summary_json, violation_json};
+use taglets_lint::{baseline, find_workspace_root, load_baseline, scan_workspace_timed};
 use taglets_lint::{Rule, Violation, ALL_RULES, BASELINE_FILE};
 
 enum Mode {
     Check,
     UpdateBaseline,
     List,
+    Explain(String),
 }
 
 fn main() -> ExitCode {
@@ -45,6 +54,12 @@ fn run() -> Result<ExitCode, String> {
             "--update-baseline" => mode = Mode::UpdateBaseline,
             "--list" => mode = Mode::List,
             "--json" => json = true,
+            "--explain" => {
+                let code = args
+                    .next()
+                    .ok_or("--explain requires a rule code (TL001–TL013)")?;
+                mode = Mode::Explain(code);
+            }
             "--root" => {
                 let dir = args.next().ok_or("--root requires a directory argument")?;
                 root_override = Some(PathBuf::from(dir));
@@ -57,6 +72,14 @@ fn run() -> Result<ExitCode, String> {
         }
     }
 
+    // `--explain` needs no workspace at all.
+    if let Mode::Explain(code) = &mode {
+        let rule = Rule::from_code(&code.to_uppercase())
+            .ok_or_else(|| format!("unknown rule `{code}` (valid: TL001–TL013)"))?;
+        print_explain(rule);
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let root = match root_override {
         Some(r) => r,
         None => {
@@ -66,15 +89,16 @@ fn run() -> Result<ExitCode, String> {
         }
     };
 
-    let violations =
-        scan_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let (violations, timings) =
+        scan_workspace_timed(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
     let current = baseline::count(&violations);
 
     match mode {
+        Mode::Explain(_) => unreachable!("handled before scanning"), // lint: allow(TL002)
         Mode::List => {
             for v in &violations {
                 if json {
-                    println!("{}", to_json(v));
+                    println!("{}", violation_json(v));
                 } else {
                     println!(
                         "{} {}:{} {} | {}",
@@ -108,7 +132,7 @@ fn run() -> Result<ExitCode, String> {
             let base = load_baseline(&root)?;
             let diff = baseline::diff(&current, &base);
             if json {
-                report_check_json(&violations, &diff);
+                report_check_json(&violations, &diff, &timings);
             } else {
                 report_check(&violations, &diff);
             }
@@ -122,77 +146,26 @@ fn run() -> Result<ExitCode, String> {
 }
 
 /// JSON check output: one diagnostic per line for every violation in a
-/// regressing (rule, file) bucket, then a one-line summary object.
-fn report_check_json(violations: &[Violation], diff: &baseline::Diff) {
-    let mut blocking = 0usize;
+/// regressing (rule, file) bucket, then a one-line summary object carrying
+/// stage timings and per-rule totals.
+fn report_check_json(
+    violations: &[Violation],
+    diff: &baseline::Diff,
+    timings: &[taglets_lint::StageTiming],
+) {
     for (rule, file, _, _) in &diff.regressions {
-        let advisory = Rule::from_code(rule)
-            .map(Rule::is_advisory)
-            .unwrap_or(false);
-        if !advisory {
-            blocking += 1;
-        }
         for v in violations
             .iter()
             .filter(|v| v.rule.code() == rule && &v.file == file)
         {
-            println!("{}", to_json(v));
+            println!("{}", violation_json(v));
         }
     }
-    println!(
-        "{{\"summary\":true,\"total\":{},\"regressing_entries\":{},\"blocking_entries\":{},\"ok\":{}}}",
-        violations.len(),
-        diff.regressions.len(),
-        blocking,
-        blocking == 0
-    );
+    println!("{}", summary_json(violations, diff, timings));
 }
 
-/// Renders one violation as a single-line JSON object.
-fn to_json(v: &Violation) -> String {
-    let mut chain = String::from("[");
-    for (i, hop) in v.chain.iter().enumerate() {
-        if i > 0 {
-            chain.push(',');
-        }
-        chain.push_str(&format!(
-            "{{\"fn\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
-            json_escape(&hop.name),
-            json_escape(&hop.file),
-            hop.line
-        ));
-    }
-    chain.push(']');
-    format!(
-        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"description\":\"{}\",\"excerpt\":\"{}\",\"advisory\":{},\"chain\":{}}}",
-        v.rule.code(),
-        json_escape(&v.file),
-        v.line,
-        json_escape(v.rule.description()),
-        json_escape(&v.excerpt),
-        v.rule.is_advisory(),
-        chain
-    )
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Prints a TL007 chain under its diagnostic in the human-readable modes.
+/// Prints a TL007/TL011 chain under its diagnostic in the human-readable
+/// modes.
 fn print_chain(v: &Violation) {
     for (i, hop) in v.chain.iter().enumerate() {
         println!(
@@ -247,6 +220,19 @@ fn report_check(violations: &[Violation], diff: &baseline::Diff) {
     }
 }
 
+/// Prints one rule's one-line description, rationale paragraph, and waiver
+/// syntax — the same table DESIGN.md §6 renders.
+fn print_explain(rule: Rule) {
+    println!("{} — {}", rule.code(), rule.description());
+    if rule.is_advisory() {
+        println!("(advisory: reported, never fails --check)");
+    }
+    println!();
+    println!("{}", rule.rationale());
+    println!();
+    println!("waiver: {}", rule.waiver());
+}
+
 fn print_totals(violations: &[Violation]) {
     let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
     for v in violations {
@@ -273,12 +259,15 @@ fn print_help() {
     println!(
         "taglets-lint: std-only static analysis for the TAGLETS workspace\n\
          \n\
-         USAGE: cargo run -p taglets-lint -- [--check | --update-baseline | --list] [--root DIR]\n\
+         USAGE: cargo run -p taglets-lint -- [--check | --update-baseline | --list | --explain TLxxx] [--root DIR]\n\
          \n\
          --check            diff violations against {BASELINE_FILE}; exit 1 on new ones (default)\n\
          --update-baseline  regenerate {BASELINE_FILE} from the current tree\n\
          --list             print every violation, including baselined ones\n\
-         --json             one JSON diagnostic per line (with --check or --list)\n\
-         --root DIR         workspace root (default: walk up from the current directory)"
+         --json             one JSON diagnostic per line plus a summary with stage timings\n\
+         --explain TLxxx    print one rule's rationale and waiver syntax\n\
+         --root DIR         workspace root (default: walk up from the current directory)\n\
+         \n\
+         EXIT CODES: 0 clean · 1 new violations above baseline · 2 internal lint error"
     );
 }

@@ -1,0 +1,155 @@
+//! JSON rendering for the lint CLI.
+//!
+//! Hand-rolled (the crate is std-only) but schema-stable: the shapes here
+//! are asserted by the `json_contract` integration test, so downstream
+//! tooling can parse `--json` output without a JSON dependency drifting
+//! underneath it.
+//!
+//! Two line shapes exist:
+//!
+//! * a **diagnostic** per violation — `rule`, `file`, `line`,
+//!   `description`, `excerpt`, `advisory`, and the (possibly empty) TL007/
+//!   TL011 call `chain`;
+//! * one trailing **summary** object — totals, baseline diff state,
+//!   per-stage wall-times (`stages`), and per-rule hit counts (`rules`,
+//!   every rule present, zeros included, so counts are diffable
+//!   PR-over-PR).
+
+use crate::baseline;
+use crate::rules::{Rule, Violation};
+use crate::{StageTiming, ALL_RULES};
+
+/// Renders one violation as a single-line JSON object.
+pub fn violation_json(v: &Violation) -> String {
+    let mut chain = String::from("[");
+    for (i, hop) in v.chain.iter().enumerate() {
+        if i > 0 {
+            chain.push(',');
+        }
+        chain.push_str(&format!(
+            "{{\"fn\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+            json_escape(&hop.name),
+            json_escape(&hop.file),
+            hop.line
+        ));
+    }
+    chain.push(']');
+    format!(
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"description\":\"{}\",\"excerpt\":\"{}\",\"advisory\":{},\"chain\":{}}}",
+        v.rule.code(),
+        json_escape(&v.file),
+        v.line,
+        json_escape(v.rule.description()),
+        json_escape(&v.excerpt),
+        v.rule.is_advisory(),
+        chain
+    )
+}
+
+/// Renders the trailing summary object for `--check --json`.
+pub fn summary_json(
+    violations: &[Violation],
+    diff: &baseline::Diff,
+    timings: &[StageTiming],
+) -> String {
+    let blocking = diff
+        .regressions
+        .iter()
+        .filter(|(rule, _, _, _)| {
+            !Rule::from_code(rule)
+                .map(Rule::is_advisory)
+                .unwrap_or(false)
+        })
+        .count();
+    let stages: Vec<String> = timings
+        .iter()
+        .map(|t| format!("{{\"stage\":\"{}\",\"millis\":{}}}", t.stage, t.millis))
+        .collect();
+    let rules: Vec<String> = ALL_RULES
+        .iter()
+        .map(|r| {
+            let hits = violations.iter().filter(|v| v.rule == *r).count();
+            format!("\"{}\":{hits}", r.code())
+        })
+        .collect();
+    format!(
+        "{{\"summary\":true,\"total\":{},\"regressing_entries\":{},\"blocking_entries\":{},\"ok\":{},\"stages\":[{}],\"rules\":{{{}}}}}",
+        violations.len(),
+        diff.regressions.len(),
+        blocking,
+        blocking == 0,
+        stages.join(","),
+        rules.join(",")
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Hop;
+
+    #[test]
+    fn violation_json_includes_chain_hops() {
+        let v = Violation {
+            rule: Rule::Tl011,
+            file: "crates/core/src/pool.rs".to_string(),
+            line: 9,
+            excerpt: "Mutex [interior-mutability type (shared mutable state)]".to_string(),
+            chain: vec![Hop {
+                name: "run_pool".to_string(),
+                file: "crates/core/src/pool.rs".to_string(),
+                line: 1,
+            }],
+        };
+        let json = violation_json(&v);
+        assert!(json.contains("\"rule\":\"TL011\""));
+        assert!(json.contains("\"chain\":[{\"fn\":\"run_pool\""));
+    }
+
+    #[test]
+    fn summary_lists_every_rule_and_stage() {
+        let timings = vec![
+            StageTiming {
+                stage: "scan",
+                millis: 3,
+            },
+            StageTiming {
+                stage: "concurrency",
+                millis: 1,
+            },
+        ];
+        let diff = baseline::Diff {
+            regressions: Vec::new(),
+            improvements: Vec::new(),
+        };
+        let json = summary_json(&[], &diff, &timings);
+        for rule in ALL_RULES {
+            assert!(json.contains(&format!("\"{}\":0", rule.code())), "{json}");
+        }
+        assert!(json.contains("{\"stage\":\"scan\",\"millis\":3}"));
+        assert!(json.contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -5,9 +5,11 @@
 //! stream from [`crate::lexer`] (so tuple indices and string contents can
 //! never look like float literals). TL007–TL009 are produced by the
 //! determinism passes ([`crate::items`] → [`crate::callgraph`] →
-//! [`crate::taint`]) and only share the [`Violation`] type and scoping
-//! logic here. Rules are scoped: TL001/TL002 apply to all library code,
-//! TL003 and the determinism rules skip the bench crate (timing is its
+//! [`crate::taint`]), and TL010–TL013 by the concurrency-safety pass
+//! ([`crate::concurrency`] over the same item facts and call-graph); both
+//! only share the [`Violation`] type and scoping logic here. Rules are
+//! scoped: TL001/TL002 apply to all library code, TL003 and the
+//! determinism/concurrency rules skip the bench crate (timing is its
 //! purpose), and TL005 is an advisory documentation rule limited to the
 //! `tensor` and `core` crates.
 
@@ -36,10 +38,20 @@ pub enum Rule {
     Tl008,
     /// RNG construction not derived from a seed.
     Tl009,
+    /// `unsafe` code without a reasoned `lint: unsafe(reason)` waiver.
+    Tl010,
+    /// Interior-mutability type reachable from an executor dispatch point
+    /// (concurrency dataflow over the workspace call-graph).
+    Tl011,
+    /// Atomic memory ordering weaker than `SeqCst`.
+    Tl012,
+    /// Floating-point compound accumulation onto shared state inside a
+    /// dispatched worker closure (non-associative reduction smell).
+    Tl013,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 9] = [
+pub const ALL_RULES: [Rule; 13] = [
     Rule::Tl001,
     Rule::Tl002,
     Rule::Tl003,
@@ -49,6 +61,10 @@ pub const ALL_RULES: [Rule; 9] = [
     Rule::Tl007,
     Rule::Tl008,
     Rule::Tl009,
+    Rule::Tl010,
+    Rule::Tl011,
+    Rule::Tl012,
+    Rule::Tl013,
 ];
 
 impl Rule {
@@ -64,6 +80,10 @@ impl Rule {
             Rule::Tl007 => "TL007",
             Rule::Tl008 => "TL008",
             Rule::Tl009 => "TL009",
+            Rule::Tl010 => "TL010",
+            Rule::Tl011 => "TL011",
+            Rule::Tl012 => "TL012",
+            Rule::Tl013 => "TL013",
         }
     }
 
@@ -79,6 +99,117 @@ impl Rule {
             Rule::Tl007 => "nondeterminism reachable from a deterministic root",
             Rule::Tl008 => "iteration over unordered HashMap/HashSet in library code",
             Rule::Tl009 => "RNG construction not derived from a seed",
+            Rule::Tl010 => "unsafe code without a reasoned lint: unsafe(reason) waiver",
+            Rule::Tl011 => "interior-mutability type reachable from an executor dispatch",
+            Rule::Tl012 => "atomic memory ordering weaker than SeqCst",
+            Rule::Tl013 => "float accumulation onto shared state in a worker closure",
+        }
+    }
+
+    /// One-paragraph rationale shown by `--explain`.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Rule::Tl001 => {
+                "unwrap()/expect() turn recoverable conditions into process aborts. \
+                 Library code in this workspace returns Result so callers (the CLI, \
+                 the serving engine, tests) decide how failures surface; a panic \
+                 deep inside training or inference kills the whole run and hides \
+                 the error from the experiment log."
+            }
+            Rule::Tl002 => {
+                "panic!/todo!/unreachable!/unimplemented! are aborts by another \
+                 name. A reproduction run that dies mid-sweep loses every cell \
+                 computed so far, so library code must express impossibility \
+                 through types or return errors instead of asserting it."
+            }
+            Rule::Tl003 => {
+                "thread_rng/random/Instant/SystemTime inject ambient state into \
+                 results. The paper's claims are only checkable if the same seed \
+                 produces the same bytes, so every random or time-like value must \
+                 flow from an explicit seed or a virtual clock."
+            }
+            Rule::Tl004 => {
+                "== / != on floats encode an exactness floats do not have. After \
+                 any reassociation or platform difference the comparison flips, so \
+                 thresholds and approx-comparisons must be explicit."
+            }
+            Rule::Tl005 => {
+                "Public tensor/core functions are this reproduction's API surface; \
+                 an undocumented pub fn forces the next reader back into the paper. \
+                 Advisory: reported, never fails --check."
+            }
+            Rule::Tl006 => {
+                "All thread spawning is hoisted into tensor::exec so determinism \
+                 has exactly one place to be argued (claim order, reassembly, \
+                 error selection). A stray thread::spawn elsewhere would create a \
+                 second, unaudited concurrency story."
+            }
+            Rule::Tl007 => {
+                "Taint analysis over the workspace call-graph: a function declared \
+                 deterministic (seeded training, eval, serving) transitively calls \
+                 a nondeterminism source. The chain in the diagnostic lists every \
+                 hop so the offending call can be cut or seeded."
+            }
+            Rule::Tl008 => {
+                "HashMap/HashSet iteration order depends on hasher state, so any \
+                 loop over one feeds arbitrary order into results. Library code \
+                 iterates BTreeMap/BTreeSet or sorts first."
+            }
+            Rule::Tl009 => {
+                "An RNG built from entropy (or an unseeded constructor) cannot be \
+                 replayed. Every generator must derive from the experiment seed so \
+                 the whole pipeline is one function of (data, config, seed)."
+            }
+            Rule::Tl010 => {
+                "unsafe code suspends the compiler's aliasing and lifetime proofs, \
+                 which is exactly what the parallel executor's buffer-splitting \
+                 relies on. Each unsafe site must state its safety argument inline \
+                 via `// lint: unsafe(reason)` so the audit lives next to the code \
+                 and shows up in review diffs."
+            }
+            Rule::Tl011 => {
+                "Concurrency dataflow over the call-graph: an interior-mutability \
+                 type (Mutex, RwLock, RefCell, Cell, UnsafeCell, atomics, static \
+                 mut) is reachable from an Executor::map/run/for_each or \
+                 scope.spawn dispatch point, meaning worker closures can share \
+                 mutable state. Lock contention or racy updates there break the \
+                 bitwise-identical-at-1/2/4-workers invariant; the diagnostic's \
+                 chain shows the dispatch-to-state path."
+            }
+            Rule::Tl012 => {
+                "Orderings weaker than SeqCst (Relaxed, Acquire, Release, AcqRel) \
+                 trade reordering freedom for proofs the lint cannot check. The \
+                 executor core carries reasoned waivers for its claim counter; \
+                 anywhere else the default must be SeqCst until a waiver argues \
+                 otherwise."
+            }
+            Rule::Tl013 => {
+                "A compound float accumulation (`acc += x`) onto state declared \
+                 outside a dispatched worker closure reorders a non-associative \
+                 reduction across workers. Sums must be computed per-worker and \
+                 reassembled in index order, as the executor's map/run contract \
+                 does."
+            }
+        }
+    }
+
+    /// The inline waiver syntax that suppresses this rule, shown by
+    /// `--explain`.
+    pub fn waiver(self) -> &'static str {
+        match self {
+            Rule::Tl003 | Rule::Tl007 | Rule::Tl009 => {
+                "// lint: allow(TLxxx), nondeterministic(reason) — the reason is \
+                 required and documents why the value never feeds results"
+            }
+            Rule::Tl010 => {
+                "// lint: unsafe(reason) — the reason is required and must state \
+                 the safety argument (aliasing, lifetime, initialization)"
+            }
+            Rule::Tl011 | Rule::Tl012 | Rule::Tl013 => {
+                "// lint: concurrency(reason) — the reason is required and must \
+                 state why the shared state cannot perturb results"
+            }
+            _ => "// lint: allow(TLxxx) on the offending line, or standalone on the line above",
         }
     }
 
@@ -116,6 +247,12 @@ impl Rule {
             // does not perturb seeded results).
             Rule::Tl007 | Rule::Tl009 => !path.starts_with("crates/bench/"),
             Rule::Tl008 => !path.starts_with("crates/bench/") && !is_binary_target(path),
+            // Concurrency-safety rules apply everywhere except benches; the
+            // executor core is *not* exempted — its sites carry reasoned
+            // waivers instead, so the safety argument is written down.
+            Rule::Tl010 | Rule::Tl011 | Rule::Tl012 | Rule::Tl013 => {
+                !path.starts_with("crates/bench/")
+            }
         }
     }
 }
@@ -149,7 +286,8 @@ pub struct Violation {
     /// Trimmed source excerpt for the report.
     pub excerpt: String,
     /// For TL007: the call chain from the deterministic root down to the
-    /// function containing the source. Empty for all other rules.
+    /// function containing the source. For TL011: the chain from the
+    /// dispatching function down to the shared state. Empty otherwise.
     pub chain: Vec<Hop>,
 }
 
@@ -172,7 +310,14 @@ pub fn check_file(path: &str, lines: &[SourceLine], tokens: &[Token]) -> Vec<Vio
                 Rule::Tl003 => hits_tl003(&line.code),
                 Rule::Tl005 => hits_tl005(lines, idx),
                 Rule::Tl006 => hits_tl006(&line.code),
-                Rule::Tl004 | Rule::Tl007 | Rule::Tl008 | Rule::Tl009 => false,
+                Rule::Tl004
+                | Rule::Tl007
+                | Rule::Tl008
+                | Rule::Tl009
+                | Rule::Tl010
+                | Rule::Tl011
+                | Rule::Tl012
+                | Rule::Tl013 => false,
             };
             if hit {
                 out.push(Violation {
@@ -500,5 +645,32 @@ mod tests {
     fn allow_directive_suppresses() {
         let src = "fn f() {\n    panic!(\"guard\"); // lint: allow(TL002)\n}\n";
         assert!(violations("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn every_rule_has_rationale_and_waiver() {
+        for rule in ALL_RULES {
+            assert!(!rule.rationale().is_empty(), "{}", rule.code());
+            assert!(rule.waiver().starts_with("// lint:"), "{}", rule.code());
+            assert_eq!(Rule::from_code(rule.code()), Some(rule));
+        }
+    }
+
+    #[test]
+    fn design_doc_table_matches_rule_descriptions() {
+        // DESIGN.md §6's rule table is the single source of truth shared
+        // with `--explain`: each row carries the exact description string.
+        let design = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md"),
+        )
+        .expect("DESIGN.md is readable from the workspace");
+        for rule in ALL_RULES {
+            let row = format!("| {} | {} |", rule.code(), rule.description());
+            assert!(
+                design.contains(&row),
+                "DESIGN.md §6 table is out of sync for {}: expected a row starting `{row}`",
+                rule.code()
+            );
+        }
     }
 }

@@ -35,6 +35,14 @@ pub struct SourceLine {
     /// the nondeterminism is acceptable — so `None` here means either no
     /// directive or a reasonless one, and the rules fire either way.
     pub nondet_reason: Option<String>,
+    /// Justification from a `lint: unsafe(reason)` directive. Waives TL010
+    /// at this site; the reason is the written safety argument, so an empty
+    /// one waives nothing.
+    pub unsafe_reason: Option<String>,
+    /// Justification from a `lint: concurrency(reason)` directive. Waives
+    /// the shared-state rules (TL011–TL013) at this site; the reason must
+    /// argue why the shared state cannot break worker-count invariance.
+    pub conc_reason: Option<String>,
 }
 
 impl SourceLine {
@@ -74,20 +82,38 @@ pub fn scan(source: &str) -> Vec<SourceLine> {
 /// reformatting.
 fn propagate_standalone_allows(lines: &mut [SourceLine]) {
     let mut pending: Vec<String> = Vec::new();
-    let mut pending_reason: Option<String> = None;
+    let mut pending_nondet: Option<String> = None;
+    let mut pending_unsafe: Option<String> = None;
+    let mut pending_conc: Option<String> = None;
     for line in lines.iter_mut() {
         if line.code.trim().is_empty() {
             pending.extend(line.allows.iter().cloned());
             if line.nondet_reason.is_some() {
-                pending_reason = line.nondet_reason.clone();
+                pending_nondet = line.nondet_reason.clone();
+            }
+            if line.unsafe_reason.is_some() {
+                pending_unsafe = line.unsafe_reason.clone();
+            }
+            if line.conc_reason.is_some() {
+                pending_conc = line.conc_reason.clone();
             }
         } else {
             if !pending.is_empty() {
                 line.allows.append(&mut pending);
             }
-            if let Some(reason) = pending_reason.take() {
+            if let Some(reason) = pending_nondet.take() {
                 if line.nondet_reason.is_none() {
                     line.nondet_reason = Some(reason);
+                }
+            }
+            if let Some(reason) = pending_unsafe.take() {
+                if line.unsafe_reason.is_none() {
+                    line.unsafe_reason = Some(reason);
+                }
+            }
+            if let Some(reason) = pending_conc.take() {
+                if line.conc_reason.is_none() {
+                    line.conc_reason = Some(reason);
                 }
             }
         }
@@ -231,15 +257,17 @@ fn clean(source: &str) -> Vec<SourceLine> {
         if state == State::Char {
             state = State::Code;
         }
-        let (allows, nondet_reason) = parse_directives(&comment_text);
+        let directives = parse_directives(&comment_text);
         out.push(SourceLine {
             number: idx + 1,
             raw: raw.to_string(),
             code,
             is_doc,
             in_test: false,
-            allows,
-            nondet_reason,
+            allows: directives.allows,
+            nondet_reason: directives.nondet,
+            unsafe_reason: directives.unsafe_reason,
+            conc_reason: directives.conc,
         });
     }
     out
@@ -284,14 +312,24 @@ fn is_ident(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
+/// All directives parsed out of one line's `lint:` comments.
+#[derive(Debug, Default)]
+struct Directives {
+    allows: Vec<String>,
+    nondet: Option<String>,
+    unsafe_reason: Option<String>,
+    conc: Option<String>,
+}
+
 /// Extracts directives from `lint:` comments: `allow(TL001, TL002)` rule
-/// suppressions and `nondeterministic(reason)` determinism waivers. Both may
-/// appear in one comment (`// lint: allow(TL003), nondeterministic(telemetry
-/// only)`). A `nondeterministic()` with an empty reason is ignored — the
-/// waiver must justify itself.
-fn parse_directives(comment: &str) -> (Vec<String>, Option<String>) {
-    let mut allows = Vec::new();
-    let mut reason: Option<String> = None;
+/// suppressions plus the three reasoned waivers — `nondeterministic(reason)`
+/// for the determinism rules, `unsafe(reason)` for TL010, and
+/// `concurrency(reason)` for the shared-state rules. Several may appear in
+/// one comment (`// lint: allow(TL003), nondeterministic(telemetry only)`).
+/// A reasoned waiver with an empty reason is ignored — the waiver must
+/// justify itself.
+fn parse_directives(comment: &str) -> Directives {
+    let mut out = Directives::default();
     let mut rest = comment;
     while let Some(pos) = rest.find("lint:") {
         rest = &rest[pos + 5..];
@@ -302,20 +340,34 @@ fn parse_directives(comment: &str) -> (Vec<String>, Option<String>) {
                 for code in args[..end].split(',') {
                     let code = code.trim();
                     if !code.is_empty() {
-                        allows.push(code.to_string());
+                        out.allows.push(code.to_string());
                     }
                 }
                 directives = args[end + 1..].trim_start();
-            } else if let Some(args) = directives.strip_prefix("nondeterministic(") {
-                // The reason may itself contain balanced parentheses.
-                let Some(end) = matching_paren(args) else {
+            } else if let Some(args) = strip_reasoned(directives, "nondeterministic(") {
+                let Some((reason, after)) = take_reason(args) else {
                     break;
                 };
-                let text = args[..end].trim();
-                if !text.is_empty() {
-                    reason = Some(text.to_string());
+                if out.nondet.is_none() {
+                    out.nondet = reason;
                 }
-                directives = args[end + 1..].trim_start();
+                directives = after;
+            } else if let Some(args) = strip_reasoned(directives, "unsafe(") {
+                let Some((reason, after)) = take_reason(args) else {
+                    break;
+                };
+                if out.unsafe_reason.is_none() {
+                    out.unsafe_reason = reason;
+                }
+                directives = after;
+            } else if let Some(args) = strip_reasoned(directives, "concurrency(") {
+                let Some((reason, after)) = take_reason(args) else {
+                    break;
+                };
+                if out.conc.is_none() {
+                    out.conc = reason;
+                }
+                directives = after;
             } else {
                 break;
             }
@@ -325,7 +377,27 @@ fn parse_directives(comment: &str) -> (Vec<String>, Option<String>) {
                 .trim_start();
         }
     }
-    (allows, reason)
+    out
+}
+
+/// `strip_prefix`, named for what the reasoned-waiver branches share.
+fn strip_reasoned<'a>(directives: &'a str, head: &str) -> Option<&'a str> {
+    directives.strip_prefix(head)
+}
+
+/// Consumes a parenthesised reason (already past the `(`): returns the
+/// trimmed reason (`None` when empty — an empty reason waives nothing) and
+/// the remainder after the closing paren. The reason may itself contain
+/// balanced parentheses.
+fn take_reason(args: &str) -> Option<(Option<String>, &str)> {
+    let end = matching_paren(args)?;
+    let text = args[..end].trim();
+    let reason = if text.is_empty() {
+        None
+    } else {
+        Some(text.to_string())
+    };
+    Some((reason, args[end + 1..].trim_start()))
 }
 
 /// Byte index of the `)` closing an already-open paren, skipping balanced
@@ -523,6 +595,56 @@ mod tests {
         let lines = scan(src);
         assert!(lines[1].nondet_reason.is_some());
         assert!(lines[2].nondet_reason.is_none());
+    }
+
+    #[test]
+    fn unsafe_directive_requires_a_reason() {
+        let lines = scan(
+            "a(); // lint: unsafe(read within bounds checked above)\nb(); // lint: unsafe()\nc();\n",
+        );
+        assert_eq!(
+            lines[0].unsafe_reason.as_deref(),
+            Some("read within bounds checked above")
+        );
+        assert!(
+            lines[1].unsafe_reason.is_none(),
+            "empty reason is no waiver"
+        );
+        assert!(lines[2].unsafe_reason.is_none());
+    }
+
+    #[test]
+    fn concurrency_directive_requires_a_reason() {
+        let lines = scan(
+            "a(); // lint: concurrency(claim counter; order never reaches results)\nb(); // lint: concurrency()\n",
+        );
+        assert_eq!(
+            lines[0].conc_reason.as_deref(),
+            Some("claim counter; order never reaches results")
+        );
+        assert!(lines[1].conc_reason.is_none(), "empty reason is no waiver");
+    }
+
+    #[test]
+    fn standalone_unsafe_and_concurrency_comments_cover_next_code_line() {
+        let src = "// lint: unsafe(audited)\nraw();\n// lint: concurrency(worker-local)\nshared();\nafter();\n";
+        let lines = scan(src);
+        assert_eq!(lines[1].unsafe_reason.as_deref(), Some("audited"));
+        assert!(lines[1].conc_reason.is_none());
+        assert_eq!(lines[3].conc_reason.as_deref(), Some("worker-local"));
+        assert!(lines[4].unsafe_reason.is_none());
+        assert!(lines[4].conc_reason.is_none());
+    }
+
+    #[test]
+    fn combined_allow_and_concurrency_directive() {
+        let lines =
+            scan("t(); // lint: allow(TL012), concurrency(join supplies the (only) edge)\n");
+        assert!(lines[0].allows("TL012"));
+        assert_eq!(
+            lines[0].conc_reason.as_deref(),
+            Some("join supplies the (only) edge")
+        );
     }
 
     #[test]

@@ -114,8 +114,14 @@ fn suppressed(fact: &Fact, rule: Rule) -> bool {
     fact.waived || fact.allows.iter().any(|a| a == rule.code())
 }
 
-/// Reconstructs root → … → `at` from BFS parent pointers.
-fn chain_to(graph: &CallGraph, parent: &[Option<usize>], root: usize, at: usize) -> Vec<Hop> {
+/// Reconstructs root → … → `at` from BFS parent pointers. Shared with the
+/// concurrency stage, whose TL011 chains are built the same way.
+pub(crate) fn chain_to(
+    graph: &CallGraph,
+    parent: &[Option<usize>],
+    root: usize,
+    at: usize,
+) -> Vec<Hop> {
     let mut rev = vec![at];
     let mut cursor = at;
     while cursor != root {
@@ -150,18 +156,16 @@ mod tests {
 
     fn analyze_src(src: &str) -> Vec<Violation> {
         let lines = scan(src);
-        analyze(&build(extract(
-            "crates/core/src/system.rs",
-            &lex(src),
-            &lines,
-        )))
+        analyze(&build(
+            extract("crates/core/src/system.rs", &lex(src), &lines).fns,
+        ))
     }
 
     #[test]
     fn roots_cover_the_contract() {
         let src = "impl TagletsSystem {\n    fn run(&self) {}\n}\nimpl TagletModule for FixMatch {\n    fn train(&self) {}\n}\nimpl Executor {\n    fn map_indexed(&self) {}\n}\nimpl<'a> ServingEngine<'a> {\n    fn run() {}\n    fn submit(&self) {}\n}\nfn sweep_method() {}\nfn helper() {}\n";
         let lines = scan(src);
-        let fns = extract("crates/core/src/system.rs", &lex(src), &lines);
+        let fns = extract("crates/core/src/system.rs", &lex(src), &lines).fns;
         let rooted: Vec<bool> = fns.iter().map(is_root).collect();
         assert_eq!(rooted, vec![true, true, true, true, false, true, false]);
     }

@@ -1,0 +1,28 @@
+//! Deliberately seeded TL011 race: a three-hop path from an executor
+//! dispatch down to a `Mutex`, plus a file-scope interior-mutability field
+//! that must be flagged without a chain.
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+/// Scratch holding interior mutability at file scope (TL011 site, no chain).
+pub struct Scratch {
+    slot: Cell<u64>,
+}
+
+/// Dispatches jobs to worker closures (TL011 chain hop 0).
+pub fn run_pool(executor: &Executor, jobs: usize) -> Vec<u64> {
+    executor.map(jobs, |i| evaluate(i))
+}
+
+fn evaluate(job: usize) -> u64 {
+    lookup(job)
+}
+
+fn lookup(job: usize) -> u64 {
+    let cache = Mutex::new(job as u64);
+    match cache.lock() {
+        Ok(v) => *v,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,18 @@
+// Token classes the concurrency stage depends on: `unsafe` as a bare
+// keyword vs the `unsafe_code` ident, Atomic types, weak orderings,
+// compound assignment operators, and the reasoned waiver directives.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static mut LEGACY: usize = 0;
+
+fn claim(next: &AtomicUsize, total: &mut f32, chunk: f32) -> usize {
+    // lint: concurrency(claim counter only orders claiming)
+    let i = next.fetch_add(1, Ordering::Relaxed);
+    let order = std::cmp::Ordering::Less;
+    *total += chunk;
+    // lint: unsafe(fixture: pointer validity argued by the caller)
+    let v = unsafe { *(&LEGACY as *const usize) };
+    i + v
+}

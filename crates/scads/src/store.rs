@@ -216,7 +216,7 @@ impl<X: Clone> Scads<X> {
         for (link, relation) in link_ids {
             self.graph.add_edge(id, link, relation);
         }
-        let pushed = self.embeddings.push(&vector);
+        let pushed = self.embeddings.push(&vector)?;
         debug_assert_eq!(pushed, id, "embedding rows track graph ids");
         self.store.push(Vec::new());
         Ok(id)

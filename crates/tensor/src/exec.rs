@@ -143,6 +143,7 @@ impl Executor {
             return (0..jobs).map(f).collect();
         }
 
+        // lint: concurrency(claim counter only orders job *claiming*; results carry their index and are reassembled in index order below, so claim order never reaches outputs)
         let next = AtomicUsize::new(0);
         let per_worker: Vec<Vec<(usize, Result<T, E>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -150,6 +151,7 @@ impl Executor {
                     scope.spawn(|| {
                         let mut out = Vec::new();
                         loop {
+                            // lint: concurrency(Relaxed suffices: fetch_add's atomic RMW already yields unique indices, and scope join gives the happens-before edge before results are read)
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= jobs {
                                 break;

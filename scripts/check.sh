@@ -10,6 +10,13 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
 failures=0
+step_names=()
+step_results=()
+
+record() {
+    step_names+=("$1")
+    step_results+=("$2")
+}
 
 step() {
     local name="$1"
@@ -17,8 +24,10 @@ step() {
     echo "==> $name: $*"
     if "$@"; then
         echo "==> $name: ok"
+        record "$name" "ok"
     else
         echo "==> $name: FAILED"
+        record "$name" "FAILED"
         failures=$((failures + 1))
     fi
     echo
@@ -29,12 +38,18 @@ if cargo fmt --version >/dev/null 2>&1; then
     step "fmt" cargo fmt --all --check
 else
     echo "==> fmt: skipped (rustfmt not installed)"
+    record "fmt" "skipped"
     echo
 fi
 
 # Lexer golden files first: every later lint result depends on the token
 # stream being right.
 step "lexer" cargo test --offline --quiet -p taglets-lint --test lexer_golden
+
+# The lint's own test matrix (scanner, items, call-graph, taint,
+# concurrency, fixture workspaces, JSON contract) before the workspace
+# scan relies on it.
+step "lint-fixtures" cargo test --offline --quiet -p taglets-lint
 
 step "lint" cargo run --offline --quiet -p taglets-lint -- --check --json
 
@@ -60,6 +75,18 @@ step "strict-numerics" cargo test --offline --quiet -p taglets-tensor --features
 # Concurrency::from_env, the path production configs take).
 step "kernels" cargo test --offline --quiet -p taglets-tensor --features reference-kernels --test kernels
 step "kernels-threads" env TAGLETS_THREADS=4 cargo test --offline --quiet -p taglets-tensor --features reference-kernels --test kernels
+
+# Dynamic concurrency checks (TSan/Miri) when a capable nightly toolchain
+# exists; scripts/sanitize.sh degrades to a documented skip otherwise, so
+# this step only fails on real sanitizer findings.
+step "sanitize" scripts/sanitize.sh
+
+echo "check.sh step summary:"
+echo "    --------------------------------"
+for i in "${!step_names[@]}"; do
+    printf '    %-18s %s\n' "${step_names[$i]}" "${step_results[$i]}"
+done
+echo "    --------------------------------"
 
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) failed"
