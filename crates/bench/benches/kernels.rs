@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use rand::{rngs::StdRng, SeedableRng};
 use taglets_bench::write_results;
+use taglets_tensor::kernels::{self, GemmKind};
 use taglets_tensor::{Concurrency, Executor, Tensor};
 
 /// One timed configuration.
@@ -292,6 +293,101 @@ fn main() {
         }
     }
 
+    // Prepacked weight panels (the serving fast path): `gemm_into` repacks
+    // its B operand on every call, pure overhead when B is a weight matrix
+    // that never changes between batches. `gemm_packed_into` consumes a
+    // panel packed once per model instead. Skinny serving-style batches
+    // (small m) are where the O(k·n) repack is largest relative to the
+    // O(m·k·n) compute, so the sweep walks m up from micro-batch size.
+    for &(m, k, n) in &[
+        (8usize, 256usize, 256usize),
+        (64, 256, 256),
+        (256, 256, 256),
+    ] {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let serial = Executor::serial();
+        let mut panel = Vec::new();
+        let mut repack_out = vec![0.0f32; m * n];
+        kernels::gemm_into(
+            GemmKind::Nn,
+            m,
+            k,
+            n,
+            a.data(),
+            b.data(),
+            &serial,
+            &mut panel,
+            &mut repack_out,
+        );
+        let mut weights = Vec::new();
+        kernels::pack_b(GemmKind::Nn, k, n, b.data(), &mut weights);
+        let mut packed_out = vec![0.0f32; m * n];
+        kernels::gemm_packed_into(
+            GemmKind::Nn,
+            m,
+            k,
+            n,
+            a.data(),
+            &weights,
+            &serial,
+            &mut packed_out,
+        );
+        assert_eq!(
+            packed_out, repack_out,
+            "prepacked panels must match per-call packing bitwise"
+        );
+        let (rns, pns) = time_pair(
+            || {
+                kernels::gemm_into(
+                    GemmKind::Nn,
+                    m,
+                    k,
+                    n,
+                    a.data(),
+                    b.data(),
+                    &serial,
+                    &mut panel,
+                    &mut repack_out,
+                );
+                std::hint::black_box(&repack_out);
+            },
+            || {
+                kernels::gemm_packed_into(
+                    GemmKind::Nn,
+                    m,
+                    k,
+                    n,
+                    a.data(),
+                    &weights,
+                    &serial,
+                    &mut packed_out,
+                );
+                std::hint::black_box(&packed_out);
+            },
+        );
+        records.push(Record {
+            op: "matmul",
+            imp: "repack",
+            m,
+            k,
+            n,
+            workers: 1,
+            ns_per_iter: rns,
+            gflops: gflops(m, k, n, rns),
+        });
+        records.push(Record {
+            op: "matmul",
+            imp: "prepacked",
+            m,
+            k,
+            n,
+            workers: 1,
+            ns_per_iter: pns,
+            gflops: gflops(m, k, n, pns),
+        });
+    }
+
     let mut out =
         String::from("GEMM kernels — blocked vs seed-naive reference (bitwise identical)\n\n");
     out.push_str(&format!(
@@ -321,6 +417,24 @@ fn main() {
         speedup("matmul"),
         speedup("matmul_nt"),
         speedup("matmul_tn")
+    ));
+    // Prepacked-vs-repack headline at the skinniest (serving-like) shape.
+    let packed_speedup = |m: usize| -> f64 {
+        let repack = records
+            .iter()
+            .find(|r| r.imp == "repack" && r.m == m)
+            .map_or(0, |r| r.ns_per_iter);
+        let pre = records
+            .iter()
+            .find(|r| r.imp == "prepacked" && r.m == m)
+            .map_or(1, |r| r.ns_per_iter);
+        repack as f64 / pre as f64
+    };
+    out.push_str(&format!(
+        "prepacked weight panels vs per-call packing at k=n=256: m=8 {:.2}x, m=64 {:.2}x, m=256 {:.2}x\n",
+        packed_speedup(8),
+        packed_speedup(64),
+        packed_speedup(256)
     ));
     write_results("kernels", &out);
 

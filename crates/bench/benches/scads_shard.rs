@@ -1,0 +1,203 @@
+//! Sharded-SCADS baseline: flat oracle vs sharded execution for Jacobi
+//! retrofitting and related-concept selection at 1/2/4 shards.
+//!
+//! Default mode prints a table and writes `results/scads_shard.txt`; with
+//! `--json` it additionally writes the machine-readable baseline
+//! `BENCH_scads.json` at the workspace root, one record per
+//! (op, impl, shards, workers) with `ns_per_iter`. CI and future sessions
+//! diff that file instead of re-parsing prose.
+//!
+//! Sharding is bitwise identical to the flat path at every configuration
+//! (asserted here on every timed configuration, not just claimed), so the
+//! only thing this bench measures is speed. Honest-reporting note: on a
+//! single-core box the 4-worker rows legitimately read ~1.0x or worse;
+//! what sharding buys there is the memory decomposition, not wall-time.
+
+use std::time::Instant;
+
+use taglets_bench::write_results;
+use taglets_graph::{
+    generate, retrofit, retrofit_sharded, ConceptId, GraphPartition, RetrofitConfig,
+    SyntheticGraphConfig,
+};
+use taglets_scads::{PruneLevel, Scads, ShardedScads};
+use taglets_tensor::{Concurrency, Executor};
+
+/// One timed configuration.
+struct Record {
+    op: &'static str,
+    imp: &'static str,
+    shards: usize,
+    workers: usize,
+    ns_per_iter: u128,
+}
+
+/// Paired min-of-9 timing with ~25ms calibrated windows: samples of `fa`
+/// and `fb` alternate inside one window so shared-box clock drift hits both
+/// the same way and the reported *ratio* stays honest (same discipline as
+/// the kernels bench).
+fn time_pair(mut fa: impl FnMut(), mut fb: impl FnMut()) -> (u128, u128) {
+    let calibrate = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        let once = start.elapsed().as_nanos().max(1);
+        (25_000_000 / once).clamp(1, 250) as u32
+    };
+    let ia = calibrate(&mut fa);
+    let ib = calibrate(&mut fb);
+    let sample = |f: &mut dyn FnMut(), iters: u32| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_nanos() / iters as u128
+    };
+    let (mut best_a, mut best_b) = (u128::MAX, u128::MAX);
+    for _ in 0..9 {
+        best_a = best_a.min(sample(&mut fa, ia));
+        best_b = best_b.min(sample(&mut fb, ib));
+    }
+    (best_a, best_b)
+}
+
+fn main() {
+    let json_mode = std::env::args().any(|a| a == "--json");
+    // A ConceptNet-shaped world at the default synthetic scale (600
+    // concepts) — the size the flat store was designed around, so the
+    // sharded overhead/benefit is measured where both paths are honest.
+    let world = generate(&SyntheticGraphConfig {
+        seed: 0x5CAD,
+        ..SyntheticGraphConfig::default()
+    });
+    let cfg = RetrofitConfig::default();
+    let base = world.word_vectors;
+    let oracle = retrofit(&world.graph, &base, &cfg, |_| true).expect("flat retrofit succeeds");
+
+    let mut scads = Scads::new(world.graph, world.taxonomy, oracle.clone());
+    let n = scads.graph().len();
+    let items: Vec<(ConceptId, u32)> = (0..n)
+        .flat_map(|c| (0..3).map(move |k| (ConceptId(c), (c * 10 + k) as u32)))
+        .collect();
+    scads.install_by_id("aux", items).expect("install succeeds");
+    let targets = [ConceptId(n / 7), ConceptId(n / 3), ConceptId(n - 2)];
+    let flat_sel = scads.select_related(&targets, 5, 3, PruneLevel::Level1);
+
+    let mut records: Vec<Record> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let partition = GraphPartition::build(scads.graph(), scads.taxonomy(), shards)
+            .expect("partition builds");
+        for workers in [1usize, 4] {
+            let exec = match workers {
+                1 => Executor::serial(),
+                w => Executor::new(Concurrency::Threads(w)),
+            };
+
+            // Retrofit: flat oracle vs sharded sweeps, interleaved.
+            let fitted = retrofit_sharded(scads.graph(), &base, &cfg, |_| true, &partition, &exec)
+                .expect("sharded retrofit succeeds");
+            assert_eq!(
+                fitted.matrix().data(),
+                oracle.matrix().data(),
+                "sharded retrofit must match the flat oracle bitwise"
+            );
+            let (flat_ns, shard_ns) = time_pair(
+                || {
+                    std::hint::black_box(
+                        retrofit(scads.graph(), &base, &cfg, |_| true).expect("retrofit"),
+                    );
+                },
+                || {
+                    std::hint::black_box(
+                        retrofit_sharded(scads.graph(), &base, &cfg, |_| true, &partition, &exec)
+                            .expect("sharded retrofit"),
+                    );
+                },
+            );
+            records.push(Record {
+                op: "retrofit",
+                imp: "flat",
+                shards,
+                workers,
+                ns_per_iter: flat_ns,
+            });
+            records.push(Record {
+                op: "retrofit",
+                imp: "sharded",
+                shards,
+                workers,
+                ns_per_iter: shard_ns,
+            });
+
+            // Selection: flat query vs shard-parallel fixed-order merge.
+            let sharded = ShardedScads::from_partition(&scads, partition.clone(), exec)
+                .expect("sharded view builds");
+            let sel = sharded.select_related(&targets, 5, 3, PruneLevel::Level1);
+            assert_eq!(sel.concepts, flat_sel.concepts);
+            assert_eq!(sel.examples, flat_sel.examples);
+            let (flat_ns, shard_ns) = time_pair(
+                || {
+                    std::hint::black_box(scads.select_related(&targets, 5, 3, PruneLevel::Level1));
+                },
+                || {
+                    std::hint::black_box(sharded.select_related(
+                        &targets,
+                        5,
+                        3,
+                        PruneLevel::Level1,
+                    ));
+                },
+            );
+            records.push(Record {
+                op: "select_related",
+                imp: "flat",
+                shards,
+                workers,
+                ns_per_iter: flat_ns,
+            });
+            records.push(Record {
+                op: "select_related",
+                imp: "sharded",
+                shards,
+                workers,
+                ns_per_iter: shard_ns,
+            });
+        }
+    }
+
+    let mut out =
+        String::from("Sharded SCADS — flat oracle vs sharded execution (bitwise identical)\n\n");
+    out.push_str(&format!(
+        "{:<15} {:<8} {:>6} {:>7} {:>14}\n",
+        "op", "impl", "shards", "workers", "ns/iter"
+    ));
+    for r in &records {
+        out.push_str(&format!(
+            "{:<15} {:<8} {:>6} {:>7} {:>14}\n",
+            r.op, r.imp, r.shards, r.workers, r.ns_per_iter
+        ));
+    }
+    write_results("scads_shard", &out);
+
+    if json_mode {
+        let mut json = String::from("{\n  \"bench\": \"scads_shard\",\n  \"unit\": {\"ns_per_iter\": \"min of 9 samples, interleaved flat/sharded pairs\"},\n  \"results\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"op\": \"{}\", \"impl\": \"{}\", \"shards\": {}, \"workers\": {}, \"ns_per_iter\": {}}}{}\n",
+                r.op,
+                r.imp,
+                r.shards,
+                r.workers,
+                r.ns_per_iter,
+                if i + 1 == records.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|m| std::path::Path::new(&m).join("../.."))
+            .unwrap_or_else(|_| std::path::Path::new(".").to_path_buf());
+        let path = root.join("BENCH_scads.json");
+        std::fs::write(&path, &json).expect("write BENCH_scads.json");
+        eprintln!("[written to {}]", path.display());
+        println!("{json}");
+    }
+}

@@ -5,19 +5,26 @@
 //! path — unlike the taglet ensemble, whose inference cost grows with the
 //! number of modules. The `serving_latency` bench quantifies the gap.
 
-use taglets_nn::{Classifier, InferScratch, Module};
+use taglets_nn::{Classifier, InferScratch, Module, PackedWeights};
 use taglets_tensor::Tensor;
 
 /// A production-ready classifier produced by the distillation stage.
+///
+/// Wrapping packs every weight matrix into GEMM panel layout once
+/// ([`taglets_nn::PackedWeights`]), so the serving hot path never repacks
+/// weights per batch. The classifier is immutable behind this wrapper,
+/// which is what keeps the cached panels valid for its lifetime.
 #[derive(Debug, Clone)]
 pub struct ServableModel {
     classifier: Classifier,
+    packed: PackedWeights,
 }
 
 impl ServableModel {
-    /// Wraps a trained classifier for serving.
+    /// Wraps a trained classifier for serving, pre-packing its weights.
     pub fn new(classifier: Classifier) -> Self {
-        ServableModel { classifier }
+        let packed = classifier.pack_weights();
+        ServableModel { classifier, packed }
     }
 
     /// Class probabilities for a batch.
@@ -26,16 +33,19 @@ impl ServableModel {
     }
 
     /// Class probabilities via the tape-free fast path, reusing the
-    /// caller's scratch buffers — bitwise identical to
-    /// [`ServableModel::predict_proba`]. This is the serving hot path used
-    /// by [`crate::serve::ServingEngine`].
+    /// caller's scratch buffers and this model's pre-packed weight panels —
+    /// bitwise identical to [`ServableModel::predict_proba`] (packing is a
+    /// pure copy, so cached panels feed the kernel the exact bytes a
+    /// per-batch repack would). This is the serving hot path used by
+    /// [`crate::serve::ServingEngine`].
     ///
     /// # Panics
     ///
     /// Panics if `x` is not rank 2 or its width differs from
     /// [`ServableModel::input_dim`].
     pub fn predict_proba_batched(&self, x: &Tensor, scratch: &mut InferScratch) -> Tensor {
-        self.classifier.predict_proba_batched(x, scratch)
+        self.classifier
+            .predict_proba_packed(x, &self.packed, scratch)
     }
 
     /// Predicted class per row.

@@ -102,6 +102,7 @@ fn end_model_diagnostics() {
             &targets,
             fmd.num_classes(),
             &cfg,
+            &taglets_core::exec::Executor::serial(),
             &mut rng,
         );
         let hard_targets = targets.argmax_rows();

@@ -1,0 +1,16 @@
+//! Fixture: a sharded-retrofit boundary exchange whose halo refresh
+//! consults the wall clock. The chain exchange_boundaries →
+//! refresh_halo_rows → halo_clock is what the taint pass must reconstruct
+//! from the `exchange_boundaries` root.
+
+pub fn exchange_boundaries() {
+    refresh_halo_rows();
+}
+
+fn refresh_halo_rows() {
+    let _stamp = halo_clock();
+}
+
+fn halo_clock() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

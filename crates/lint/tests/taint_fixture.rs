@@ -23,7 +23,7 @@ fn tl007_reports_a_multi_hop_chain_from_the_seeded_root() {
         .collect();
     assert_eq!(
         tl007.len(),
-        2,
+        3,
         "one reachable time source per fixture root expected, got: {violations:?}"
     );
 
@@ -79,6 +79,33 @@ fn tl007_roots_the_serving_engine_run_path() {
     );
     for hop in &v.chain {
         assert_eq!(hop.file, "crates/core/src/serve.rs");
+    }
+}
+
+#[test]
+fn tl007_roots_the_shard_boundary_exchange() {
+    // `exchange_boundaries` is a seeded taint root (ISSUE 7): the fixed-
+    // order halo exchange between Jacobi sweeps is exactly where stray
+    // nondeterminism would silently break the sharded-vs-flat bitwise
+    // guarantee, so an `Instant::now()` anywhere below it must surface as a
+    // TL007 chain from the root down to the offending function.
+    let violations = scan_workspace(&fixture_root()).expect("fixture workspace scans");
+    let v = violations
+        .iter()
+        .find(|v| v.rule == Rule::Tl007 && v.file == "crates/graph/src/partition.rs")
+        .expect("partition.rs chain present");
+    assert!(
+        v.excerpt.contains("Instant::now"),
+        "excerpt names the source: {}",
+        v.excerpt
+    );
+    let names: Vec<&str> = v.chain.iter().map(|h| h.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["exchange_boundaries", "refresh_halo_rows", "halo_clock"]
+    );
+    for hop in &v.chain {
+        assert_eq!(hop.file, "crates/graph/src/partition.rs");
     }
 }
 

@@ -6,7 +6,10 @@
 //! same-shaped batch thousands of times. [`Classifier::predict_proba_batched`]
 //! runs the identical arithmetic directly on two caller-owned ping-pong
 //! activation buffers ([`InferScratch`]), allocating nothing but the output
-//! tensor.
+//! tensor. [`Classifier::predict_proba_packed`] goes one step further:
+//! weight matrices never change between batches, so [`PackedWeights`]
+//! caches their GEMM panels once per model and the hot path skips the
+//! per-batch repack too.
 //!
 //! **Bitwise contract:** the fast path runs the *same* blocked GEMM kernel
 //! as the tape ([`taglets_tensor::kernels::gemm_into`], including its
@@ -54,6 +57,46 @@ impl InferScratch {
     }
 }
 
+/// Weight matrices of one [`Classifier`] pre-packed into the GEMM panel
+/// layout, backbone layers first, head last.
+///
+/// [`kernels::gemm_into`] packs its B operand into [`kernels::NR`]-wide
+/// panels on every call — pure overhead when B is a weight matrix that
+/// never changes between batches. Packing is an element copy, so a panel
+/// packed once per model and fed to [`kernels::gemm_packed_into`] produces
+/// bits identical to repacking per batch; `core`'s `ServableModel` caches
+/// one of these next to its classifier so the serving hot path skips the
+/// pack entirely.
+///
+/// A `PackedWeights` is only meaningful for the classifier it was packed
+/// from ([`Classifier::pack_weights`]). Layer shapes are checked at use;
+/// panel *contents* are trusted, so repacking after any weight update is
+/// the caller's responsibility.
+#[derive(Debug, Clone)]
+pub struct PackedWeights {
+    /// One packed panel per linear layer, in forward order.
+    panels: Vec<Vec<f32>>,
+    /// `(fan_in, fan_out)` of each packed layer, for shape checks at use.
+    dims: Vec<(usize, usize)>,
+}
+
+impl PackedWeights {
+    /// Total `f32` elements held across all panels — the cache footprint.
+    pub fn num_elements(&self) -> usize {
+        self.panels.iter().map(Vec::len).sum()
+    }
+}
+
+/// Row-broadcast bias add, the epilogue `Tape::add_row` applies.
+fn add_bias_rows(out: &mut [f32], rows: usize, n: usize, bias: &[f32]) {
+    for r in 0..rows {
+        let out_row = &mut out[r * n..(r + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(bias.iter()) {
+            *o += bv;
+        }
+    }
+}
+
 /// `out = x · w + b` over flat row-major buffers: the matmul is the shared
 /// blocked kernel ([`kernels::gemm_into`], `Nn` variant — the same call the
 /// tape's `matmul` makes), followed by the row-broadcast bias add of
@@ -70,7 +113,6 @@ fn linear_forward(
 ) {
     let (k, n) = (layer.fan_in(), layer.fan_out());
     debug_assert_eq!(x.len(), rows * k, "input buffer shape mismatch");
-    let bias = layer.bias().data();
     // The kernel overwrites every element, so a dirty resize (no re-zeroing
     // of the kept prefix) is safe.
     out.resize(rows * n, 0.0);
@@ -85,12 +127,24 @@ fn linear_forward(
         panel,
         out,
     );
-    for r in 0..rows {
-        let out_row = &mut out[r * n..(r + 1) * n];
-        for (o, &bv) in out_row.iter_mut().zip(bias.iter()) {
-            *o += bv;
-        }
-    }
+    add_bias_rows(out, rows, n, layer.bias().data());
+}
+
+/// [`linear_forward`] against a pre-packed weight panel: identical
+/// arithmetic (the packed kernel consumes the same panel bytes `gemm_into`
+/// would have packed), minus the per-call pack.
+fn linear_forward_packed(
+    x: &[f32],
+    rows: usize,
+    layer: &Linear,
+    panel: &[f32],
+    out: &mut Vec<f32>,
+) {
+    let (k, n) = (layer.fan_in(), layer.fan_out());
+    debug_assert_eq!(x.len(), rows * k, "input buffer shape mismatch");
+    out.resize(rows * n, 0.0);
+    kernels::gemm_packed_into(GemmKind::Nn, rows, k, n, x, panel, &Executor::serial(), out);
+    add_bias_rows(out, rows, n, layer.bias().data());
 }
 
 impl Classifier {
@@ -113,6 +167,81 @@ impl Classifier {
     /// Panics if `x` is not rank 2 or its width differs from
     /// [`Classifier::input_dim`].
     pub fn logits_batched(&self, x: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        self.logits_impl(x, scratch, None)
+    }
+
+    /// Packs every weight matrix of this classifier (backbone layers then
+    /// head) into the GEMM panel layout for [`Classifier::logits_packed`].
+    pub fn pack_weights(&self) -> PackedWeights {
+        let mut panels = Vec::new();
+        let mut dims = Vec::new();
+        let head = std::iter::once(self.head());
+        for layer in self.backbone().layers().iter().chain(head) {
+            let (k, n) = (layer.fan_in(), layer.fan_out());
+            let mut panel = Vec::new();
+            kernels::pack_b(GemmKind::Nn, k, n, layer.weight().data(), &mut panel);
+            panels.push(panel);
+            dims.push((k, n));
+        }
+        PackedWeights { panels, dims }
+    }
+
+    /// Class probabilities via the fast path with pre-packed weight panels
+    /// — bitwise identical to [`Classifier::predict_proba_batched`] (and so
+    /// to [`Classifier::predict_proba`]), without the per-batch repack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2, its width differs from
+    /// [`Classifier::input_dim`], or `packed` was built for a classifier of
+    /// different layer shapes.
+    pub fn predict_proba_packed(
+        &self,
+        x: &Tensor,
+        packed: &PackedWeights,
+        scratch: &mut InferScratch,
+    ) -> Tensor {
+        softmax_rows(&self.logits_packed(x, packed, scratch))
+    }
+
+    /// Raw logits via the fast path with pre-packed weight panels —
+    /// bitwise identical to [`Classifier::logits_batched`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2, its width differs from
+    /// [`Classifier::input_dim`], or `packed` was built for a classifier of
+    /// different layer shapes.
+    pub fn logits_packed(
+        &self,
+        x: &Tensor,
+        packed: &PackedWeights,
+        scratch: &mut InferScratch,
+    ) -> Tensor {
+        let expect: Vec<(usize, usize)> = self
+            .backbone()
+            .layers()
+            .iter()
+            .chain(std::iter::once(self.head()))
+            .map(|l| (l.fan_in(), l.fan_out()))
+            .collect();
+        assert_eq!(
+            packed.dims, expect,
+            "packed weights were built for a different classifier shape"
+        );
+        self.logits_impl(x, scratch, Some(packed))
+    }
+
+    /// Shared ping-pong forward pass; `packed` selects the panel source
+    /// (pre-packed per layer vs repack into the scratch per call). Both
+    /// arms feed the same kernel the same panel bytes, so the choice never
+    /// changes output bits.
+    fn logits_impl(
+        &self,
+        x: &Tensor,
+        scratch: &mut InferScratch,
+        packed: Option<&PackedWeights>,
+    ) -> Tensor {
         assert_eq!(x.rank(), 2, "batched inference expects a rank-2 input");
         assert_eq!(
             x.cols(),
@@ -128,9 +257,12 @@ impl Classifier {
         let mut src_vec = std::mem::take(&mut scratch.a);
         let mut dst_vec = std::mem::take(&mut scratch.b);
         let mut first = true;
-        for layer in backbone.layers() {
+        for (li, layer) in backbone.layers().iter().enumerate() {
             let src: &[f32] = if first { x.data() } else { &src_vec };
-            linear_forward(src, rows, layer, &mut scratch.panel, &mut dst_vec);
+            match packed {
+                Some(p) => linear_forward_packed(src, rows, layer, &p.panels[li], &mut dst_vec),
+                None => linear_forward(src, rows, layer, &mut scratch.panel, &mut dst_vec),
+            }
             first = false;
             match backbone.activation() {
                 Activation::Relu => {
@@ -150,7 +282,16 @@ impl Classifier {
         }
 
         let src: &[f32] = if first { x.data() } else { &src_vec };
-        linear_forward(src, rows, self.head(), &mut scratch.panel, &mut dst_vec);
+        match packed {
+            Some(p) => linear_forward_packed(
+                src,
+                rows,
+                self.head(),
+                &p.panels[backbone.layers().len()],
+                &mut dst_vec,
+            ),
+            None => linear_forward(src, rows, self.head(), &mut scratch.panel, &mut dst_vec),
+        }
         let logits = Tensor::from_vec(dst_vec.clone()).reshaped(&[rows, self.num_classes()]);
         scratch.a = src_vec;
         scratch.b = dst_vec;
@@ -206,6 +347,39 @@ mod tests {
         let fast = clf.predict_proba_batched(&small, &mut scratch);
         assert_eq!(fast.data(), clf.predict_proba(&small).data());
         assert_eq!(fast.shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn packed_weights_path_is_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for dims in [&[6, 8, 5][..], &[4, 4][..], &[9, 16, 16, 3][..]] {
+            let clf = Classifier::from_dims(dims, 4, 0.0, &mut rng);
+            let packed = clf.pack_weights();
+            assert!(packed.num_elements() > 0);
+            let x = Tensor::randn(&[7, dims[0]], 1.3, &mut rng);
+            let mut scratch = InferScratch::new();
+            let via_packed = clf.predict_proba_packed(&x, &packed, &mut scratch);
+            let via_repack = clf.predict_proba_batched(&x, &mut scratch);
+            assert_eq!(via_packed.data(), via_repack.data(), "dims {dims:?}");
+            assert_eq!(via_packed.data(), clf.predict_proba(&x).data());
+            assert_eq!(
+                clf.logits_packed(&x, &packed, &mut scratch).data(),
+                clf.logits(&x).data()
+            );
+        }
+    }
+
+    #[test]
+    fn packed_weights_from_another_shape_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let clf = Classifier::from_dims(&[4, 8], 2, 0.0, &mut rng);
+        let other = Classifier::from_dims(&[4, 6], 2, 0.0, &mut rng);
+        let packed = other.pack_weights();
+        let x = Tensor::zeros(&[2, 4]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clf.predict_proba_packed(&x, &packed, &mut InferScratch::new())
+        }));
+        assert!(result.is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! * **prune-level 1** additionally removes each target's parent and the
 //!   parent's entire subtree (siblings and their descendants).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use taglets_graph::{ConceptId, Taxonomy};
 
@@ -42,15 +42,22 @@ impl PruneLevel {
         }
     }
 
-    /// The set of concepts removed from SCADS for the given target classes.
+    /// The concepts removed from SCADS for the given target classes, as a
+    /// sorted, deduplicated list.
+    ///
+    /// The sorted-`Vec` representation (rather than a hash set) makes every
+    /// downstream traversal order-deterministic by construction — shard-local
+    /// scans and their fixed-order merges inherit one canonical order instead
+    /// of depending on hash iteration, and membership stays `O(log n)` via
+    /// binary search.
     ///
     /// Targets not present in the taxonomy (e.g. manually added concepts such
     /// as `oatghurt`) contribute only themselves at level 0 and nothing more
     /// at level 1, matching the paper's treatment of graph-extension nodes.
-    pub fn pruned_set(self, taxonomy: &Taxonomy, targets: &[ConceptId]) -> HashSet<ConceptId> {
-        let mut pruned = HashSet::new();
+    pub fn pruned_set(self, taxonomy: &Taxonomy, targets: &[ConceptId]) -> Vec<ConceptId> {
+        let mut pruned = BTreeSet::new();
         if self == PruneLevel::NoPruning {
-            return pruned;
+            return Vec::new();
         }
         for &c in targets {
             if !taxonomy.contains(c) {
@@ -64,7 +71,7 @@ impl PruneLevel {
                 }
             }
         }
-        pruned
+        pruned.into_iter().collect()
     }
 }
 
@@ -105,10 +112,7 @@ mod tests {
     fn level0_removes_target_and_descendants() {
         let t = taxonomy();
         let p = PruneLevel::Level0.pruned_set(&t, &[ConceptId(1)]);
-        let expected: HashSet<ConceptId> = [ConceptId(1), ConceptId(2), ConceptId(3)]
-            .into_iter()
-            .collect();
-        assert_eq!(p, expected);
+        assert_eq!(p, vec![ConceptId(1), ConceptId(2), ConceptId(3)]);
     }
 
     #[test]
@@ -116,10 +120,7 @@ mod tests {
         let t = taxonomy();
         let p = PruneLevel::Level1.pruned_set(&t, &[ConceptId(2)]);
         // Parent of 2 is 1; subtree of 1 = {1,2,3}. Node 2's own descendants ⊂ that.
-        let expected: HashSet<ConceptId> = [ConceptId(1), ConceptId(2), ConceptId(3)]
-            .into_iter()
-            .collect();
-        assert_eq!(p, expected);
+        assert_eq!(p, vec![ConceptId(1), ConceptId(2), ConceptId(3)]);
         // Sibling branch under 4 untouched.
         assert!(!p.contains(&ConceptId(4)));
     }
@@ -131,10 +132,22 @@ mod tests {
             let p0 = PruneLevel::Level0.pruned_set(&t, &[target]);
             let p1 = PruneLevel::Level1.pruned_set(&t, &[target]);
             assert!(
-                p0.is_subset(&p1),
+                p0.iter().all(|c| p1.contains(c)),
                 "level 1 must remove at least level 0's set"
             );
         }
+    }
+
+    #[test]
+    fn pruned_set_is_sorted_and_deduplicated() {
+        let t = taxonomy();
+        // Overlapping targets: 1's subtree contains 2's.
+        let p = PruneLevel::Level0.pruned_set(&t, &[ConceptId(2), ConceptId(1)]);
+        assert!(
+            p.windows(2).all(|w| w[0] < w[1]),
+            "strictly ascending: {p:?}"
+        );
+        assert_eq!(p, vec![ConceptId(1), ConceptId(2), ConceptId(3)]);
     }
 
     #[test]

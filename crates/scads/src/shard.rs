@@ -1,0 +1,121 @@
+//! The per-shard query layer of a sharded SCADS.
+//!
+//! A [`ScadsShard`] is a read-only view of one [`GraphShard`]'s slice of the
+//! store: it scans only the concepts its shard owns, in ascending id order,
+//! and returns shard-local results for the coordinator
+//! ([`crate::ShardedScads`]) to merge in fixed shard order. Because every
+//! concept is owned by exactly one shard and each shard's scan order is
+//! canonical, the union of shard results is a permutation-free partition of
+//! the unsharded scan — the property the coordinator's merge relies on to
+//! stay bitwise-equal to the flat [`Scads`](crate::Scads) oracle.
+
+use taglets_graph::{ConceptId, GraphShard};
+use taglets_tensor::cosine_similarity;
+
+use crate::Scads;
+
+/// A read-only view of one shard's slice of a [`Scads`](crate::Scads) store.
+#[derive(Debug)]
+pub struct ScadsShard<'a, X> {
+    scads: &'a Scads<X>,
+    shard: &'a GraphShard,
+    index: usize,
+}
+
+impl<'a, X: Clone> ScadsShard<'a, X> {
+    /// Wraps one shard of a partitioned store.
+    pub(crate) fn new(scads: &'a Scads<X>, shard: &'a GraphShard, index: usize) -> Self {
+        ScadsShard {
+            scads,
+            shard,
+            index,
+        }
+    }
+
+    /// This shard's index in its partition.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The concepts this shard owns, ascending.
+    pub fn owned_concepts(&self) -> &[ConceptId] {
+        self.shard.owned()
+    }
+
+    /// Number of auxiliary examples stored at this shard's owned concepts.
+    pub fn num_owned_examples(&self) -> usize {
+        self.shard
+            .owned()
+            .iter()
+            .map(|&c| self.scads.num_examples_at(c))
+            .sum()
+    }
+
+    /// The shard-local candidates for a related-concept query: the up-to
+    /// `top_n` owned concepts most cosine-similar to `query` that carry
+    /// auxiliary data and are not in the (sorted) `pruned` list, in the
+    /// oracle's order (descending similarity, ties by ascending id).
+    ///
+    /// Each similarity is computed against exactly the same embedding row as
+    /// the unsharded scan, so the f32 scores are bitwise-identical; keeping
+    /// `top_n` per shard is lossless because every global top-`top_n` hit is
+    /// necessarily within its own shard's top-`top_n`.
+    pub fn related_in_shard(
+        &self,
+        query: &[f32],
+        top_n: usize,
+        pruned: &[ConceptId],
+    ) -> Vec<(ConceptId, f32)> {
+        let embeddings = self.scads.embeddings();
+        let mut scored: Vec<(ConceptId, f32)> = self
+            .shard
+            .owned()
+            .iter()
+            .copied()
+            .filter(|&id| pruned.binary_search(&id).is_err() && self.scads.num_examples_at(id) > 0)
+            .map(|id| (id, cosine_similarity(query, embeddings.get(id))))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(top_n);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taglets_graph::{generate, retrofit, GraphPartition, RetrofitConfig, SyntheticGraphConfig};
+
+    fn build(num_concepts: usize) -> Scads<u32> {
+        let world = generate(&SyntheticGraphConfig {
+            num_concepts,
+            ..SyntheticGraphConfig::default()
+        });
+        let emb = retrofit(
+            &world.graph,
+            &world.word_vectors,
+            &RetrofitConfig::default(),
+            |_| true,
+        )
+        .unwrap();
+        Scads::new(world.graph, world.taxonomy, emb)
+    }
+
+    #[test]
+    fn shard_results_are_ordered_and_owned() {
+        let mut scads = build(80);
+        let items: Vec<(ConceptId, u32)> =
+            scads.graph().concepts().map(|c| (c, c.0 as u32)).collect();
+        scads.install_by_id("aux", items).unwrap();
+        let p = GraphPartition::build(scads.graph(), scads.taxonomy(), 3).unwrap();
+        let query = scads.embeddings().get(ConceptId(11)).to_vec();
+        for (s, gs) in p.shards().iter().enumerate() {
+            let shard = ScadsShard::new(&scads, gs, s);
+            assert_eq!(shard.index(), s);
+            let hits = shard.related_in_shard(&query, 5, &[]);
+            assert!(hits.len() <= 5);
+            assert!(hits.iter().all(|(c, _)| gs.owns(*c)));
+            assert!(hits.windows(2).all(|w| w[1].1.total_cmp(&w[0].1).is_le()));
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The shard coordinator: shard-parallel SCADS queries with deterministic
+//! fixed-order merges.
+//!
+//! [`ShardedScads`] drives per-shard scans ([`ScadsShard`]) through the
+//! workspace [`Executor`] and merges their results in shard-index order.
+//! Every public query is pinned bitwise-identical to its flat
+//! [`Scads`](crate::Scads) counterpart (the reference oracle) for any shard
+//! count and any worker count:
+//!
+//! * similarities are computed against the same embedding rows, so the f32
+//!   scores match bit-for-bit;
+//! * the merge sorts with the oracle's comparator (descending similarity,
+//!   ties by ascending [`ConceptId`]) — a *total* order, since ids are
+//!   unique — so concatenation order cannot leak into the output;
+//! * [`Executor::map`] reassembles shard results by index before the merge
+//!   runs, so scheduling cannot either.
+
+use taglets_graph::{ConceptId, GraphPartition};
+use taglets_tensor::exec::Executor;
+
+use crate::shard::ScadsShard;
+use crate::{AuxiliarySelection, DatasetId, PruneLevel, Scads, ScadsError};
+
+/// Shard-parallel view over a [`Scads`], presenting the same query API as
+/// the flat store.
+#[derive(Debug)]
+pub struct ShardedScads<'a, X> {
+    scads: &'a Scads<X>,
+    partition: GraphPartition,
+    executor: Executor,
+}
+
+impl<'a, X: Clone + Sync> ShardedScads<'a, X> {
+    /// Partitions `scads` into `num_shards` taxonomy-aware shards and wraps
+    /// it for shard-parallel querying through `executor`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScadsError::Graph`] when the partition cannot be built (zero
+    /// shards) or fails boundary validation.
+    pub fn new(
+        scads: &'a Scads<X>,
+        num_shards: usize,
+        executor: Executor,
+    ) -> Result<Self, ScadsError> {
+        let partition = GraphPartition::build(scads.graph(), scads.taxonomy(), num_shards)?;
+        Self::from_partition(scads, partition, executor)
+    }
+
+    /// Wraps `scads` with a caller-supplied partition (e.g. one reused from
+    /// a sharded retrofit).
+    ///
+    /// # Errors
+    ///
+    /// * [`ScadsError::ShardMismatch`] when the partition does not cover
+    ///   exactly the store's concepts.
+    /// * [`ScadsError::Graph`] when a shard's halo is missing a boundary
+    ///   concept ([`taglets_graph::GraphError::ShardBoundary`]).
+    pub fn from_partition(
+        scads: &'a Scads<X>,
+        partition: GraphPartition,
+        executor: Executor,
+    ) -> Result<Self, ScadsError> {
+        if partition.len() != scads.graph().len() {
+            return Err(ScadsError::ShardMismatch {
+                concepts: scads.graph().len(),
+                owners: partition.len(),
+            });
+        }
+        partition.validate(scads.graph())?;
+        Ok(ShardedScads {
+            scads,
+            partition,
+            executor,
+        })
+    }
+
+    /// The underlying flat store.
+    pub fn scads(&self) -> &Scads<X> {
+        self.scads
+    }
+
+    /// The partition the queries fan out over.
+    pub fn partition(&self) -> &GraphPartition {
+        &self.partition
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.partition.num_shards()
+    }
+
+    /// A read-only view of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn shard(&self, s: usize) -> ScadsShard<'_, X> {
+        ScadsShard::new(self.scads, self.partition.shard(s), s)
+    }
+
+    /// Shard-parallel [`Scads::related_concepts`]: each shard scans its
+    /// owned concepts, the coordinator merges the per-shard top lists with
+    /// the oracle's comparator. Bitwise-identical to the flat query.
+    pub fn related_concepts(
+        &self,
+        target: ConceptId,
+        top_n: usize,
+        prune: PruneLevel,
+        all_targets: &[ConceptId],
+    ) -> Vec<(ConceptId, f32)> {
+        let pruned = prune.pruned_set(self.scads.taxonomy(), all_targets);
+        let query = self.scads.embeddings().get(target).to_vec();
+        let per_shard: Vec<Vec<(ConceptId, f32)>> = self.executor.map(self.num_shards(), |s| {
+            self.shard(s).related_in_shard(&query, top_n, &pruned)
+        });
+        let mut merged: Vec<(ConceptId, f32)> = per_shard.into_iter().flatten().collect();
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(top_n);
+        merged
+    }
+
+    /// Shard-parallel [`Scads::select_related`]: per-target queries fan out
+    /// over the shards, concepts are deduplicated in target order exactly as
+    /// the flat selection does. Bitwise-identical to the flat selection
+    /// (examples, concepts, and per-target similarities).
+    pub fn select_related(
+        &self,
+        targets: &[ConceptId],
+        n_concepts: usize,
+        k_per_concept: usize,
+        prune: PruneLevel,
+    ) -> AuxiliarySelection<X> {
+        let mut concepts: Vec<ConceptId> = Vec::new();
+        let mut per_target = Vec::with_capacity(targets.len());
+        for &target in targets {
+            let related = self.related_concepts(target, n_concepts, prune, targets);
+            for &(c, _) in &related {
+                if !concepts.contains(&c) {
+                    concepts.push(c);
+                }
+            }
+            per_target.push(related);
+        }
+        let mut examples = Vec::new();
+        for (aux_label, &concept) in concepts.iter().enumerate() {
+            for x in self.scads.examples(concept).take(k_per_concept) {
+                examples.push((x.clone(), aux_label));
+            }
+        }
+        AuxiliarySelection {
+            examples,
+            concepts,
+            per_target,
+        }
+    }
+}
+
+impl<X: Clone + Send + Sync> Scads<X> {
+    /// Shard-parallel [`Scads::install_by_id`]: the items are bucketed by
+    /// owning shard in parallel (each shard scans the full item list and
+    /// keeps its own, preserving input order), then the buckets are spliced
+    /// into the store serially in shard-index order.
+    ///
+    /// Because every concept is owned by exactly one shard and each bucket
+    /// preserves input order, each concept's example list ends up identical
+    /// to a flat [`Scads::install_by_id`] of the same items.
+    ///
+    /// # Errors
+    ///
+    /// [`ScadsError::EmptyDataset`] if `items` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a concept id is outside the partition (or the store).
+    pub fn install_by_id_sharded(
+        &mut self,
+        name: &str,
+        items: Vec<(ConceptId, X)>,
+        partition: &GraphPartition,
+        executor: &Executor,
+    ) -> Result<DatasetId, ScadsError> {
+        if items.is_empty() {
+            return Err(ScadsError::EmptyDataset {
+                name: name.to_string(),
+            });
+        }
+        let buckets: Vec<Vec<(ConceptId, X)>> = executor.map(partition.num_shards(), |s| {
+            items
+                .iter()
+                .filter(|(c, _)| partition.owner_of(*c) == s)
+                .cloned()
+                .collect()
+        });
+        let mut resolved = Vec::with_capacity(items.len());
+        for bucket in buckets {
+            resolved.extend(bucket);
+        }
+        self.install_by_id(name, resolved)
+    }
+
+    /// Shard-parallel [`Scads::install`]: resolves class names serially,
+    /// then installs through [`Scads::install_by_id_sharded`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ScadsError::EmptyDataset`] if `items` is empty.
+    /// * [`ScadsError::Graph`] if a class name has no matching concept.
+    pub fn install_sharded<'n>(
+        &mut self,
+        name: &str,
+        items: impl IntoIterator<Item = (&'n str, X)>,
+        partition: &GraphPartition,
+        executor: &Executor,
+    ) -> Result<DatasetId, ScadsError> {
+        let mut resolved = Vec::new();
+        for (class, x) in items {
+            let id = self.graph().require(class)?;
+            resolved.push((id, x));
+        }
+        self.install_by_id_sharded(name, resolved, partition, executor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taglets_graph::{generate, retrofit, GraphShard, RetrofitConfig, SyntheticGraphConfig};
+    use taglets_tensor::exec::Concurrency;
+
+    fn build(num_concepts: usize) -> Scads<u32> {
+        let world = generate(&SyntheticGraphConfig {
+            num_concepts,
+            ..SyntheticGraphConfig::default()
+        });
+        let emb = retrofit(
+            &world.graph,
+            &world.word_vectors,
+            &RetrofitConfig::default(),
+            |_| true,
+        )
+        .unwrap();
+        Scads::new(world.graph, world.taxonomy, emb)
+    }
+
+    fn populate(scads: &mut Scads<u32>, per_concept: usize) {
+        let items: Vec<(ConceptId, u32)> = scads
+            .graph()
+            .concepts()
+            .flat_map(|c| (0..per_concept).map(move |k| (c, (c.0 * 100 + k) as u32)))
+            .collect();
+        scads.install_by_id("aux", items).unwrap();
+    }
+
+    #[test]
+    fn sharded_selection_matches_flat_oracle_bitwise() {
+        let mut scads = build(100);
+        populate(&mut scads, 4);
+        let targets = [ConceptId(9), ConceptId(33), ConceptId(71)];
+        for prune in PruneLevel::ALL {
+            let oracle = scads.select_related(&targets, 4, 3, prune);
+            for shards in [1, 2, 4] {
+                for conc in [Concurrency::Serial, Concurrency::Threads(4)] {
+                    let sharded = ShardedScads::new(&scads, shards, Executor::new(conc)).unwrap();
+                    let sel = sharded.select_related(&targets, 4, 3, prune);
+                    assert_eq!(sel.concepts, oracle.concepts, "{prune} × {shards} × {conc}");
+                    assert_eq!(sel.examples, oracle.examples, "{prune} × {shards} × {conc}");
+                    // f32 similarities must match to the bit.
+                    let bits = |pt: &Vec<Vec<(ConceptId, f32)>>| -> Vec<Vec<(ConceptId, u32)>> {
+                        pt.iter()
+                            .map(|v| v.iter().map(|&(c, s)| (c, s.to_bits())).collect())
+                            .collect()
+                    };
+                    assert_eq!(bits(&sel.per_target), bits(&oracle.per_target));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_install_matches_flat_install() {
+        let flat = {
+            let mut s = build(60);
+            populate(&mut s, 3);
+            s
+        };
+        let mut sharded = build(60);
+        let p = GraphPartition::build(sharded.graph(), sharded.taxonomy(), 4).unwrap();
+        let items: Vec<(ConceptId, u32)> = sharded
+            .graph()
+            .concepts()
+            .flat_map(|c| (0..3).map(move |k| (c, (c.0 * 100 + k) as u32)))
+            .collect();
+        sharded
+            .install_by_id_sharded("aux", items, &p, &Executor::new(Concurrency::Threads(4)))
+            .unwrap();
+        assert_eq!(sharded.num_examples(), flat.num_examples());
+        for c in flat.graph().concepts() {
+            let a: Vec<&u32> = flat.examples(c).collect();
+            let b: Vec<&u32> = sharded.examples(c).collect();
+            assert_eq!(a, b, "bucket order must match at {c}");
+        }
+    }
+
+    #[test]
+    fn constructors_validate_partition_shape_and_halos() {
+        let scads = build(40);
+        assert!(matches!(
+            ShardedScads::new(&scads, 0, Executor::serial()),
+            Err(ScadsError::Graph(_))
+        ));
+        let other = build(30);
+        let wrong = GraphPartition::build(other.graph(), other.taxonomy(), 2).unwrap();
+        assert!(matches!(
+            ShardedScads::from_partition(&scads, wrong, Executor::serial()),
+            Err(ScadsError::ShardMismatch {
+                concepts: 40,
+                owners: 30
+            })
+        ));
+        // A partition with a broken halo is rejected up front.
+        let n = scads.graph().len();
+        let owner: Vec<usize> = (0..n).map(|i| usize::from(i >= n / 2)).collect();
+        let shards = vec![
+            GraphShard::from_parts((0..n / 2).map(ConceptId).collect(), Vec::new()),
+            GraphShard::from_parts((n / 2..n).map(ConceptId).collect(), Vec::new()),
+        ];
+        let broken = GraphPartition::from_shards(owner, shards);
+        assert!(matches!(
+            ShardedScads::from_partition(&scads, broken, Executor::serial()),
+            Err(ScadsError::Graph(
+                taglets_graph::GraphError::ShardBoundary { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn empty_sharded_install_is_rejected() {
+        let mut scads = build(20);
+        let p = GraphPartition::build(scads.graph(), scads.taxonomy(), 2).unwrap();
+        assert!(matches!(
+            scads.install_by_id_sharded("empty", vec![], &p, &Executor::serial()),
+            Err(ScadsError::EmptyDataset { .. })
+        ));
+    }
+}

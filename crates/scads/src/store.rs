@@ -1,7 +1,5 @@
 //! The SCADS store: datasets joined to the graph, and related-data selection.
 
-use std::collections::HashSet;
-
 use taglets_graph::{
     approximate_embedding, ConceptEmbeddings, ConceptGraph, ConceptId, Relation, Taxonomy,
 };
@@ -246,10 +244,10 @@ impl<X: Clone> Scads<X> {
         prune: PruneLevel,
         all_targets: &[ConceptId],
     ) -> Vec<(ConceptId, f32)> {
-        let pruned: HashSet<ConceptId> = prune.pruned_set(&self.taxonomy, all_targets);
+        let pruned = prune.pruned_set(&self.taxonomy, all_targets);
         let query = self.embeddings.get(target).to_vec();
         self.embeddings.most_similar(&query, top_n, |id| {
-            pruned.contains(&id) || self.store[id.0].is_empty()
+            pruned.binary_search(&id).is_ok() || self.store[id.0].is_empty()
         })
     }
 
@@ -267,11 +265,11 @@ impl<X: Clone> Scads<X> {
         prune: PruneLevel,
         rng: &mut R,
     ) -> AuxiliarySelection<X> {
-        let pruned: HashSet<ConceptId> = prune.pruned_set(&self.taxonomy, targets);
+        let pruned = prune.pruned_set(&self.taxonomy, targets);
         let mut candidates: Vec<ConceptId> = self
             .graph
             .concepts()
-            .filter(|c| !pruned.contains(c) && !self.store[c.0].is_empty())
+            .filter(|c| pruned.binary_search(c).is_err() && !self.store[c.0].is_empty())
             .collect();
         use rand::seq::SliceRandom;
         candidates.shuffle(rng);
@@ -330,6 +328,7 @@ impl<X: Clone> Scads<X> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use taglets_graph::{generate, retrofit, RetrofitConfig, SyntheticGraphConfig};
 
     fn build(num_concepts: usize) -> Scads<u32> {

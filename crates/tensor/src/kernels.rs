@@ -120,15 +120,46 @@ pub fn gemm_into(
     panel: &mut Vec<f32>,
     out: &mut [f32],
 ) {
-    assert_eq!(a.len(), m * k, "gemm lhs buffer length");
     assert_eq!(b.len(), k * n, "gemm rhs buffer length");
+    pack_b(kind, k, n, b, panel);
+    gemm_packed_into(kind, m, k, n, a, panel, exec, out);
+}
+
+/// Like [`gemm_into`], but consumes an already-packed B panel instead of
+/// packing on every call.
+///
+/// `panel` must be exactly what [`pack_b`] produces for this `kind`/`k`/`n`
+/// (length [`packed_panel_len`]`(k, n)`); [`gemm_into`] is precisely
+/// `pack_b` followed by this function. Packing is a pure element copy, so a
+/// panel packed once and reused gives bits identical to repacking per call
+/// — which is why weight matrices that never change between calls (the
+/// serving fast path in `taglets-nn`) can be packed once per model instead
+/// of once per batch. All other contracts (write-only `out`, deterministic
+/// row-block dispatch through `exec`) are those of [`gemm_into`].
+///
+/// # Panics
+///
+/// Panics if `a`, `panel` or `out` length disagrees with `m`/`k`/`n`.
+pub fn gemm_packed_into(
+    kind: GemmKind,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    panel: &[f32],
+    exec: &Executor,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm lhs buffer length");
+    assert_eq!(
+        panel.len(),
+        packed_panel_len(k, n),
+        "gemm packed panel length"
+    );
     assert_eq!(out.len(), m * n, "gemm output buffer length");
     if m == 0 || n == 0 {
         return;
     }
-
-    pack_b(kind, k, n, b, panel);
-    let panel: &[f32] = panel;
 
     let blocks = (m + PAR_ROW_BLOCK - 1) / PAR_ROW_BLOCK;
     let workers = exec.concurrency().workers(blocks);
@@ -290,13 +321,26 @@ fn micro<const MRR: usize, const SKIP: bool>(
     }
 }
 
+/// Length in `f32` elements of the packed panel [`pack_b`] produces for a
+/// logical `k × n` B operand: `n` rounded up to whole [`NR`]-wide panels,
+/// times `k` rows. This is the exact length [`gemm_packed_into`] expects.
+pub fn packed_panel_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k * NR
+}
+
 /// Packs B into [`NR`]-wide column panels, zero-padded to full width.
 ///
 /// Panel `jp` holds logical B columns `jp*NR .. jp*NR+NR` in `p`-major
 /// order: element `(p, j)` of the panel sits at `jp*k*NR + p*NR + j`, the
 /// exact order the micro-kernel streams. Padding columns are zero, so tail
 /// accumulators compute `0.0` lanes that are simply never stored.
-fn pack_b(kind: GemmKind, k: usize, n: usize, b: &[f32], panel: &mut Vec<f32>) {
+///
+/// `panel` is cleared and resized to [`packed_panel_len`]`(k, n)`; a dirty
+/// reused buffer of any prior shape is fine. The pack is a pure element
+/// copy — no arithmetic — so a panel packed once and handed to
+/// [`gemm_packed_into`] repeatedly yields bitwise-identical products to
+/// repacking before every call.
+pub fn pack_b(kind: GemmKind, k: usize, n: usize, b: &[f32], panel: &mut Vec<f32>) {
     let np = (n + NR - 1) / NR;
     panel.clear();
     panel.resize(np * k * NR, 0.0);
@@ -497,6 +541,51 @@ mod tests {
             &mut panel,
             &mut empty,
         );
+    }
+
+    #[test]
+    fn prepacked_panels_match_per_call_packing_bitwise() {
+        // The serving fast path packs each weight matrix once per model and
+        // reuses the panel for every batch; that must be indistinguishable
+        // (bit for bit) from gemm_into's pack-on-every-call, at every
+        // concurrency and for every variant.
+        let mut rng = StdRng::seed_from_u64(54);
+        for &(m, k, n) in &[(7usize, 13usize, 11usize), (33, 17, 25), (97, 64, 50)] {
+            for kind in [GemmKind::Nn, GemmKind::Nt, GemmKind::Tn] {
+                let (a_rows, a_cols, b_rows, b_cols) = match kind {
+                    GemmKind::Nn => (m, k, k, n),
+                    GemmKind::Nt => (m, k, n, k),
+                    GemmKind::Tn => (k, m, k, n),
+                };
+                let a = Tensor::randn(&[a_rows, a_cols], 1.0, &mut rng);
+                let b = Tensor::randn(&[b_rows, b_cols], 1.0, &mut rng);
+                let mut packed = vec![3.25f32; 5]; // dirty on purpose
+                pack_b(kind, k, n, b.data(), &mut packed);
+                assert_eq!(packed.len(), packed_panel_len(k, n));
+                for conc in [Concurrency::Serial, Concurrency::Threads(4)] {
+                    let exec = Executor::new(conc);
+                    let mut repack = vec![f32::NAN; m * n];
+                    let mut panel = Vec::new();
+                    gemm_into(
+                        kind,
+                        m,
+                        k,
+                        n,
+                        a.data(),
+                        b.data(),
+                        &exec,
+                        &mut panel,
+                        &mut repack,
+                    );
+                    let mut pre = vec![f32::NAN; m * n];
+                    // Two calls against the same panel: reuse must not
+                    // perturb it.
+                    gemm_packed_into(kind, m, k, n, a.data(), &packed, &exec, &mut pre);
+                    gemm_packed_into(kind, m, k, n, a.data(), &packed, &exec, &mut pre);
+                    assert_eq!(pre, repack, "{kind:?} m={m} k={k} n={n} {conc}");
+                }
+            }
+        }
     }
 
     #[test]

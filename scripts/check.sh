@@ -69,6 +69,18 @@ step "serve-threads" env TAGLETS_THREADS=4 cargo test --offline --quiet --test s
 
 step "strict-numerics" cargo test --offline --quiet -p taglets-tensor --features strict-numerics
 
+# Sharded-SCADS equivalence (ISSUE 7): sharded retrofit and shard-parallel
+# selection must be bitwise identical to the flat oracles at 1/2/4 shards,
+# serially and with the executor resolving TAGLETS_THREADS=4.
+step "shards" cargo test --offline --quiet --test scads_sharding
+step "shards-threads" env TAGLETS_THREADS=4 cargo test --offline --quiet --test scads_sharding
+
+# The scads_shard bench asserts flat/sharded bitwise identity on every
+# configuration before timing it, so it doubles as an equivalence gate.
+# Run without --json so a gate run never overwrites the checked-in
+# BENCH_scads.json baseline.
+step "bench-shards" cargo bench --offline --quiet -p taglets-bench --bench scads_shard
+
 # Kernel equivalence: the blocked GEMM kernels must be bitwise identical
 # to the seed's naive reference loops, serially and under multi-worker
 # row-block dispatch (the second pass resolves TAGLETS_THREADS=4 through

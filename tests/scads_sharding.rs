@@ -1,0 +1,187 @@
+//! Sharding equivalence suite (ISSUE 7): the sharded auxiliary-data layer
+//! must be bitwise-indistinguishable from the flat one.
+//!
+//! Randomized synthetic graphs × {1, 2, 4} shards × {serial, 4-worker}
+//! executors, with the unsharded `retrofit` / flat `Scads` queries as the
+//! reference oracles. `scripts/check.sh` runs this binary twice — plain and
+//! under `TAGLETS_THREADS=4` — so the end-to-end system comparison is also
+//! pinned at both worker counts.
+
+mod common;
+
+use taglets::graph::{
+    generate, retrofit, retrofit_sharded, ConceptId, GraphPartition, RetrofitConfig,
+    SyntheticGraph, SyntheticGraphConfig,
+};
+use taglets::scads::{PruneLevel, Scads, ShardedScads};
+use taglets::tensor::{Concurrency, Executor};
+use taglets::{BackboneKind, TagletsConfig, TagletsSystem};
+
+/// Deterministic worlds of varied shape: a broad shallow taxonomy, a deep
+/// narrow one, and a small dense one.
+fn worlds() -> Vec<SyntheticGraph> {
+    [
+        SyntheticGraphConfig {
+            num_concepts: 300,
+            branch_min: 5,
+            branch_max: 9,
+            max_depth: 3,
+            seed: 11,
+            ..SyntheticGraphConfig::default()
+        },
+        SyntheticGraphConfig {
+            num_concepts: 220,
+            branch_min: 2,
+            branch_max: 3,
+            max_depth: 9,
+            seed: 23,
+            ..SyntheticGraphConfig::default()
+        },
+        SyntheticGraphConfig {
+            num_concepts: 90,
+            cross_edges_per_node: 4,
+            seed: 5,
+            ..SyntheticGraphConfig::default()
+        },
+    ]
+    .iter()
+    .map(generate)
+    .collect()
+}
+
+fn bits(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn sharded_retrofit_is_bitwise_equal_to_the_flat_oracle() {
+    for (wi, w) in worlds().iter().enumerate() {
+        // A nontrivial out-of-vocabulary pattern: those rows take the
+        // no-observation denominator path in the Jacobi update.
+        let in_vocab = |c: ConceptId| c.0 % 7 != 3;
+        let cfg = RetrofitConfig::default();
+        let oracle = retrofit(&w.graph, &w.word_vectors, &cfg, in_vocab).expect("oracle retrofit");
+        for shards in [1usize, 2, 4] {
+            let partition =
+                GraphPartition::build(&w.graph, &w.taxonomy, shards).expect("partition builds");
+            for conc in [Concurrency::Serial, Concurrency::Threads(4)] {
+                let fitted = retrofit_sharded(
+                    &w.graph,
+                    &w.word_vectors,
+                    &cfg,
+                    in_vocab,
+                    &partition,
+                    &Executor::new(conc),
+                )
+                .expect("sharded retrofit");
+                assert_eq!(
+                    bits(fitted.matrix().data()),
+                    bits(oracle.matrix().data()),
+                    "world {wi} × {shards} shards × {conc}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_invariants_hold_on_randomized_graphs() {
+    for (wi, w) in worlds().iter().enumerate() {
+        for shards in [1usize, 2, 4] {
+            let p = GraphPartition::build(&w.graph, &w.taxonomy, shards).expect("partition");
+            p.validate(&w.graph).expect("partition validates");
+            assert_eq!(p.num_shards(), shards, "world {wi}");
+            // Every concept is owned exactly once, and each shard's halo is
+            // exactly its owned concepts' foreign neighbourhood.
+            let mut owned_total = 0;
+            for s in 0..shards {
+                let shard = p.shard(s);
+                owned_total += shard.owned().len();
+                for &c in shard.owned() {
+                    assert_eq!(p.owner_of(c), s);
+                }
+                for &h in shard.halo() {
+                    assert_ne!(p.owner_of(h), s, "halo concepts are foreign");
+                    assert!(
+                        shard.owned().iter().any(|&c| w
+                            .graph
+                            .neighbors(c)
+                            .iter()
+                            .any(|e| e.to == h)),
+                        "halo entries border the shard"
+                    );
+                }
+            }
+            assert_eq!(owned_total, w.graph.len(), "world {wi} × {shards}");
+        }
+    }
+}
+
+#[test]
+fn sharded_queries_are_bitwise_equal_to_the_flat_oracle() {
+    for (wi, w) in worlds().into_iter().enumerate() {
+        let emb = retrofit(
+            &w.graph,
+            &w.word_vectors,
+            &RetrofitConfig::default(),
+            |_| true,
+        )
+        .expect("retrofit");
+        let n = w.graph.len();
+        let mut scads = Scads::new(w.graph, w.taxonomy, emb);
+        let items: Vec<(ConceptId, u32)> = (0..n)
+            .flat_map(|c| (0..3).map(move |k| (ConceptId(c), (c * 10 + k) as u32)))
+            .collect();
+        scads.install_by_id("aux", items).expect("install");
+        let targets = [ConceptId(n / 7), ConceptId(n / 3), ConceptId(n - 2)];
+        for prune in PruneLevel::ALL {
+            let oracle_sel = scads.select_related(&targets, 5, 2, prune);
+            for shards in [1usize, 2, 4] {
+                for conc in [Concurrency::Serial, Concurrency::Threads(4)] {
+                    let sharded = ShardedScads::new(&scads, shards, Executor::new(conc))
+                        .expect("sharded view");
+                    for &t in &targets {
+                        let flat = scads.related_concepts(t, 5, prune, &targets);
+                        let shd = sharded.related_concepts(t, 5, prune, &targets);
+                        let pack = |v: &[(ConceptId, f32)]| -> Vec<(ConceptId, u32)> {
+                            v.iter().map(|&(c, s)| (c, s.to_bits())).collect()
+                        };
+                        assert_eq!(
+                            pack(&shd),
+                            pack(&flat),
+                            "world {wi} target {t} × {shards} × {conc}"
+                        );
+                    }
+                    let sel = sharded.select_related(&targets, 5, 2, prune);
+                    assert_eq!(sel.concepts, oracle_sel.concepts);
+                    assert_eq!(sel.examples, oracle_sel.examples);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn end_to_end_run_is_identical_at_any_shard_count() {
+    // The select stage is the only thing `scads_shards` changes, and it is
+    // bitwise-stable — so the whole run (pseudo-labels, end model) must be.
+    let w = common::world();
+    let task = common::task("flickr_materials");
+    let split = task.split(0, 1);
+    let run_at = |shards: usize| {
+        let mut cfg = TagletsConfig::for_backbone(BackboneKind::ResNet50ImageNet1k);
+        cfg.scads_shards = shards;
+        let sys = TagletsSystem::prepare(&w.scads, &w.zoo, cfg);
+        let run = sys
+            .run(task, &split, PruneLevel::Level1, 0)
+            .expect("system run");
+        (
+            bits(run.pseudo_labels.data()),
+            bits(run.end_model.predict_proba(&split.test_x).data()),
+        )
+    };
+    let flat = run_at(1);
+    let sharded = run_at(4);
+    assert_eq!(flat.0, sharded.0, "pseudo-labels diverged");
+    assert_eq!(flat.1, sharded.1, "end-model outputs diverged");
+}
