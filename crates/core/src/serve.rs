@@ -212,7 +212,7 @@ impl LatencyHistogram {
     /// Records one observation.
     pub fn record(&mut self, nanos: u64) {
         let idx = Self::bucket_of(nanos);
-        self.counts[idx] += 1;
+        self.counts[idx] += 1; // lint: panicfree(bucket_of clamps the index to LATENCY_BUCKETS - 1)
         self.total += 1;
     }
 
@@ -241,9 +241,9 @@ impl LatencyHistogram {
         }
     }
 
-    /// Count in bucket `i`.
+    /// Count in bucket `i`; out-of-range buckets read as empty.
     pub fn count(&self, i: usize) -> u64 {
-        self.counts[i]
+        self.counts.get(i).copied().unwrap_or(0)
     }
 
     /// Total observations recorded.
@@ -425,6 +425,7 @@ impl PredictionCache {
         let key = input_key(input);
         let hit = match self.map.get(&key) {
             Some(entry) if bitwise_eq(&entry.input, input) => {
+                // lint: alloc(a hit hands the caller an owned row; the entry stays resident)
                 Some((entry.probs.clone(), entry.predicted))
             }
             _ => None,
@@ -692,13 +693,16 @@ impl<'a> ServingEngine<'a> {
     /// queue, plus the remainder when the oldest request has hit its
     /// deadline, and executes all cut batches across the executor.
     pub fn tick(&mut self) {
+        // lint: alloc(Vec::new defers; allocates only on ticks that cut a batch)
         let mut batches: Vec<(FlushCause, Vec<Pending>)> = Vec::new();
         while self.pending.len() >= self.config.max_batch {
+            // lint: alloc(the batch hand-off owns its requests; one Vec per cut)
             let cut: Vec<Pending> = self.pending.drain(..self.config.max_batch).collect();
             batches.push((FlushCause::Full, cut));
         }
         if let Some(deadline) = self.next_deadline() {
             if self.clock.now_nanos() >= deadline {
+                // lint: alloc(deadline cut takes ownership of the queued remainder)
                 let cut: Vec<Pending> = self.pending.drain(..).collect();
                 batches.push((FlushCause::Deadline, cut));
             }
@@ -709,9 +713,11 @@ impl<'a> ServingEngine<'a> {
     /// Flushes everything still queued, regardless of deadlines — the
     /// shutdown path, so no admitted request is ever lost.
     pub fn drain(&mut self) {
+        // lint: alloc(Vec::new defers; shutdown path, not steady state)
         let mut batches: Vec<(FlushCause, Vec<Pending>)> = Vec::new();
         while !self.pending.is_empty() {
             let take = self.pending.len().min(self.config.max_batch);
+            // lint: alloc(the batch hand-off owns its requests; one Vec per cut)
             let cut: Vec<Pending> = self.pending.drain(..take).collect();
             batches.push((FlushCause::Drain, cut));
         }
@@ -734,22 +740,25 @@ impl<'a> ServingEngine<'a> {
         let tensors: Vec<Tensor> = batches
             .iter()
             .map(|(_, rows)| {
+                // lint: alloc(batch assembly owns the flat row-major copy handed to the tensor)
                 let mut flat = Vec::with_capacity(rows.len() * dim);
                 for p in rows {
                     flat.extend_from_slice(&p.input);
                 }
                 Tensor::from_vec(flat).reshaped(&[rows.len(), dim])
             })
-            .collect();
+            .collect(); // lint: alloc(one owned input tensor per cut batch)
 
         let model = self.model;
         let probs: Vec<Tensor> = if tensors.len() == 1 {
             // Serial fast path: reuse the engine's preallocated scratch.
+            // lint: alloc(one-element result list), panicfree(this branch checked len() == 1)
             vec![model.predict_proba_batched(&tensors[0], &mut self.scratch)]
         } else {
             let executor = self.executor;
             executor.map(tensors.len(), |i| {
                 let mut scratch = InferScratch::new();
+                // lint: panicfree(executor.map yields i < tensors.len())
                 model.predict_proba_batched(&tensors[i], &mut scratch)
             })
         };
@@ -758,13 +767,16 @@ impl<'a> ServingEngine<'a> {
         for ((cause, rows), batch_probs) in batches.into_iter().zip(probs) {
             let n = rows.len();
             self.telemetry.batches += 1;
-            self.telemetry.batch_sizes[n] += 1;
+            if let Some(slot) = self.telemetry.batch_sizes.get_mut(n) {
+                *slot += 1;
+            }
             match cause {
                 FlushCause::Full => self.telemetry.full_flushes += 1,
                 FlushCause::Deadline => self.telemetry.deadline_flushes += 1,
                 FlushCause::Drain => self.telemetry.drain_flushes += 1,
             }
             for (r, p) in rows.into_iter().enumerate() {
+                // lint: alloc(the response row must outlive the batch tensor)
                 let row = batch_probs.row(r).to_vec();
                 let predicted = argmax_slice(&row);
                 let latency = done.saturating_sub(p.arrival);
@@ -772,6 +784,7 @@ impl<'a> ServingEngine<'a> {
                 self.telemetry.answered += 1;
                 self.telemetry.latency.record(latency);
                 if self.cache.enabled() {
+                    // lint: alloc(the cache keeps its own copy of the row)
                     self.cache.insert(p.input, row.clone(), predicted);
                 }
                 self.ready.push(ServeResponse {
@@ -823,6 +836,7 @@ impl<'a> ServingEngine<'a> {
                 engine.tick();
                 last_time = Some(target);
             }
+            // lint: alloc(the engine takes an owned input; the stream is kept for the report)
             match engine.submit(req.input.clone()) {
                 Ok(_) | Err(ServeError::Overloaded { .. }) => {}
                 Err(e) => return Err(e),
@@ -833,11 +847,12 @@ impl<'a> ServingEngine<'a> {
         }
         engine.drain();
 
+        // lint: alloc(one slot table per replay run)
         let mut responses: Vec<Option<ServeResponse>> = vec![None; stream.len()];
         for r in engine.take_responses() {
             let slot = r.id as usize;
-            if slot < responses.len() {
-                responses[slot] = Some(r);
+            if let Some(cell) = responses.get_mut(slot) {
+                *cell = Some(r);
             }
         }
         Ok(ServeRun {

@@ -39,7 +39,7 @@ impl ConfusionMatrix {
 
     /// Count of examples with true class `truth` predicted as `predicted`.
     pub fn count(&self, truth: usize, predicted: usize) -> usize {
-        self.counts[truth][predicted]
+        self.counts[truth][predicted] // lint: panicfree(accessor contract: both class indices < num_classes)
     }
 
     /// Total number of examples.

@@ -76,12 +76,14 @@ impl ConceptEmbeddings {
             });
         }
         let n = self.vectors.rows();
+        // lint: alloc(vocabulary growth; extend amortizes over the matrix's doubling)
         let mut data = std::mem::take(&mut self.vectors).into_vec();
         data.extend_from_slice(vector);
         // `(n + 1) * d` elements by construction; the tensor constructor's
         // shape check can only agree, so surface its error instead of
         // asserting on it.
         self.vectors =
+            // lint: alloc(two-element shape Vec for the grown matrix)
             Tensor::from_shape(vec![n + 1, d], data).map_err(|_| GraphError::EmbeddingDim {
                 expected: d,
                 actual: vector.len(),
@@ -233,31 +235,32 @@ fn sweep_shard(
     owned: &[ConceptId],
 ) -> Vec<f32> {
     let d = base.dim();
+    // lint: alloc(each sweep publishes one owned-rows block for the boundary exchange)
     let mut out = Vec::with_capacity(owned.len() * d);
     for &id in owned {
         let edges = graph.neighbors(id);
-        let alpha = alphas[id.0];
+        let alpha = alphas[id.0]; // lint: panicfree(alphas has one entry per concept; id comes from the graph)
         if edges.is_empty() {
             // Isolated node: stays at its previous (= base) row, exactly as
             // the oracle's `continue` leaves the row untouched.
-            let li = state.local_of[id.0];
-            out.extend_from_slice(&state.prev[li * d..(li + 1) * d]);
+            let li = state.local_of[id.0]; // lint: panicfree(owned ids are always in the shard's local map)
+            out.extend_from_slice(&state.prev[li * d..(li + 1) * d]); // lint: panicfree(prev holds a d-wide row per local id)
             continue;
         }
         let beta_sum: f32 = edges.iter().map(|e| e.weight).sum();
         let denom = alpha + beta_sum;
-        let mut new_vec = vec![0.0f32; d];
+        let mut new_vec = vec![0.0f32; d]; // lint: alloc(one accumulator row per owned node; overwritten each sweep)
         for (k, nv) in new_vec.iter_mut().enumerate() {
             *nv = alpha * base.matrix().at(id.0, k);
         }
         for e in edges {
-            let lj = state.local_of[e.to.0];
-            let neigh = &state.prev[lj * d..(lj + 1) * d];
+            let lj = state.local_of[e.to.0]; // lint: panicfree(halo construction registered every neighbor locally)
+            let neigh = &state.prev[lj * d..(lj + 1) * d]; // lint: panicfree(prev holds a d-wide row per local id)
             for (nv, &x) in new_vec.iter_mut().zip(neigh) {
                 *nv += e.weight * x;
             }
         }
-        out.extend(new_vec.iter().map(|nv| nv / denom));
+        out.extend(new_vec.iter().map(|nv| nv / denom)); // lint: panicfree(float division; denom never traps)
     }
     out
 }
@@ -278,15 +281,16 @@ fn exchange_boundaries(
 ) {
     for (s, state) in states.iter_mut().enumerate() {
         let owned = partition.shard(s).owned();
+        // lint: panicfree(sweep_shard returns owned.len()*d elements by construction)
         state.prev[..owned.len() * d].copy_from_slice(&new_rows[s]);
         for li in owned.len()..state.local_ids.len() {
-            let h = state.local_ids[li];
+            let h = state.local_ids[li]; // lint: panicfree(li ranges over local_ids indices)
             let owner = partition.owner_of(h);
             // `GraphPartition::validate` (run before the first sweep) pins
             // owner map ↔ owned lists, so the position always resolves.
             if let Some(pos) = partition.shard(owner).owned_position(h) {
-                state.prev[li * d..(li + 1) * d]
-                    .copy_from_slice(&new_rows[owner][pos * d..(pos + 1) * d]);
+                state.prev[li * d..(li + 1) * d] // lint: panicfree(local rows are d wide)
+                    .copy_from_slice(&new_rows[owner][pos * d..(pos + 1) * d]); // lint: panicfree(validate pinned owner map to owned lists)
             }
         }
     }
@@ -327,25 +331,26 @@ pub fn retrofit_sharded(
     let alphas: Vec<f32> = graph
         .concepts()
         .map(|id| if in_vocabulary(id) { cfg.alpha } else { 0.0 })
-        .collect();
+        .collect(); // lint: alloc(one damping table per retrofit run)
     let mut states: Vec<ShardState> = partition
         .shards()
         .iter()
         .map(|shard| ShardState::new(shard, base))
-        .collect();
+        .collect(); // lint: alloc(one state per shard per retrofit run)
 
     for _ in 0..cfg.iterations {
         let new_rows: Vec<Vec<f32>> = executor.map(partition.num_shards(), |s| {
+            // lint: panicfree(executor.map yields s < num_shards == states.len())
             sweep_shard(graph, base, &alphas, &states[s], partition.shard(s).owned())
         });
         exchange_boundaries(&mut states, &new_rows, partition, d);
     }
 
-    let mut current = base.matrix().clone();
+    let mut current = base.matrix().clone(); // lint: alloc(the retrofit result is a fresh matrix; base stays intact)
     for (s, state) in states.iter().enumerate() {
         for (i, &id) in partition.shard(s).owned().iter().enumerate() {
             for k in 0..d {
-                current.set(id.0, k, state.prev[i * d + k]);
+                current.set(id.0, k, state.prev[i * d + k]); // lint: panicfree(prev holds a d-wide row per owned id)
             }
         }
     }

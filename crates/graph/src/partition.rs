@@ -255,7 +255,7 @@ impl GraphPartition {
     ///
     /// Panics if `id` is out of range.
     pub fn owner_of(&self, id: ConceptId) -> usize {
-        self.owner[id.0]
+        self.owner[id.0] // lint: panicfree(documented panics contract; validate checks the id range)
     }
 
     /// All shards, in shard-index order.
@@ -269,7 +269,7 @@ impl GraphPartition {
     ///
     /// Panics if `s` is out of range.
     pub fn shard(&self, s: usize) -> &GraphShard {
-        &self.shards[s]
+        &self.shards[s] // lint: panicfree(documented panics contract; callers iterate 0..num_shards)
     }
 
     /// Number of graph edges whose endpoints live on different shards —
@@ -309,6 +309,7 @@ impl GraphPartition {
         // `owned_position` and relies on exactly one shard publishing each
         // row.
         for (i, &s) in self.owner.iter().enumerate() {
+            // lint: panicfree(owner entries are shard indices by construction)
             if !self.shards[s].owns(ConceptId(i)) {
                 return Err(GraphError::ShardBoundary {
                     concept: i,

@@ -30,7 +30,8 @@ pub fn count(violations: &[Violation]) -> Counts {
 pub fn render(counts: &Counts) -> String {
     let mut out = String::from(
         "# TAGLETS lint baseline: tolerated violation counts per (rule, file).\n\
-         # Regenerate with `cargo run -p taglets-lint -- --update-baseline`.\n\
+         # Regenerate with `cargo run -p taglets-lint -- --update-baseline`\n\
+         # (or any `--check` run with UPDATE_BASELINE=1 in the environment).\n\
          # `--check` fails only when a count exceeds its entry here.\n",
     );
     for ((rule, file), n) in counts {

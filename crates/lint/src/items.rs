@@ -108,6 +108,57 @@ pub struct CFact {
     pub waived: bool,
 }
 
+/// A hot-path hygiene fact: direct evidence of an allocation, a blocking
+/// operation, or a panic-capable expression, extracted for the
+/// [`crate::hotpath`] stage. Facts only matter when a BFS from a
+/// latency-critical root reaches the containing function, so extraction is
+/// deliberately eager — reachability, setup cuts, and waivers do the
+/// filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HFactKind {
+    /// A heap allocation: `Vec::new`/`with_capacity`, `vec![]`, `Box::new`,
+    /// `String::from`, `format!`, `.to_vec()`, `.collect()`, `.clone()`,
+    /// `.to_string()`, `.to_owned()`.
+    HeapAlloc,
+    /// A blocking operation: `Mutex`/`RwLock` lock acquisition, channel
+    /// `recv`, `std::fs`/`std::io` calls, `thread::sleep`.
+    Blocking,
+    /// A panic-capable op: slice/array `[i]` indexing, `copy_from_slice`,
+    /// integer division/modulo by a non-literal divisor.
+    PanicCapable,
+}
+
+impl HFactKind {
+    /// Human description used in diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            HFactKind::HeapAlloc => "heap allocation on a latency-critical path",
+            HFactKind::Blocking => "blocking operation on a latency-critical path",
+            HFactKind::PanicCapable => "panic-capable op on the serve path",
+        }
+    }
+}
+
+/// One hot-path fact, located and carrying its suppression state. At most
+/// one fact per (kind, line) is recorded — `a[i][j] = b[k]` is one indexing
+/// site needing one waiver, not three.
+#[derive(Debug, Clone)]
+pub struct HFact {
+    pub kind: HFactKind,
+    /// 1-based line of the source expression.
+    pub line: usize,
+    /// Short rendering of the offending expression for diagnostics.
+    pub what: String,
+    /// Rule codes suppressed at this line via `lint: allow(...)`.
+    pub allows: Vec<String>,
+    /// True when the line carries the matching reasoned waiver with a
+    /// non-empty reason: `lint: alloc(reason)` for [`HFactKind::HeapAlloc`],
+    /// `lint: panicfree(reason)` for [`HFactKind::PanicCapable`]. Blocking
+    /// ops have no reasoned waiver — a blocking call on a hot path is
+    /// either cut or explicitly `allow(TL015)`ed.
+    pub waived: bool,
+}
+
 /// An outgoing call site.
 #[derive(Debug, Clone)]
 pub struct Call {
@@ -136,6 +187,9 @@ pub struct FnInfo {
     pub facts: Vec<Fact>,
     /// Concurrency-safety facts found in the body.
     pub cfacts: Vec<CFact>,
+    /// Hot-path hygiene facts (allocation / blocking / panic-capable) found
+    /// in the body, consumed by the [`crate::hotpath`] reachability walk.
+    pub hfacts: Vec<HFact>,
     /// Lines of executor dispatch sites in the body (`executor.map(...)`,
     /// `exec.for_each(...)`, `Executor::run(...)`, `scope.spawn(...)`).
     /// Non-empty means this function hands closures to worker threads.
@@ -248,6 +302,7 @@ pub fn extract(file: &str, tokens: &[Token], lines: &[SourceLine]) -> Extraction
                         line: tok.line,
                         facts: Vec::new(),
                         cfacts: Vec::new(),
+                        hfacts: Vec::new(),
                         dispatches: Vec::new(),
                         calls: Vec::new(),
                     });
@@ -307,6 +362,40 @@ pub fn extract(file: &str, tokens: &[Token], lines: &[SourceLine]) -> Extraction
             i += 1;
             continue;
         };
+
+        // Hot-path hygiene facts: allocation / blocking / panic-capable
+        // evidence for the [`crate::hotpath`] stage. Collected without
+        // consuming tokens, so call recording below sees the same stream.
+        match &tok.kind {
+            Tok::Ident(name) => {
+                if let Some((kind, what)) = hotpath_fact(tokens, i, name) {
+                    push_hfact(&mut fns[fn_index], kind, tok.line, what, lines);
+                }
+            }
+            Tok::Open('[') => {
+                if let Some(what) = indexing_site(tokens, i) {
+                    push_hfact(
+                        &mut fns[fn_index],
+                        HFactKind::PanicCapable,
+                        tok.line,
+                        what,
+                        lines,
+                    );
+                }
+            }
+            Tok::Punct(op) if matches!(*op, "/" | "%" | "/=" | "%=") => {
+                if let Some(what) = integer_division_site(tokens, i, op) {
+                    push_hfact(
+                        &mut fns[fn_index],
+                        HFactKind::PanicCapable,
+                        tok.line,
+                        what,
+                        lines,
+                    );
+                }
+            }
+            _ => {}
+        }
 
         if let Tok::Ident(name) = &tok.kind {
             // `let [mut] name ... = ... ;` — mark HashMap/HashSet bindings.
@@ -531,6 +620,141 @@ fn push_cfact(
         }
     };
     out.push(CFact {
+        kind,
+        line,
+        what,
+        allows,
+        waived,
+    });
+}
+
+/// Classifies the identifier token at `i` as a hot-path hygiene fact, if it
+/// is one. Shapes recognised:
+/// - method calls `.name(` / `.name::<..>(`: allocating (`to_vec`, `clone`,
+///   `collect`, ...), blocking (`lock`, `recv*`, and argument-less
+///   `read()`/`write()` — the `RwLock` shape; the `io` variants take a
+///   buffer argument), panic-capable (`copy_from_slice`, `clone_from_slice`)
+/// - qualified calls `Type::method(`: `Vec::new`/`with_capacity`,
+///   `Box::new`, `String::from`, `File::open`, `thread::sleep`, `fs::*`,
+///   `io::*`
+/// - macro invocations `vec![..]`, `format!(..)`
+fn hotpath_fact(tokens: &[Token], i: usize, name: &str) -> Option<(HFactKind, String)> {
+    let prev_dot = i >= 1 && tokens[i - 1].is_punct(".");
+    let next = tokens.get(i + 1);
+    let next_open = matches!(next.map(|t| &t.kind), Some(Tok::Open('(')));
+    let next_turbofish = next.map(|t| t.is_punct("::")).unwrap_or(false);
+
+    if prev_dot && (next_open || next_turbofish) {
+        match name {
+            "to_vec" | "to_string" | "to_owned" | "clone" | "collect" => {
+                return Some((HFactKind::HeapAlloc, format!(".{name}()")));
+            }
+            "lock" | "recv" | "recv_timeout" | "recv_deadline" => {
+                return Some((HFactKind::Blocking, format!(".{name}()")));
+            }
+            "copy_from_slice" | "clone_from_slice" => {
+                return Some((HFactKind::PanicCapable, format!(".{name}(..)")));
+            }
+            "read" | "write"
+                if next_open
+                    && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(Tok::Close(')'))) =>
+            {
+                return Some((HFactKind::Blocking, format!(".{name}()")));
+            }
+            _ => {}
+        }
+    }
+
+    if next_turbofish {
+        if let Some(method) = tokens.get(i + 2).and_then(Token::ident) {
+            if matches!(tokens.get(i + 3).map(|t| &t.kind), Some(Tok::Open('('))) {
+                if matches!(name, "Vec" | "VecDeque" | "Box" | "String")
+                    && matches!(method, "new" | "with_capacity" | "from")
+                {
+                    return Some((HFactKind::HeapAlloc, format!("{name}::{method}()")));
+                }
+                if name == "thread" && method == "sleep" {
+                    return Some((HFactKind::Blocking, "thread::sleep".to_string()));
+                }
+                if name == "File" && matches!(method, "open" | "create") {
+                    return Some((HFactKind::Blocking, format!("File::{method}()")));
+                }
+                if matches!(name, "fs" | "io") {
+                    return Some((HFactKind::Blocking, format!("{name}::{method}()")));
+                }
+            }
+        }
+    }
+
+    if matches!(name, "vec" | "format") && next.map(|t| t.is_punct("!")).unwrap_or(false) {
+        return Some((HFactKind::HeapAlloc, format!("{name}![..]")));
+    }
+    None
+}
+
+/// `[` at `i` opens an index expression when the preceding token is a value
+/// (identifier or closing bracket): `buf[i]`, `row(r)[c]`, `grid[r][c]`.
+/// Attribute (`#[..]`), slice-literal (`&[..]`, `= [..]`), type
+/// (`: [f32; 4]`), and pattern positions are excluded because their
+/// preceding token is not value-like; keyword identifiers exclude
+/// `for x in [..]` and `&mut [f32]`.
+fn indexing_site(tokens: &[Token], i: usize) -> Option<String> {
+    if i == 0 {
+        return None;
+    }
+    match &tokens[i - 1].kind {
+        Tok::Close(')') | Tok::Close(']') => Some("[..] indexing".to_string()),
+        Tok::Ident(prev) if !KEYWORDS.contains(&prev.as_str()) => {
+            Some(format!("{prev}[..] indexing"))
+        }
+        _ => None,
+    }
+}
+
+/// A `/`-family operator at `i` counts as panic-capable integer division
+/// when the divisor is an identifier (a literal divisor cannot be zero, so
+/// `x / 2` is fine) and the line shows no floating-point evidence — float
+/// literals or `f32`/`f64` identifiers — since float division never panics.
+fn integer_division_site(tokens: &[Token], i: usize, op: &str) -> Option<String> {
+    let divisor = tokens.get(i + 1).and_then(Token::ident)?;
+    if KEYWORDS.contains(&divisor) {
+        return None;
+    }
+    let line = tokens[i].line;
+    let mut lo = i;
+    while lo > 0 && tokens[lo - 1].line == line {
+        lo -= 1;
+    }
+    let mut hi = i;
+    while hi + 1 < tokens.len() && tokens[hi + 1].line == line {
+        hi += 1;
+    }
+    let floaty = tokens[lo..=hi]
+        .iter()
+        .any(|t| matches!(t.kind, Tok::Float) || matches!(t.ident(), Some("f32") | Some("f64")));
+    if floaty {
+        return None;
+    }
+    Some(format!("{op} {divisor} (integer division)"))
+}
+
+/// Appends a hot-path fact, capturing the line's suppression metadata and
+/// deduplicating per (kind, line): one waiver covers one line, so
+/// `a[i] = b[j]` is a single panic-capable site.
+fn push_hfact(f: &mut FnInfo, kind: HFactKind, line: usize, what: String, lines: &[SourceLine]) {
+    if f.hfacts.iter().any(|h| h.kind == kind && h.line == line) {
+        return;
+    }
+    let meta = lines.get(line.saturating_sub(1));
+    let allows = meta.map(|l| l.allows.clone()).unwrap_or_default();
+    let waived = match kind {
+        HFactKind::HeapAlloc => meta.map(|l| l.alloc_reason.is_some()).unwrap_or(false),
+        HFactKind::PanicCapable => meta.map(|l| l.panicfree_reason.is_some()).unwrap_or(false),
+        // Blocking has no reasoned waiver: a blocking call on a hot path is
+        // either unreachable (setup cut) or explicitly `allow(TL015)`ed.
+        HFactKind::Blocking => false,
+    };
+    f.hfacts.push(HFact {
         kind,
         line,
         what,
@@ -987,5 +1211,110 @@ mod tests {
         assert!(facts[0].waived);
         assert!(facts[1].allows.iter().any(|a| a == "TL007"));
         assert!(!facts[2].waived && facts[2].allows.is_empty());
+    }
+
+    #[test]
+    fn hotpath_allocation_shapes_are_found() {
+        let fns = extract_src(
+            "fn f() {\n    let a = Vec::with_capacity(8);\n    let b = vec![0u8; 4];\n    let c = xs.to_vec();\n    let d = xs.iter().collect::<Vec<u32>>();\n    let e = cfg.clone();\n    let g = format!(\"x\");\n    let h = Box::new(0);\n    let i = String::from(\"y\");\n}\n",
+        );
+        let whats: Vec<&str> = fns[0]
+            .hfacts
+            .iter()
+            .filter(|h| h.kind == HFactKind::HeapAlloc)
+            .map(|h| h.what.as_str())
+            .collect();
+        assert_eq!(
+            whats,
+            vec![
+                "Vec::with_capacity()",
+                "vec![..]",
+                ".to_vec()",
+                ".collect()",
+                ".clone()",
+                "format![..]",
+                "Box::new()",
+                "String::from()",
+            ]
+        );
+    }
+
+    #[test]
+    fn hotpath_blocking_shapes_are_found() {
+        let fns = extract_src(
+            "fn f() {\n    let g = m.lock().unwrap();\n    let v = rx.recv().unwrap();\n    thread::sleep(d);\n    let s = fs::read_to_string(p);\n    let file = File::open(p);\n    let r = lk.read();\n    let n = stream.read(&mut buf);\n}\n",
+        );
+        let whats: Vec<&str> = fns[0]
+            .hfacts
+            .iter()
+            .filter(|h| h.kind == HFactKind::Blocking)
+            .map(|h| h.what.as_str())
+            .collect();
+        assert_eq!(
+            whats,
+            vec![
+                ".lock()",
+                ".recv()",
+                "thread::sleep",
+                "fs::read_to_string()",
+                "File::open()",
+                ".read()",
+            ],
+            "buffered .read(&mut buf) is io, not a lock — excluded"
+        );
+    }
+
+    #[test]
+    fn hotpath_panic_shapes_are_found_and_deduped() {
+        let fns = extract_src(
+            "fn f(xs: &[f32], out: &mut [f32], n: usize, d: usize) {\n    out[0] = xs[1];\n    dst.copy_from_slice(src);\n    let q = n / d;\n    let r = n % 4;\n    let s = 1.0 / scale;\n    let half = n / 2;\n}\n",
+        );
+        let whats: Vec<&str> = fns[0]
+            .hfacts
+            .iter()
+            .filter(|h| h.kind == HFactKind::PanicCapable)
+            .map(|h| h.what.as_str())
+            .collect();
+        assert_eq!(
+            whats,
+            vec![
+                "out[..] indexing",
+                ".copy_from_slice(..)",
+                "/ d (integer division)",
+            ],
+            "out[0]=xs[1] dedupes to one site; literal and float divisors are fine"
+        );
+    }
+
+    #[test]
+    fn hotpath_excludes_non_indexing_brackets() {
+        let fns = extract_src(
+            "fn f(v: &mut [f32]) {\n    let a: [f32; 2] = [0.0, 0.0];\n    for x in [1, 2] { let _ = x; }\n    let s = &v[..];\n}\n",
+        );
+        let panics: Vec<&str> = fns[0]
+            .hfacts
+            .iter()
+            .filter(|h| h.kind == HFactKind::PanicCapable)
+            .map(|h| h.what.as_str())
+            .collect();
+        assert_eq!(
+            panics,
+            vec!["v[..] indexing"],
+            "types, array literals, and for-in arrays are not index expressions"
+        );
+    }
+
+    #[test]
+    fn hotpath_waivers_map_to_their_kinds() {
+        let fns = extract_src(
+            "fn f() {\n    let a = xs.to_vec(); // lint: alloc(one-time warmup)\n    let b = xs.to_vec();\n    let c = xs[0]; // lint: panicfree(len checked above)\n    let d = xs[1]; // lint: alloc(wrong waiver kind)\n    let g = m.lock(); // lint: allow(TL015)\n}\n",
+        );
+        let h = &fns[0].hfacts;
+        assert!(h[0].waived, "alloc(reason) waives HeapAlloc");
+        assert!(!h[1].waived);
+        assert!(h[2].waived, "panicfree(reason) waives PanicCapable");
+        assert!(!h[3].waived, "alloc(reason) does not waive PanicCapable");
+        assert!(!h[4].waived, "Blocking has no reasoned waiver");
+        assert!(h[4].allows.iter().any(|a| a == "TL015"));
     }
 }

@@ -20,11 +20,15 @@
 //! | TL011 | interior mutability reachable from an executor dispatch (with call chain) |
 //! | TL012 | atomic memory ordering weaker than `SeqCst` |
 //! | TL013 | float accumulation onto shared state in a worker closure |
+//! | TL014 | heap allocation reachable from a latency-critical root (with call chain) |
+//! | TL015 | blocking operation reachable from a latency-critical root (with call chain) |
+//! | TL016 | panic-capable op on the serve path (with call chain) |
 //!
 //! TL001–TL006 come from the line scanner and token stream per file;
 //! TL007–TL009 from the workspace-level determinism pipeline ([`lexer`] →
 //! [`items`] → [`callgraph`] → [`taint`]); TL010–TL013 from the
-//! concurrency-safety stage ([`concurrency`]) over the same item facts and
+//! concurrency-safety stage ([`concurrency`]) and TL014–TL016 from the
+//! hot-path hygiene stage ([`hotpath`]), both over the same item facts and
 //! call-graph. `--explain TLxxx` prints each rule's rationale and waiver
 //! syntax.
 //!
@@ -40,6 +44,7 @@
 pub mod baseline;
 pub mod callgraph;
 pub mod concurrency;
+pub mod hotpath;
 pub mod items;
 pub mod lexer;
 pub mod report;
@@ -61,13 +66,14 @@ const SKIP_DIRS: [&str; 6] = ["target", "vendor", ".git", "tests", "benches", "e
 
 /// The analysis stages, in execution order, as reported by
 /// [`scan_workspace_timed`]. The names are part of the `--json` contract.
-pub const STAGES: [&str; 6] = [
+pub const STAGES: [&str; 7] = [
     "scan",
     "rules",
     "items",
     "callgraph",
     "taint",
     "concurrency",
+    "hotpath",
 ];
 
 /// Wall-time spent in one analysis stage. Telemetry only: the values feed
@@ -79,6 +85,10 @@ pub struct StageTiming {
     pub stage: &'static str,
     /// Elapsed wall-clock milliseconds.
     pub millis: u128,
+    /// Elapsed wall-clock nanoseconds. The whole pipeline runs in a few
+    /// milliseconds, so `BENCH_lint.json` records at this resolution;
+    /// `millis` stays for the `--json` summary contract.
+    pub nanos: u128,
 }
 
 /// Scans the workspace rooted at `root` and returns all violations, sorted
@@ -141,6 +151,12 @@ pub fn scan_workspace_timed(root: &Path) -> io::Result<(Vec<Violation>, Vec<Stag
     }
     push_timing(&mut timings, "concurrency", t);
 
+    // Stage "hotpath": allocation/blocking/panic reachability from
+    // latency-critical roots (TL014–TL016).
+    let t = stage_clock();
+    violations.extend(hotpath::analyze(&graph));
+    push_timing(&mut timings, "hotpath", t);
+
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok((violations, timings))
 }
@@ -183,9 +199,11 @@ fn stage_clock() -> std::time::Instant {
 }
 
 fn push_timing(timings: &mut Vec<StageTiming>, stage: &'static str, start: std::time::Instant) {
+    let elapsed = start.elapsed();
     timings.push(StageTiming {
         stage,
-        millis: start.elapsed().as_millis(),
+        millis: elapsed.as_millis(),
+        nanos: elapsed.as_nanos(),
     });
 }
 
@@ -230,6 +248,20 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
         dir = d.parent().map(Path::to_path_buf);
     }
     None
+}
+
+/// Regenerates `lint-baseline.txt` at `root` from the current tree and
+/// returns `(total violations, rule/file entries)`. Backs both the
+/// `--update-baseline` flag and the `UPDATE_BASELINE=1` environment mode
+/// (the `UPDATE_GOLDEN=1` idiom), so the baseline is never hand-edited.
+pub fn update_baseline(root: &Path) -> Result<(usize, usize), String> {
+    let violations =
+        scan_workspace(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let counts = baseline::count(&violations);
+    let path = root.join(BASELINE_FILE);
+    fs::write(&path, baseline::render(&counts))
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok((violations.len(), counts.len()))
 }
 
 /// Loads the baseline at `root`, treating a missing file as empty.

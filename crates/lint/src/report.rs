@@ -83,6 +83,44 @@ pub fn summary_json(
     )
 }
 
+/// Renders `BENCH_lint.json`: analyzer cost and violation trajectory as one
+/// machine-readable line. `min_nanos` pairs each stage (in [`crate::STAGES`]
+/// order) with its minimum wall-time across the benchmark's repeated runs —
+/// the same min-of-N discipline as `BENCH_kernels.json`, at nanosecond
+/// resolution because the whole pipeline finishes in milliseconds. Rule hit
+/// counts list every rule, zeros included, so counts diff PR-over-PR.
+pub fn bench_json(
+    runs: usize,
+    files: usize,
+    min_nanos: &[(&'static str, u128)],
+    violations: &[Violation],
+) -> String {
+    let stages: Vec<String> = min_nanos
+        .iter()
+        .map(|(stage, nanos)| {
+            format!(
+                "{{\"stage\":\"{stage}\",\"min_nanos\":{nanos},\"min_millis\":{:.3}}}",
+                *nanos as f64 / 1e6
+            )
+        })
+        .collect();
+    let total: u128 = min_nanos.iter().map(|(_, n)| n).sum();
+    let rules: Vec<String> = ALL_RULES
+        .iter()
+        .map(|r| {
+            let hits = violations.iter().filter(|v| v.rule == *r).count();
+            format!("\"{}\":{hits}", r.code())
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"lint\",\"runs\":{runs},\"files\":{files},\"total_min_nanos\":{total},\"total_min_millis\":{:.3},\"stages\":[{}],\"rules\":{{{}}},\"total_violations\":{}}}",
+        total as f64 / 1e6,
+        stages.join(","),
+        rules.join(","),
+        violations.len()
+    )
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -129,10 +167,12 @@ mod tests {
             StageTiming {
                 stage: "scan",
                 millis: 3,
+                nanos: 3_000_000,
             },
             StageTiming {
                 stage: "concurrency",
                 millis: 1,
+                nanos: 1_000_000,
             },
         ];
         let diff = baseline::Diff {
@@ -145,6 +185,24 @@ mod tests {
         }
         assert!(json.contains("{\"stage\":\"scan\",\"millis\":3}"));
         assert!(json.contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn bench_json_lists_every_stage_and_rule() {
+        let mins: Vec<(&'static str, u128)> =
+            crate::STAGES.iter().map(|s| (*s, 1_500_000u128)).collect();
+        let json = bench_json(9, 34, &mins, &[]);
+        for stage in crate::STAGES {
+            assert!(
+                json.contains(&format!("{{\"stage\":\"{stage}\",\"min_nanos\":1500000")),
+                "{json}"
+            );
+        }
+        for rule in ALL_RULES {
+            assert!(json.contains(&format!("\"{}\":0", rule.code())), "{json}");
+        }
+        assert!(json.contains("\"runs\":9"));
+        assert!(json.contains("\"min_millis\":1.500"));
     }
 
     #[test]

@@ -5,12 +5,14 @@
 //! stream from [`crate::lexer`] (so tuple indices and string contents can
 //! never look like float literals). TL007–TL009 are produced by the
 //! determinism passes ([`crate::items`] → [`crate::callgraph`] →
-//! [`crate::taint`]), and TL010–TL013 by the concurrency-safety pass
-//! ([`crate::concurrency`] over the same item facts and call-graph); both
-//! only share the [`Violation`] type and scoping logic here. Rules are
-//! scoped: TL001/TL002 apply to all library code, TL003 and the
-//! determinism/concurrency rules skip the bench crate (timing is its
-//! purpose), and TL005 is an advisory documentation rule limited to the
+//! [`crate::taint`]), TL010–TL013 by the concurrency-safety pass
+//! ([`crate::concurrency`] over the same item facts and call-graph), and
+//! TL014–TL016 by the hot-path hygiene pass ([`crate::hotpath`], a
+//! reachability walk from latency-critical roots); all three only share the
+//! [`Violation`] type and scoping logic here. Rules are scoped: TL001/TL002
+//! apply to all library code, TL003 and the
+//! determinism/concurrency/hot-path rules skip the bench crate (timing is
+//! its purpose), and TL005 is an advisory documentation rule limited to the
 //! `tensor` and `core` crates.
 
 use crate::lexer::{Tok, Token};
@@ -48,10 +50,20 @@ pub enum Rule {
     /// Floating-point compound accumulation onto shared state inside a
     /// dispatched worker closure (non-associative reduction smell).
     Tl013,
+    /// Heap allocation reachable from a latency-critical root without a
+    /// reasoned `lint: alloc(reason)` waiver (hot-path reachability walk).
+    Tl014,
+    /// Blocking operation (lock, channel recv, filesystem/io, sleep)
+    /// reachable from a latency-critical root.
+    Tl015,
+    /// Panic-capable op (slice indexing, `copy_from_slice`, integer
+    /// division) on the serve path without a `lint: panicfree(reason)`
+    /// waiver.
+    Tl016,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 13] = [
+pub const ALL_RULES: [Rule; 16] = [
     Rule::Tl001,
     Rule::Tl002,
     Rule::Tl003,
@@ -65,6 +77,9 @@ pub const ALL_RULES: [Rule; 13] = [
     Rule::Tl011,
     Rule::Tl012,
     Rule::Tl013,
+    Rule::Tl014,
+    Rule::Tl015,
+    Rule::Tl016,
 ];
 
 impl Rule {
@@ -84,6 +99,9 @@ impl Rule {
             Rule::Tl011 => "TL011",
             Rule::Tl012 => "TL012",
             Rule::Tl013 => "TL013",
+            Rule::Tl014 => "TL014",
+            Rule::Tl015 => "TL015",
+            Rule::Tl016 => "TL016",
         }
     }
 
@@ -103,6 +121,9 @@ impl Rule {
             Rule::Tl011 => "interior-mutability type reachable from an executor dispatch",
             Rule::Tl012 => "atomic memory ordering weaker than SeqCst",
             Rule::Tl013 => "float accumulation onto shared state in a worker closure",
+            Rule::Tl014 => "heap allocation reachable from a latency-critical root",
+            Rule::Tl015 => "blocking operation reachable from a latency-critical root",
+            Rule::Tl016 => "panic-capable op on the serve path",
         }
     }
 
@@ -190,6 +211,39 @@ impl Rule {
                  reassembled in index order, as the executor's map/run contract \
                  does."
             }
+            Rule::Tl014 => {
+                "Hot-path reachability walk over the call-graph: a heap \
+                 allocation (Vec::new/with_capacity, vec![], to_vec, collect, \
+                 clone, Box::new, String::from, format!) is transitively \
+                 reachable from a latency-critical root — the serving engine's \
+                 submit/flush/run path, the batched inference fast path, the \
+                 *_into kernels, or the sharded retrofit sweep. Steady-state \
+                 serving must reuse scratch (InferScratch, GradScratch, \
+                 PackedWeights); setup code (new/with_*/load constructors and \
+                 one-time *Scratch/Packed* builders) is exempt by a \
+                 root-relative cut, so every surviving site needs `// lint: \
+                 alloc(reason)` stating why the allocation is acceptable."
+            }
+            Rule::Tl015 => {
+                "A blocking operation (Mutex/RwLock lock, channel recv, \
+                 std::fs/std::io call, thread::sleep) is reachable from a \
+                 latency-critical root. One blocked worker stalls the whole \
+                 micro-batch, so the serve and kernel paths are lock-free by \
+                 construction: state is owned by the engine thread and workers \
+                 get disjoint output blocks. There is no reasoned waiver — cut \
+                 the call out of the hot path, or `lint: allow(TL015)` with \
+                 review."
+            }
+            Rule::Tl016 => {
+                "A panic-capable op (slice/array indexing, copy_from_slice, \
+                 integer division by a non-literal divisor) sits on the serve \
+                 path. A panic inside a worker closure poisons the executor \
+                 and kills every in-flight request, so hot code must argue its \
+                 bounds: each surviving site carries `// lint: \
+                 panicfree(reason)` stating why the index/divisor is in range \
+                 (dimensions validated at load, block sizes clamped, divisor \
+                 checked nonzero upstream)."
+            }
         }
     }
 
@@ -208,6 +262,16 @@ impl Rule {
             Rule::Tl011 | Rule::Tl012 | Rule::Tl013 => {
                 "// lint: concurrency(reason) — the reason is required and must \
                  state why the shared state cannot perturb results"
+            }
+            Rule::Tl014 => {
+                "// lint: alloc(reason) — the reason is required and must state \
+                 why this allocation is acceptable on the hot path (one-time, \
+                 amortized, or bounded)"
+            }
+            Rule::Tl016 => {
+                "// lint: panicfree(reason) — the reason is required and must \
+                 state the bounds argument (why the index is in range or the \
+                 divisor nonzero)"
             }
             _ => "// lint: allow(TLxxx) on the offending line, or standalone on the line above",
         }
@@ -253,6 +317,14 @@ impl Rule {
             Rule::Tl010 | Rule::Tl011 | Rule::Tl012 | Rule::Tl013 => {
                 !path.starts_with("crates/bench/")
             }
+            // Hot-path hygiene rules skip benches (they allocate and time
+            // by design) and the lint crate itself (tooling with no
+            // latency-critical roots — only over-approximate name fan-out
+            // can reach it). Product crates get no path exemption: setup
+            // code is cut root-relatively in the walk instead.
+            Rule::Tl014 | Rule::Tl015 | Rule::Tl016 => {
+                !path.starts_with("crates/bench/") && !path.starts_with("crates/lint/")
+            }
         }
     }
 }
@@ -287,7 +359,9 @@ pub struct Violation {
     pub excerpt: String,
     /// For TL007: the call chain from the deterministic root down to the
     /// function containing the source. For TL011: the chain from the
-    /// dispatching function down to the shared state. Empty otherwise.
+    /// dispatching function down to the shared state. For TL014–TL016: the
+    /// chain from the latency-critical root down to the allocating,
+    /// blocking, or panic-capable site. Empty otherwise.
     pub chain: Vec<Hop>,
 }
 
@@ -317,7 +391,10 @@ pub fn check_file(path: &str, lines: &[SourceLine], tokens: &[Token]) -> Vec<Vio
                 | Rule::Tl010
                 | Rule::Tl011
                 | Rule::Tl012
-                | Rule::Tl013 => false,
+                | Rule::Tl013
+                | Rule::Tl014
+                | Rule::Tl015
+                | Rule::Tl016 => false,
             };
             if hit {
                 out.push(Violation {
@@ -660,17 +737,31 @@ mod tests {
     fn design_doc_table_matches_rule_descriptions() {
         // DESIGN.md §6's rule table is the single source of truth shared
         // with `--explain`: each row carries the exact description string.
+        // Enumerating the IDs numerically (rather than via ALL_RULES) means
+        // a rule added to the enum but dropped from ALL_RULES — or shipped
+        // without a table row or --explain entry — fails here.
         let design = std::fs::read_to_string(
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md"),
         )
         .expect("DESIGN.md is readable from the workspace");
-        for rule in ALL_RULES {
+        for n in 1..=16 {
+            let code = format!("TL{n:03}");
+            let rule =
+                Rule::from_code(&code).unwrap_or_else(|| panic!("{code} missing from ALL_RULES"));
             let row = format!("| {} | {} |", rule.code(), rule.description());
             assert!(
                 design.contains(&row),
-                "DESIGN.md §6 table is out of sync for {}: expected a row starting `{row}`",
-                rule.code()
+                "DESIGN.md §6 table is out of sync for {code}: expected a row starting `{row}`",
+            );
+            assert!(
+                !rule.rationale().trim().is_empty(),
+                "{code} has an empty --explain rationale"
+            );
+            assert!(
+                rule.waiver().starts_with("// lint:"),
+                "{code} has no --explain waiver syntax"
             );
         }
+        assert_eq!(ALL_RULES.len(), 16, "rule count drifted from this test");
     }
 }

@@ -43,6 +43,15 @@ pub struct SourceLine {
     /// the shared-state rules (TL011–TL013) at this site; the reason must
     /// argue why the shared state cannot break worker-count invariance.
     pub conc_reason: Option<String>,
+    /// Justification from a `lint: alloc(reason)` directive. Waives the
+    /// hot-path allocation rule (TL014) at this site; the reason must argue
+    /// why the allocation is acceptable on a latency-critical path (one-time
+    /// growth, amortised scratch, cold branch).
+    pub alloc_reason: Option<String>,
+    /// Justification from a `lint: panicfree(reason)` directive. Waives the
+    /// hot-path panic rule (TL016) at this site; the reason is the written
+    /// bounds/precondition argument for why the op cannot panic.
+    pub panicfree_reason: Option<String>,
 }
 
 impl SourceLine {
@@ -85,6 +94,8 @@ fn propagate_standalone_allows(lines: &mut [SourceLine]) {
     let mut pending_nondet: Option<String> = None;
     let mut pending_unsafe: Option<String> = None;
     let mut pending_conc: Option<String> = None;
+    let mut pending_alloc: Option<String> = None;
+    let mut pending_panicfree: Option<String> = None;
     for line in lines.iter_mut() {
         if line.code.trim().is_empty() {
             pending.extend(line.allows.iter().cloned());
@@ -96,6 +107,12 @@ fn propagate_standalone_allows(lines: &mut [SourceLine]) {
             }
             if line.conc_reason.is_some() {
                 pending_conc = line.conc_reason.clone();
+            }
+            if line.alloc_reason.is_some() {
+                pending_alloc = line.alloc_reason.clone();
+            }
+            if line.panicfree_reason.is_some() {
+                pending_panicfree = line.panicfree_reason.clone();
             }
         } else {
             if !pending.is_empty() {
@@ -114,6 +131,16 @@ fn propagate_standalone_allows(lines: &mut [SourceLine]) {
             if let Some(reason) = pending_conc.take() {
                 if line.conc_reason.is_none() {
                     line.conc_reason = Some(reason);
+                }
+            }
+            if let Some(reason) = pending_alloc.take() {
+                if line.alloc_reason.is_none() {
+                    line.alloc_reason = Some(reason);
+                }
+            }
+            if let Some(reason) = pending_panicfree.take() {
+                if line.panicfree_reason.is_none() {
+                    line.panicfree_reason = Some(reason);
                 }
             }
         }
@@ -268,6 +295,8 @@ fn clean(source: &str) -> Vec<SourceLine> {
             nondet_reason: directives.nondet,
             unsafe_reason: directives.unsafe_reason,
             conc_reason: directives.conc,
+            alloc_reason: directives.alloc,
+            panicfree_reason: directives.panicfree,
         });
     }
     out
@@ -319,15 +348,18 @@ struct Directives {
     nondet: Option<String>,
     unsafe_reason: Option<String>,
     conc: Option<String>,
+    alloc: Option<String>,
+    panicfree: Option<String>,
 }
 
 /// Extracts directives from `lint:` comments: `allow(TL001, TL002)` rule
-/// suppressions plus the three reasoned waivers — `nondeterministic(reason)`
-/// for the determinism rules, `unsafe(reason)` for TL010, and
-/// `concurrency(reason)` for the shared-state rules. Several may appear in
-/// one comment (`// lint: allow(TL003), nondeterministic(telemetry only)`).
-/// A reasoned waiver with an empty reason is ignored — the waiver must
-/// justify itself.
+/// suppressions plus the reasoned waivers — `nondeterministic(reason)`
+/// for the determinism rules, `unsafe(reason)` for TL010,
+/// `concurrency(reason)` for the shared-state rules, `alloc(reason)` for
+/// the hot-path allocation rule, and `panicfree(reason)` for the hot-path
+/// panic rule. Several may appear in one comment (`// lint: allow(TL003),
+/// nondeterministic(telemetry only)`). A reasoned waiver with an empty
+/// reason is ignored — the waiver must justify itself.
 fn parse_directives(comment: &str) -> Directives {
     let mut out = Directives::default();
     let mut rest = comment;
@@ -366,6 +398,22 @@ fn parse_directives(comment: &str) -> Directives {
                 };
                 if out.conc.is_none() {
                     out.conc = reason;
+                }
+                directives = after;
+            } else if let Some(args) = strip_reasoned(directives, "alloc(") {
+                let Some((reason, after)) = take_reason(args) else {
+                    break;
+                };
+                if out.alloc.is_none() {
+                    out.alloc = reason;
+                }
+                directives = after;
+            } else if let Some(args) = strip_reasoned(directives, "panicfree(") {
+                let Some((reason, after)) = take_reason(args) else {
+                    break;
+                };
+                if out.panicfree.is_none() {
+                    out.panicfree = reason;
                 }
                 directives = after;
             } else {
@@ -645,6 +693,37 @@ mod tests {
             lines[0].conc_reason.as_deref(),
             Some("join supplies the (only) edge")
         );
+    }
+
+    #[test]
+    fn alloc_and_panicfree_directives_require_a_reason() {
+        let lines = scan(
+            "a(); // lint: alloc(one-time ring growth, amortised)\nb(); // lint: alloc()\nc(); // lint: panicfree(index < len checked by the assert above)\nd(); // lint: panicfree()\n",
+        );
+        assert_eq!(
+            lines[0].alloc_reason.as_deref(),
+            Some("one-time ring growth, amortised")
+        );
+        assert!(lines[1].alloc_reason.is_none(), "empty reason is no waiver");
+        assert_eq!(
+            lines[2].panicfree_reason.as_deref(),
+            Some("index < len checked by the assert above")
+        );
+        assert!(
+            lines[3].panicfree_reason.is_none(),
+            "empty reason is no waiver"
+        );
+    }
+
+    #[test]
+    fn standalone_alloc_and_panicfree_comments_cover_next_code_line() {
+        let src = "// lint: alloc(cold branch)\ngrow();\n// lint: panicfree(bounds pinned)\nidx();\nafter();\n";
+        let lines = scan(src);
+        assert_eq!(lines[1].alloc_reason.as_deref(), Some("cold branch"));
+        assert!(lines[1].panicfree_reason.is_none());
+        assert_eq!(lines[3].panicfree_reason.as_deref(), Some("bounds pinned"));
+        assert!(lines[4].alloc_reason.is_none());
+        assert!(lines[4].panicfree_reason.is_none());
     }
 
     #[test]

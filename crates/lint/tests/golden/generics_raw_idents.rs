@@ -1,0 +1,16 @@
+// Token classes the hot-path stage's extraction walks past: turbofish
+// const-generic arguments (brace-expression form), raw identifiers, and
+// the inclusive-range operator — none of which may smear into the
+// neighboring tokens.
+struct Foo<const N: usize>;
+
+fn r#fn(r#type: usize) -> usize {
+    let widened = Foo::<{ N + 1 }>::default();
+    let exact = Foo::<LEN>::default();
+    for i in 0..=r#type {
+        let _ = widened;
+        let _ = exact;
+        let _ = i;
+    }
+    r#type
+}

@@ -1,0 +1,95 @@
+//! End-to-end test of the hot-path hygiene stage (TL014–TL016) over a
+//! miniature workspace (`tests/fixtures/hotpath_ws/`) shaped like the real
+//! one: a serving-engine root whose allocation chain crosses crates, a
+//! blocking site on the flush path, an indexing site inside a batched
+//! inference root, reasoned waivers, and setup code the root-relative cut
+//! must keep silent.
+
+use std::path::PathBuf;
+
+use taglets_lint::{scan_workspace, Rule, Violation};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("hotpath_ws")
+}
+
+fn scan() -> Vec<Violation> {
+    scan_workspace(&fixture_root()).expect("fixture workspace scans")
+}
+
+#[test]
+fn tl014_reports_the_cross_crate_three_hop_chain() {
+    let v = scan();
+    let allocs: Vec<&Violation> = v.iter().filter(|v| v.rule == Rule::Tl014).collect();
+    assert_eq!(
+        allocs.len(),
+        1,
+        "exactly one reachable allocation: {allocs:?}"
+    );
+    assert_eq!(allocs[0].file, "crates/nn/src/infer.rs");
+    assert!(allocs[0].excerpt.contains(".to_vec()"));
+    let names: Vec<&str> = allocs[0].chain.iter().map(|h| h.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["ServingEngine::run", "build_input", "pack_rows"],
+        "the engine-to-allocation path is three hops across two crates"
+    );
+    assert_eq!(allocs[0].chain[0].file, "crates/core/src/serve.rs");
+    assert_eq!(allocs[0].chain[2].file, "crates/nn/src/infer.rs");
+}
+
+#[test]
+fn tl015_fires_on_the_unwaived_blocking_recv() {
+    let v = scan();
+    let hits: Vec<&Violation> = v.iter().filter(|v| v.rule == Rule::Tl015).collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].file, "crates/core/src/serve.rs");
+    assert!(hits[0].excerpt.contains(".recv()"));
+    assert_eq!(hits[0].chain.len(), 1, "fires inline in the root");
+}
+
+#[test]
+fn tl016_fires_inside_the_batched_inference_root() {
+    let v = scan();
+    let hits: Vec<&Violation> = v.iter().filter(|v| v.rule == Rule::Tl016).collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].file, "crates/nn/src/infer.rs");
+    assert!(hits[0].excerpt.contains("probs[..] indexing"));
+    assert_eq!(hits[0].chain[0].name, "predict_proba_batched");
+}
+
+#[test]
+fn reasoned_waivers_and_allows_silence_their_lines() {
+    // `run` carries a waived `to_vec`, a waived indexing, and an
+    // `allow(TL015)` lock — none may fire, and the unwaived facts still do.
+    let v = scan();
+    assert!(
+        !v.iter()
+            .any(|v| v.file == "crates/core/src/serve.rs" && v.rule == Rule::Tl014),
+        "waived allocation leaked: {v:?}"
+    );
+    assert!(
+        !v.iter().any(|v| v.excerpt.contains(".lock()")),
+        "allow(TL015) ignored: {v:?}"
+    );
+}
+
+#[test]
+fn setup_and_cold_code_stay_silent() {
+    let v = scan();
+    // `ServingEngine::new` and the `InferScratch` methods allocate freely;
+    // `export_report` allocates but nothing hot reaches it.
+    assert!(
+        !v.iter().any(|v| v.excerpt.contains("Vec::with_capacity")),
+        "constructor allocation fired: {v:?}"
+    );
+    assert!(
+        v.iter()
+            .filter(|v| v.file == "crates/nn/src/infer.rs" && v.rule == Rule::Tl014)
+            .all(|v| !v.chain.is_empty()),
+        "cold export_report fired without a hot chain: {v:?}"
+    );
+}

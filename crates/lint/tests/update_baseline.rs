@@ -1,0 +1,92 @@
+//! Round-trip test for baseline regeneration (the `UPDATE_BASELINE=1` /
+//! `--update-baseline` path): regenerating over a workspace with live
+//! violations must produce a baseline that a subsequent `--check`-style
+//! diff reads back as exactly clean — no regressions, no stale entries.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use taglets_lint::{baseline, load_baseline, scan_workspace, update_baseline};
+
+/// Copies the hotpath fixture workspace (it has live TL014–TL016
+/// violations) into a scratch dir so the regeneration can write freely.
+fn scratch_workspace() -> PathBuf {
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("hotpath_ws");
+    let dst = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("update_baseline_ws");
+    if dst.exists() {
+        fs::remove_dir_all(&dst).expect("stale scratch removed");
+    }
+    copy_tree(&src, &dst);
+    dst
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).expect("scratch dir created");
+    for entry in fs::read_dir(src).expect("fixture readable") {
+        let entry = entry.expect("fixture entry");
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), &to).expect("fixture file copied");
+        }
+    }
+}
+
+#[test]
+fn regenerated_baseline_round_trips_to_a_clean_diff() {
+    let root = scratch_workspace();
+
+    let violations = scan_workspace(&root).expect("fixture scans");
+    assert!(
+        !violations.is_empty(),
+        "the fixture must carry live violations for the round trip to mean anything"
+    );
+
+    let (total, entries) = update_baseline(&root).expect("baseline regenerates");
+    assert_eq!(total, violations.len());
+    assert!(entries > 0 && entries <= total);
+
+    // Reading the file back must reproduce the in-memory counts bit for bit…
+    let reloaded = load_baseline(&root).expect("baseline parses");
+    assert_eq!(reloaded, baseline::count(&violations));
+
+    // …and diffing the unchanged tree against it is exactly clean: nothing
+    // new, nothing stale.
+    let diff = baseline::diff(&baseline::count(&violations), &reloaded);
+    assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+    assert!(diff.improvements.is_empty(), "{:?}", diff.improvements);
+    assert!(!baseline::has_blocking_regression(&diff));
+}
+
+#[test]
+fn regenerated_baseline_keeps_the_documented_header() {
+    let root = scratch_workspace_named("update_baseline_header_ws");
+    update_baseline(&root).expect("baseline regenerates");
+    let text = fs::read_to_string(root.join(taglets_lint::BASELINE_FILE)).expect("baseline read");
+    assert!(text.starts_with("# TAGLETS lint baseline"));
+    assert!(
+        text.contains("UPDATE_BASELINE=1"),
+        "header must document the env-var regeneration mode"
+    );
+    // A second regeneration over the identical tree is byte-stable.
+    update_baseline(&root).expect("baseline regenerates again");
+    let again = fs::read_to_string(root.join(taglets_lint::BASELINE_FILE)).expect("baseline read");
+    assert_eq!(text, again);
+}
+
+fn scratch_workspace_named(name: &str) -> PathBuf {
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("hotpath_ws");
+    let dst = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dst.exists() {
+        fs::remove_dir_all(&dst).expect("stale scratch removed");
+    }
+    copy_tree(&src, &dst);
+    dst
+}

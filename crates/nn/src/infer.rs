@@ -90,7 +90,7 @@ impl PackedWeights {
 /// Row-broadcast bias add, the epilogue `Tape::add_row` applies.
 fn add_bias_rows(out: &mut [f32], rows: usize, n: usize, bias: &[f32]) {
     for r in 0..rows {
-        let out_row = &mut out[r * n..(r + 1) * n];
+        let out_row = &mut out[r * n..(r + 1) * n]; // lint: panicfree(out.len() = rows*n by the forward contract)
         for (o, &bv) in out_row.iter_mut().zip(bias.iter()) {
             *o += bv;
         }
@@ -224,7 +224,7 @@ impl Classifier {
             .iter()
             .chain(std::iter::once(self.head()))
             .map(|l| (l.fan_in(), l.fan_out()))
-            .collect();
+            .collect(); // lint: alloc(shape audit list, one tuple per layer)
         assert_eq!(
             packed.dims, expect,
             "packed weights were built for a different classifier shape"
@@ -260,6 +260,7 @@ impl Classifier {
         for (li, layer) in backbone.layers().iter().enumerate() {
             let src: &[f32] = if first { x.data() } else { &src_vec };
             match packed {
+                // lint: panicfree(dims asserted against the layer list; one panel per layer)
                 Some(p) => linear_forward_packed(src, rows, layer, &p.panels[li], &mut dst_vec),
                 None => linear_forward(src, rows, layer, &mut scratch.panel, &mut dst_vec),
             }
@@ -287,11 +288,12 @@ impl Classifier {
                 src,
                 rows,
                 self.head(),
-                &p.panels[backbone.layers().len()],
+                &p.panels[backbone.layers().len()], // lint: panicfree(panels holds layers + 1 entries, the head last)
                 &mut dst_vec,
             ),
             None => linear_forward(src, rows, self.head(), &mut scratch.panel, &mut dst_vec),
         }
+        // lint: alloc(the logits tensor owns its rows; scratch.b keeps its capacity for the next call)
         let logits = Tensor::from_vec(dst_vec.clone()).reshaped(&[rows, self.num_classes()]);
         scratch.a = src_vec;
         scratch.b = dst_vec;

@@ -238,7 +238,7 @@ impl Mlp {
 
     /// Input width.
     pub fn input_dim(&self) -> usize {
-        self.layers[0].fan_in()
+        self.layers[0].fan_in() // lint: panicfree(both constructors reject empty layer lists)
     }
 
     /// Output (feature) width.

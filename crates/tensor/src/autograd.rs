@@ -308,7 +308,7 @@ impl Tape {
 
     /// The forward value of `var`.
     pub fn value(&self, var: Var) -> &Tensor {
-        &self.nodes[var.0].value
+        &self.nodes[var.0].value // lint: panicfree(Vars are only minted by this tape's push)
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
@@ -328,7 +328,7 @@ impl Tape {
     }
 
     fn needs(&self, v: Var) -> bool {
-        self.nodes[v.0].requires_grad
+        self.nodes[v.0].requires_grad // lint: panicfree(Vars are only minted by this tape's push)
     }
 
     // ------------------------------------------------------------------
@@ -975,7 +975,7 @@ fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor, scratch: &mut
 pub fn softmax_rows(logits: &Tensor) -> Tensor {
     assert_eq!(logits.rank(), 2, "softmax_rows expects a rank-2 tensor");
     let cols = logits.cols();
-    let mut out = logits.clone();
+    let mut out = logits.clone(); // lint: alloc(softmax returns a fresh tensor; logits stay intact)
     for row in out.data_mut().chunks_mut(cols) {
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let mut z = 0.0;
@@ -984,7 +984,7 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
             z += *v;
         }
         for v in row.iter_mut() {
-            *v /= z;
+            *v /= z; // lint: panicfree(float division; exp sums make z > 0)
         }
     }
     out

@@ -49,6 +49,7 @@ pub fn validate_shape(context: &str, expected: &[usize], actual: &[usize]) {
 /// Forward-pass guard: the value a tape op just produced must be finite.
 #[cfg(feature = "strict-numerics")]
 pub(crate) fn enforce_forward_finite(op: &str, value: &Tensor) {
+    // lint: alloc(diagnostic label; compiled only under strict-numerics)
     value.assert_finite(&format!("strict-numerics: forward op `{op}` output"));
 }
 

@@ -218,9 +218,10 @@ impl Executor {
             return;
         }
 
+        // lint: alloc(one queue per worker per dispatch; the serial path above allocates nothing)
         let mut queues: Vec<Vec<(usize, I)>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, item) in items.into_iter().enumerate() {
-            queues[i % workers].push((i, item));
+            queues[i % workers].push((i, item)); // lint: panicfree(workers > 1 on this path; i % workers < workers)
         }
         std::thread::scope(|scope| {
             let handles: Vec<_> = queues
@@ -233,7 +234,7 @@ impl Executor {
                         }
                     })
                 })
-                .collect();
+                .collect(); // lint: alloc(one join handle per worker per dispatch)
             for h in handles {
                 if let Err(payload) = h.join() {
                     std::panic::resume_unwind(payload);

@@ -161,6 +161,7 @@ pub fn gemm_packed_into(
         return;
     }
 
+    // lint: panicfree(PAR_ROW_BLOCK is a nonzero const)
     let blocks = (m + PAR_ROW_BLOCK - 1) / PAR_ROW_BLOCK;
     let workers = exec.concurrency().workers(blocks);
     if workers <= 1 || blocks <= 1 || m * k * n < PAR_MIN_WORK {
@@ -171,10 +172,11 @@ pub fn gemm_packed_into(
     // Disjoint &mut row blocks: block i owns global rows
     // [i*PAR_ROW_BLOCK, ..). Ownership depends only on m, so any schedule
     // writes the same bytes.
+    // lint: alloc(one fat pointer per row block, multi-worker dispatch only)
     let row_blocks: Vec<&mut [f32]> = out.chunks_mut(PAR_ROW_BLOCK * n).collect();
     exec.for_each(row_blocks, |bi, block| {
         let row0 = bi * PAR_ROW_BLOCK;
-        let rows = block.len() / n;
+        let rows = block.len() / n; // lint: panicfree(n == 0 early-returns above)
         gemm_rows(kind, a, row0, rows, k, n, panel, block);
     });
 }
@@ -199,7 +201,7 @@ fn gemm_rows(
     // Tn reads A columns of a [k,m] buffer (stride m between p steps).
     let a_stride = match kind {
         GemmKind::Nn | GemmKind::Nt => k,
-        GemmKind::Tn => a.len() / k.max(1),
+        GemmKind::Tn => a.len() / k.max(1), // lint: panicfree(max(1) keeps the divisor nonzero)
     };
     // Tn transposes each A tile into `apack` (row-major: element `(r, p)`
     // at `r*k + p`) so every variant runs the one row-major micro-kernel.
@@ -209,6 +211,7 @@ fn gemm_rows(
     // micro-kernel. Copies preserve bits, and the micro-kernel still
     // consumes each output element's terms in ascending-`p` order, so the
     // result is bitwise unchanged.
+    // lint: alloc(lazy Tn-only transpose scratch; sized once, reused per row tile)
     let mut apack: Vec<f32> = Vec::new();
     let mut it = 0;
     while it < rows {
@@ -217,9 +220,10 @@ fn gemm_rows(
             apack.clear();
             apack.resize(mr * k, 0.0);
             for p in 0..k {
+                // lint: panicfree(caller asserts a.len() = k*m; row0+it+mr <= m)
                 let src = &a[p * a_stride + row0 + it..p * a_stride + row0 + it + mr];
                 for (r, &v) in src.iter().enumerate() {
-                    apack[r * k + p] = v;
+                    apack[r * k + p] = v; // lint: panicfree(apack resized to mr*k; r < mr, p < k)
                 }
             }
             (apack.as_slice(), k, 0)
@@ -241,6 +245,7 @@ fn gemm_rows(
         let mut j0 = 0;
         while j0 < n {
             let nr = (n - j0).min(NR);
+            // lint: panicfree(panel length is asserted packed_panel_len(k, n); jp < n.div_ceil(NR))
             let bpanel = &panel[jp * k * NR..(jp + 1) * k * NR];
             match (skip, mr) {
                 (true, 4) => micro::<4, true>(ta, ts, tr, k, bpanel, out, it, n, j0, nr),
@@ -266,9 +271,10 @@ fn tile_has_zero(a: &[f32], a_stride: usize, arow0: usize, mr: usize, k: usize) 
     if k == 0 {
         return false;
     }
+    // lint: panicfree(tile rows live inside a by the gemm entry asserts)
     a[arow0 * a_stride..(arow0 + mr - 1) * a_stride + k]
         .chunks(a_stride)
-        .any(|row| row[..k].iter().any(|v| v.to_bits() << 1 == 0))
+        .any(|row| row[..k].iter().any(|v| v.to_bits() << 1 == 0)) // lint: panicfree(chunk width a_stride >= k)
 }
 
 /// The register micro-kernel: an `MRR`×[`NR`] output tile accumulated in
@@ -341,7 +347,7 @@ pub fn packed_panel_len(k: usize, n: usize) -> usize {
 /// [`gemm_packed_into`] repeatedly yields bitwise-identical products to
 /// repacking before every call.
 pub fn pack_b(kind: GemmKind, k: usize, n: usize, b: &[f32], panel: &mut Vec<f32>) {
-    let np = (n + NR - 1) / NR;
+    let np = (n + NR - 1) / NR; // lint: panicfree(NR is a nonzero const)
     panel.clear();
     panel.resize(np * k * NR, 0.0);
     match kind {
@@ -350,8 +356,10 @@ pub fn pack_b(kind: GemmKind, k: usize, n: usize, b: &[f32], panel: &mut Vec<f32
             for jp in 0..np {
                 let j0 = jp * NR;
                 let nr = (n - j0).min(NR);
+                // lint: panicfree(panel resized to np*k*NR above; jp < np)
                 let dst = &mut panel[jp * k * NR..(jp + 1) * k * NR];
                 for p in 0..k {
+                    // lint: panicfree(nr <= NR and j0 + nr <= n keep both slices length nr)
                     dst[p * NR..p * NR + nr].copy_from_slice(&b[p * n + j0..p * n + j0 + nr]);
                 }
             }
@@ -362,11 +370,13 @@ pub fn pack_b(kind: GemmKind, k: usize, n: usize, b: &[f32], panel: &mut Vec<f32
             for jp in 0..np {
                 let j0 = jp * NR;
                 let nr = (n - j0).min(NR);
+                // lint: panicfree(panel resized to np*k*NR above; jp < np)
                 let dst = &mut panel[jp * k * NR..(jp + 1) * k * NR];
                 for jj in 0..nr {
+                    // lint: panicfree(j0 + jj < n and b.len() = n*k for the Nt layout)
                     let brow = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
                     for (p, &v) in brow.iter().enumerate() {
-                        dst[p * NR + jj] = v;
+                        dst[p * NR + jj] = v; // lint: panicfree(p < k and jj < NR index inside dst)
                     }
                 }
             }

@@ -97,7 +97,7 @@ impl Tensor {
     /// Creates a rank-1 tensor owning `data`.
     pub fn from_vec(data: Vec<f32>) -> Self {
         Tensor {
-            shape: vec![data.len()],
+            shape: vec![data.len()], // lint: alloc(one-element shape Vec; construction owns its metadata)
             data,
         }
     }
@@ -129,8 +129,8 @@ impl Tensor {
     /// A rank-1 tensor holding a single scalar value.
     pub fn scalar(v: f32) -> Self {
         Tensor {
-            shape: vec![1],
-            data: vec![v],
+            shape: vec![1], // lint: alloc(one-element shape Vec; construction owns its metadata)
+            data: vec![v],  // lint: alloc(a scalar tensor owns its single-element buffer)
         }
     }
 
@@ -138,8 +138,8 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let numel = shape.iter().product();
         Tensor {
-            shape: shape.to_vec(),
-            data: vec![0.0; numel],
+            shape: shape.to_vec(),  // lint: alloc(construction owns its shape)
+            data: vec![0.0; numel], // lint: alloc(a fresh tensor owns its zeroed buffer)
         }
     }
 
@@ -174,7 +174,7 @@ impl Tensor {
     /// Box–Muller transform (so only `rand::Rng` is required).
     pub fn randn<R: Rng + ?Sized>(shape: &[usize], std: f32, rng: &mut R) -> Self {
         let numel: usize = shape.iter().product();
-        let mut data = Vec::with_capacity(numel);
+        let mut data = Vec::with_capacity(numel); // lint: alloc(weight init, not the steady-state serve path)
         while data.len() < numel {
             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
             let u2: f32 = rng.gen_range(0.0..1.0);
@@ -186,7 +186,7 @@ impl Tensor {
             }
         }
         Tensor {
-            shape: shape.to_vec(),
+            shape: shape.to_vec(), // lint: alloc(construction owns its shape)
             data,
         }
     }
@@ -194,9 +194,9 @@ impl Tensor {
     /// A tensor with entries drawn uniformly from `[lo, hi)`.
     pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
         let numel: usize = shape.iter().product();
-        let data = (0..numel).map(|_| rng.gen_range(lo..hi)).collect();
+        let data = (0..numel).map(|_| rng.gen_range(lo..hi)).collect(); // lint: alloc(weight init, not the steady-state serve path)
         Tensor {
-            shape: shape.to_vec(),
+            shape: shape.to_vec(), // lint: alloc(construction owns its shape)
             data,
         }
     }
@@ -241,7 +241,7 @@ impl Tensor {
 
     /// Number of rows of a rank-2 tensor (or the length of a rank-1 tensor).
     pub fn rows(&self) -> usize {
-        self.shape[0]
+        self.shape[0] // lint: panicfree(every tensor has rank >= 1)
     }
 
     /// Number of columns of a rank-2 tensor.
@@ -251,7 +251,7 @@ impl Tensor {
     /// Panics if the tensor is not rank 2.
     pub fn cols(&self) -> usize {
         assert_eq!(self.rank(), 2, "cols() on rank-{} tensor", self.rank());
-        self.shape[1]
+        self.shape[1] // lint: panicfree(rank asserted 2 above)
     }
 
     /// A view of the underlying flat buffer.
@@ -272,21 +272,21 @@ impl Tensor {
     /// Element at `(r, c)` of a rank-2 tensor.
     pub fn at(&self, r: usize, c: usize) -> f32 {
         debug_assert_eq!(self.rank(), 2);
-        self.data[r * self.shape[1] + c]
+        self.data[r * self.shape[1] + c] // lint: panicfree(the elementwise accessor's documented bounds contract)
     }
 
     /// Sets element `(r, c)` of a rank-2 tensor.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert_eq!(self.rank(), 2);
-        let cols = self.shape[1];
-        self.data[r * cols + c] = v;
+        let cols = self.shape[1]; // lint: panicfree(rank-2 debug-asserted; shape has two dims)
+        self.data[r * cols + c] = v; // lint: panicfree(the elementwise accessor's documented bounds contract)
     }
 
     /// Row `r` of a rank-2 tensor as a slice.
     pub fn row(&self, r: usize) -> &[f32] {
         debug_assert_eq!(self.rank(), 2);
-        let c = self.shape[1];
-        &self.data[r * c..(r + 1) * c]
+        let c = self.shape[1]; // lint: panicfree(rank-2 debug-asserted; shape has two dims)
+        &self.data[r * c..(r + 1) * c] // lint: panicfree(the row accessor's documented bounds contract)
     }
 
     /// Mutable row `r` of a rank-2 tensor.
@@ -365,7 +365,7 @@ impl Tensor {
             self.data.len(),
             "reshape must preserve element count"
         );
-        self.shape = shape.to_vec();
+        self.shape = shape.to_vec(); // lint: alloc(reshape replaces the shape Vec; numel asserted unchanged)
         self
     }
 
@@ -401,8 +401,8 @@ impl Tensor {
     #[must_use = "this op returns a new tensor and does not modify self"]
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(), // lint: alloc(the mapped tensor owns its shape)
+            data: self.data.iter().map(|&v| f(v)).collect(), // lint: alloc(the mapped tensor owns its buffer)
         }
     }
 
@@ -495,6 +495,7 @@ impl Tensor {
     /// element is overwritten, and reuse is bitwise identical to a fresh
     /// allocation.
     pub fn matmul_into(&self, other: &Tensor, exec: &Executor, out: &mut Tensor) {
+        // lint: alloc(convenience path repacks B per call; the packed API reuses a caller panel)
         let mut panel = Vec::new();
         gemm_tensors(GemmKind::Nn, self, other, exec, &mut panel, out);
     }
@@ -518,6 +519,7 @@ impl Tensor {
 
     /// [`Tensor::matmul_nt`] into a caller-owned (possibly dirty) output.
     pub fn matmul_nt_into(&self, other: &Tensor, exec: &Executor, out: &mut Tensor) {
+        // lint: alloc(convenience path repacks B per call; the packed API reuses a caller panel)
         let mut panel = Vec::new();
         gemm_tensors(GemmKind::Nt, self, other, exec, &mut panel, out);
     }
@@ -541,6 +543,7 @@ impl Tensor {
 
     /// [`Tensor::matmul_tn`] into a caller-owned (possibly dirty) output.
     pub fn matmul_tn_into(&self, other: &Tensor, exec: &Executor, out: &mut Tensor) {
+        // lint: alloc(convenience path repacks B per call; the packed API reuses a caller panel)
         let mut panel = Vec::new();
         gemm_tensors(GemmKind::Tn, self, other, exec, &mut panel, out);
     }
@@ -658,20 +661,20 @@ pub(crate) fn gemm_tensors(
     assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
     let (m, k, n) = match kind {
         GemmKind::Nn => {
-            let (m, k) = (a.shape[0], a.shape[1]);
-            let (k2, n) = (b.shape[0], b.shape[1]);
+            let (m, k) = (a.shape[0], a.shape[1]); // lint: panicfree(rank-2 asserted above)
+            let (k2, n) = (b.shape[0], b.shape[1]); // lint: panicfree(rank-2 asserted above)
             assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
             (m, k, n)
         }
         GemmKind::Nt => {
-            let (m, k) = (a.shape[0], a.shape[1]);
-            let (n, k2) = (b.shape[0], b.shape[1]);
+            let (m, k) = (a.shape[0], a.shape[1]); // lint: panicfree(rank-2 asserted above)
+            let (n, k2) = (b.shape[0], b.shape[1]); // lint: panicfree(rank-2 asserted above)
             assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
             (m, k, n)
         }
         GemmKind::Tn => {
-            let (k, m) = (a.shape[0], a.shape[1]);
-            let (k2, n) = (b.shape[0], b.shape[1]);
+            let (k, m) = (a.shape[0], a.shape[1]); // lint: panicfree(rank-2 asserted above)
+            let (k2, n) = (b.shape[0], b.shape[1]); // lint: panicfree(rank-2 asserted above)
             assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
             (m, k, n)
         }
@@ -806,6 +809,7 @@ pub fn argmax_slice(xs: &[f32]) -> usize {
     assert!(!xs.is_empty(), "argmax of empty slice");
     let mut best = 0;
     for (i, &v) in xs.iter().enumerate() {
+        // lint: panicfree(best only ever holds a previously visited index)
         if v > xs[best] {
             best = i;
         }

@@ -53,6 +53,11 @@ step "lint-fixtures" cargo test --offline --quiet -p taglets-lint
 
 step "lint" cargo run --offline --quiet -p taglets-lint -- --check --json
 
+# Lint trajectory: min-of-9 per-stage wall-times plus per-rule hit counts,
+# written to BENCH_lint.json so analyzer cost and violation counts are
+# diffable PR-over-PR.
+step "bench-lint" cargo run --offline --quiet -p taglets-lint -- --bench
+
 step "build" cargo build --offline --release
 
 step "test" cargo test --offline --quiet
