@@ -1,0 +1,248 @@
+//! Deterministic load generator for the serving router benchmarks.
+//!
+//! A [`TrafficConfig`] plus a seed is a complete, replayable description of
+//! a traffic tape: [`generate_traffic`] expands it into a sorted
+//! [`RoutedRequest`] stream whose arrival times, tenant assignment, and
+//! feature rows are all pure functions of the config. Replayed through the
+//! virtual-clock [`taglets_core::Router::run`] driver, the same tape
+//! produces byte-identical telemetry every time (asserted by
+//! `tests/serving_bench_contract.rs` and re-asserted by the
+//! `serving_router` bench before it times anything) — every latency/shed
+//! claim in `BENCH_serving.json` comes from a tape, not an anecdote.
+//!
+//! Four shapes cover the load patterns that matter for a router:
+//!
+//! * [`TrafficShape::Steady`] — constant inter-arrival gap; the baseline.
+//! * [`TrafficShape::Bursty`] — quiet gaps punctuated by same-instant
+//!   bursts; exercises queue pressure and deadline flushes.
+//! * [`TrafficShape::Diurnal`] — the gap follows a day-curve (peak traffic
+//!   ~4x the trough); exercises sustained-load transitions.
+//! * [`TrafficShape::TenantSkewed`] — tenant 0 floods in bursts while the
+//!   rest trickle steadily; exercises quota isolation.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use taglets_core::{RoutedRequest, TenantId};
+use taglets_tensor::Tensor;
+
+/// The arrival-time/tenant pattern of a generated tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficShape {
+    /// Constant inter-arrival gap, round-robin tenants.
+    Steady,
+    /// Same-instant bursts separated by quiet gaps, round-robin tenants.
+    Bursty,
+    /// Sinusoidal day-curve modulating the gap (peak ≈ 4x trough rate),
+    /// round-robin tenants.
+    Diurnal,
+    /// Tenant 0 floods in bursts (~2/3 of all requests); the remaining
+    /// tenants trickle on a steady cadence.
+    TenantSkewed,
+}
+
+impl TrafficShape {
+    /// Every shape, in the order benches sweep them.
+    pub const ALL: [TrafficShape; 4] = [
+        TrafficShape::Steady,
+        TrafficShape::Bursty,
+        TrafficShape::Diurnal,
+        TrafficShape::TenantSkewed,
+    ];
+
+    /// Stable lower-case label used by reports and bench records.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficShape::Steady => "steady",
+            TrafficShape::Bursty => "bursty",
+            TrafficShape::Diurnal => "diurnal",
+            TrafficShape::TenantSkewed => "tenant-skewed",
+        }
+    }
+}
+
+/// A complete, seedable description of one traffic tape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficConfig {
+    /// Arrival-time/tenant pattern.
+    pub shape: TrafficShape,
+    /// Total requests on the tape.
+    pub requests: usize,
+    /// Number of distinct tenants (ids `0..tenants`).
+    pub tenants: TenantId,
+    /// Mean inter-arrival gap in virtual nanoseconds — the offered-rate
+    /// knob (offered QPS ≈ 1e9 / mean_gap_nanos).
+    pub mean_gap_nanos: u64,
+    /// Feature width of every request row (must match the served model).
+    pub input_dim: usize,
+    /// Size of the unique-row pool requests draw from; smaller pools mean
+    /// more repeats and therefore more prediction-cache hits.
+    pub unique_inputs: usize,
+    /// Seed for the whole tape (arrival jitter, tenant mix, row choice).
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            shape: TrafficShape::Steady,
+            requests: 1024,
+            tenants: 4,
+            mean_gap_nanos: 500,
+            input_dim: 8,
+            unique_inputs: 64,
+            seed: 0x7A61,
+        }
+    }
+}
+
+/// Expands a [`TrafficConfig`] into its request tape: `requests` routed
+/// requests with non-decreasing arrival times. Pure function of the config
+/// — same config, same tape, byte for byte.
+pub fn generate_traffic(cfg: &TrafficConfig) -> Vec<RoutedRequest> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dim = cfg.input_dim.max(1);
+    let pool_size = cfg.unique_inputs.max(1);
+    let tenants = cfg.tenants.max(1);
+    let gap = cfg.mean_gap_nanos.max(1);
+
+    let pool: Vec<Vec<f32>> = (0..pool_size)
+        .map(|_| Tensor::randn(&[1, dim], 1.0, &mut rng).into_vec())
+        .collect();
+
+    let mut out: Vec<RoutedRequest> = Vec::with_capacity(cfg.requests);
+    let mut t = 0u64;
+    for i in 0..cfg.requests {
+        let (advance, tenant) = match cfg.shape {
+            TrafficShape::Steady => (gap, (i as TenantId) % tenants),
+            TrafficShape::Bursty => {
+                // Bursts of 8 land on one instant; the gap between bursts
+                // restores the configured mean rate.
+                let advance = if i % 8 == 0 { gap * 8 } else { 0 };
+                (advance, (i as TenantId) % tenants)
+            }
+            TrafficShape::Diurnal => {
+                // One "day" spans the whole tape; instantaneous gap swings
+                // sinusoidally between 0.4x (peak rate) and 1.6x (trough)
+                // of the mean, so the integral stays ≈ requests * gap.
+                let phase = i as f64 / cfg.requests.max(1) as f64;
+                let swing = 1.0 + 0.6 * (std::f64::consts::TAU * phase).sin();
+                ((gap as f64 * swing) as u64, (i as TenantId) % tenants)
+            }
+            TrafficShape::TenantSkewed => {
+                // Two of every three requests belong to tenant 0 and land
+                // in 6-request floods; the rest round-robin over the other
+                // tenants (or tenant 0 again when it is the only one) on a
+                // steady cadence.
+                if i % 3 != 2 {
+                    let advance = if i % 9 == 0 { gap * 6 } else { 0 };
+                    (advance, 0)
+                } else {
+                    let others = tenants.saturating_sub(1).max(1);
+                    let tenant = if tenants == 1 {
+                        0
+                    } else {
+                        1 + ((i / 3) as TenantId) % others
+                    };
+                    (gap, tenant)
+                }
+            }
+        };
+        // ±25% deterministic jitter keeps arrival edges from aliasing with
+        // batch deadlines; drawn from the seeded stream, so it replays.
+        let jitter = (advance as f64 * (rng.gen::<f64>() - 0.5) * 0.5) as i64;
+        t = t.saturating_add(advance.saturating_add_signed(jitter));
+        let row = pool[rng.gen_range(0..pool_size)].clone();
+        out.push(RoutedRequest::new(t, tenant, row));
+    }
+    out
+}
+
+/// Virtual-time span of a tape in nanoseconds: first to last arrival. The
+/// denominator for offered/sustained QPS (`0` for tapes shorter than two
+/// requests).
+pub fn tape_span_nanos(stream: &[RoutedRequest]) -> u64 {
+    match (stream.first(), stream.last()) {
+        (Some(first), Some(last)) => last.at_nanos.saturating_sub(first.at_nanos),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_config_generates_the_same_tape() {
+        for shape in TrafficShape::ALL {
+            let cfg = TrafficConfig {
+                shape,
+                requests: 200,
+                ..TrafficConfig::default()
+            };
+            let a = generate_traffic(&cfg);
+            let b = generate_traffic(&cfg);
+            assert_eq!(a, b, "{} tape must replay byte-identically", shape.name());
+            assert_eq!(a.len(), 200);
+        }
+    }
+
+    #[test]
+    fn arrival_times_are_non_decreasing() {
+        for shape in TrafficShape::ALL {
+            let cfg = TrafficConfig {
+                shape,
+                requests: 300,
+                ..TrafficConfig::default()
+            };
+            let tape = generate_traffic(&cfg);
+            assert!(
+                tape.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos),
+                "{} tape must be time-sorted",
+                shape.name()
+            );
+            assert!(tape_span_nanos(&tape) > 0);
+        }
+    }
+
+    #[test]
+    fn tenants_stay_in_range_and_skew_concentrates_on_tenant_zero() {
+        let cfg = TrafficConfig {
+            shape: TrafficShape::TenantSkewed,
+            requests: 300,
+            tenants: 4,
+            ..TrafficConfig::default()
+        };
+        let tape = generate_traffic(&cfg);
+        assert!(tape.iter().all(|r| r.tenant < 4));
+        let hot = tape.iter().filter(|r| r.tenant == 0).count();
+        assert!(
+            hot * 3 + 3 >= tape.len() * 2,
+            "tenant 0 must dominate the skewed tape ({hot}/{})",
+            tape.len()
+        );
+    }
+
+    #[test]
+    fn bursty_tape_has_same_instant_clusters() {
+        let cfg = TrafficConfig {
+            shape: TrafficShape::Bursty,
+            requests: 200,
+            ..TrafficConfig::default()
+        };
+        let tape = generate_traffic(&cfg);
+        let clustered = tape
+            .windows(2)
+            .filter(|w| w[0].at_nanos == w[1].at_nanos)
+            .count();
+        assert!(clustered > 50, "bursts must cluster arrivals ({clustered})");
+    }
+
+    #[test]
+    fn seeds_change_the_tape() {
+        let a = generate_traffic(&TrafficConfig::default());
+        let b = generate_traffic(&TrafficConfig {
+            seed: 99,
+            ..TrafficConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+}

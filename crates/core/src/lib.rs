@@ -40,6 +40,7 @@ pub mod distillation;
 mod ensemble;
 pub mod exec;
 mod modules;
+pub mod route;
 mod servable;
 pub mod serve;
 mod system;
@@ -53,6 +54,10 @@ pub use config::{
 pub use ensemble::Ensemble;
 pub use exec::{Concurrency, Executor};
 pub use modules::{fixmatch_train, FixMatchModule, MultiTaskModule, TransferModule, ZslKgModule};
+pub use route::{
+    DispatchPolicy, RouteConfig, RouteError, RouteResponse, RouteRun, RouteTelemetry,
+    RoutedRequest, Router, TenantId, TenantTelemetry,
+};
 pub use servable::ServableModel;
 pub use serve::{
     Clock, ServeConfig, ServeError, ServeResponse, ServeRun, ServeTelemetry, ServingEngine,

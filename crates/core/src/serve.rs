@@ -241,6 +241,16 @@ impl LatencyHistogram {
         }
     }
 
+    /// Adds every observation of `other` into `self` — the router's
+    /// cross-replica latency merge. Buckets are fixed-edge, so merging is
+    /// exact: the result is the histogram of the union of observations.
+    pub fn absorb(&mut self, other: &LatencyHistogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += *src;
+        }
+        self.total += other.total;
+    }
+
     /// Count in bucket `i`; out-of-range buckets read as empty.
     pub fn count(&self, i: usize) -> u64 {
         self.counts.get(i).copied().unwrap_or(0)
@@ -620,6 +630,14 @@ impl<'a> ServingEngine<'a> {
 
     /// Requests admitted but not yet executed.
     pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The engine's current load — its admission-queue depth. This is the
+    /// signal a [`crate::route::Router`] balances on for least-loaded
+    /// dispatch, so it must stay cheap (a `VecDeque` length read) and must
+    /// never consult the clock.
+    pub fn load(&self) -> usize {
         self.pending.len()
     }
 

@@ -271,6 +271,7 @@ impl<'a> TagletsSystem<'a> {
                 modules: module_telemetry,
                 end_model: end_telemetry,
                 serve: None,
+                route: None,
             },
         })
     }

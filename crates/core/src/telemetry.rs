@@ -10,6 +10,7 @@
 use taglets_nn::FitReport;
 
 use crate::exec::Concurrency;
+use crate::route::RouteTelemetry;
 use crate::serve::ServeTelemetry;
 
 /// Wall-clock timing of one named pipeline stage.
@@ -51,6 +52,10 @@ pub struct RunTelemetry {
     /// Serving telemetry, when the run's end model was exercised through a
     /// [`crate::ServingEngine`] (`None` for train-only runs).
     pub serve: Option<ServeTelemetry>,
+    /// Routing telemetry, when the run's end model was exercised through a
+    /// multi-replica [`crate::Router`] (`None` for train-only or
+    /// single-engine runs).
+    pub route: Option<RouteTelemetry>,
 }
 
 impl RunTelemetry {
@@ -129,6 +134,7 @@ mod tests {
                 report: FitReport::default(),
             },
             serve: None,
+            route: None,
         }
     }
 

@@ -497,6 +497,7 @@ mod tests {
                     report: taglets_nn::FitReport::default(),
                 },
                 serve: None,
+                route: None,
             },
         };
         assert!((d.module_mean() - 0.4).abs() < 1e-6);

@@ -96,13 +96,16 @@ pub fn analyze(graph: &CallGraph) -> Vec<Violation> {
 }
 
 /// True for the latency-critical roots the walk starts from: serving-engine
-/// methods (minus its constructors), the batched inference fast path, every
+/// and router methods (minus their constructors — routing sits upstream of
+/// every per-request serving latency, so its dispatch/collect surface is
+/// held to the same hygiene bar), the batched inference fast path, every
 /// `*_into` kernel entry point, and the sharded retrofit sweep.
 fn is_hot_root(f: &FnInfo) -> bool {
     if is_setup(f) {
         return false;
     }
     f.impl_type.as_deref() == Some("ServingEngine")
+        || f.impl_type.as_deref() == Some("Router")
         || f.name.starts_with("predict_proba_batched")
         || f.name.ends_with("_into")
         || f.name == "retrofit_sharded"

@@ -6,6 +6,10 @@
 //! system's contract:
 //!
 //! * `TagletsSystem::run` (the staged pipeline),
+//! * `ServingEngine::run` and `Router::run` (the single-engine and
+//!   multi-replica replay drivers — routed serving promises byte-identical
+//!   telemetry per seed, so everything dispatch reaches must be
+//!   deterministic),
 //! * every `TagletModule::train` implementation,
 //! * every method of `core::exec::Executor`,
 //! * the eval sweep (`sweep_method`),
@@ -37,6 +41,7 @@ pub fn is_root(f: &FnInfo) -> bool {
     let impl_type = f.impl_type.as_deref();
     (impl_type == Some("TagletsSystem") && f.name == "run")
         || (impl_type == Some("ServingEngine") && f.name == "run")
+        || (impl_type == Some("Router") && f.name == "run")
         || (f.trait_name.as_deref() == Some("TagletModule") && f.name == "train")
         || impl_type == Some("Executor")
         || impl_type == Some("ShardedScads")
@@ -170,13 +175,13 @@ mod tests {
 
     #[test]
     fn roots_cover_the_contract() {
-        let src = "impl TagletsSystem {\n    fn run(&self) {}\n}\nimpl TagletModule for FixMatch {\n    fn train(&self) {}\n}\nimpl Executor {\n    fn map_indexed(&self) {}\n}\nimpl<'a> ServingEngine<'a> {\n    fn run() {}\n    fn submit(&self) {}\n}\nimpl<'a, X> ShardedScads<'a, X> {\n    fn related_concepts(&self) {}\n}\nfn sweep_method() {}\nfn exchange_boundaries() {}\nfn retrofit_sharded() {}\nfn helper() {}\n";
+        let src = "impl TagletsSystem {\n    fn run(&self) {}\n}\nimpl TagletModule for FixMatch {\n    fn train(&self) {}\n}\nimpl Executor {\n    fn map_indexed(&self) {}\n}\nimpl<'a> ServingEngine<'a> {\n    fn run() {}\n    fn submit(&self) {}\n}\nimpl<'a> Router<'a> {\n    fn run() {}\n    fn dispatch(&self) {}\n}\nimpl<'a, X> ShardedScads<'a, X> {\n    fn related_concepts(&self) {}\n}\nfn sweep_method() {}\nfn exchange_boundaries() {}\nfn retrofit_sharded() {}\nfn helper() {}\n";
         let lines = scan(src);
         let fns = extract("crates/core/src/system.rs", &lex(src), &lines).fns;
         let rooted: Vec<bool> = fns.iter().map(is_root).collect();
         assert_eq!(
             rooted,
-            vec![true, true, true, true, false, true, true, true, true, false]
+            vec![true, true, true, true, false, true, false, true, true, true, true, false]
         );
     }
 

@@ -1,0 +1,88 @@
+//! End-to-end test of the analyzer over a miniature routed-serving
+//! workspace (`tests/fixtures/route_ws/`): a `Router::run` root whose
+//! dispatch path reaches a wall-clock read inside the replica engine's
+//! admission (TL007) and a heap allocation in the fingerprint helper
+//! (TL014), with constructors the setup cut must keep silent.
+//!
+//! The fixture's `ServingEngine` deliberately has no `run`, so the router
+//! is the *only* taint root — the exact chains pin that the new root
+//! actually drives the walk, rather than riding along an engine root.
+
+use std::path::PathBuf;
+
+use taglets_lint::{scan_workspace, Rule, Violation};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("route_ws")
+}
+
+fn scan() -> Vec<Violation> {
+    scan_workspace(&fixture_root()).expect("fixture workspace scans")
+}
+
+#[test]
+fn tl007_pins_the_router_to_engine_admission_chain() {
+    let v = scan();
+    let taints: Vec<&Violation> = v.iter().filter(|v| v.rule == Rule::Tl007).collect();
+    assert_eq!(
+        taints.len(),
+        1,
+        "exactly one reachable time source: {taints:?}"
+    );
+    assert_eq!(taints[0].file, "crates/core/src/serve.rs");
+    assert!(taints[0].excerpt.contains("Instant::now"));
+    let names: Vec<&str> = taints[0].chain.iter().map(|h| h.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["Router::run", "dispatch", "ServingEngine::submit"],
+        "the router-to-admission path is three hops"
+    );
+    assert_eq!(taints[0].chain[0].file, "crates/core/src/route.rs");
+    assert_eq!(taints[0].chain[2].file, "crates/core/src/serve.rs");
+}
+
+#[test]
+fn tl014_fires_from_the_router_root() {
+    let v = scan();
+    let allocs: Vec<&Violation> = v.iter().filter(|v| v.rule == Rule::Tl014).collect();
+    assert_eq!(
+        allocs.len(),
+        1,
+        "exactly one reachable allocation: {allocs:?}"
+    );
+    assert_eq!(allocs[0].file, "crates/core/src/route.rs");
+    assert!(allocs[0].excerpt.contains(".to_vec()"));
+    let names: Vec<&str> = allocs[0].chain.iter().map(|h| h.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["Router::run", "dispatch", "fingerprint"],
+        "the allocation is reached from the router root, not an engine root"
+    );
+}
+
+#[test]
+fn constructors_stay_silent_under_the_setup_cut() {
+    // `Router::new` allocates its replica vector; nothing may fire there.
+    // Beyond the two pinned chains, the only other report is the
+    // site-level TL003 at the `Instant::now` line itself (it fires at the
+    // source, reachable or not).
+    let v = scan();
+    assert!(
+        !v.iter().any(|v| v.excerpt.contains("Vec::with_capacity")),
+        "constructor allocation fired: {v:?}"
+    );
+    let extra: Vec<&Violation> = v
+        .iter()
+        .filter(|v| v.rule != Rule::Tl007 && v.rule != Rule::Tl014)
+        .collect();
+    assert!(
+        extra.iter().all(|v| v.rule == Rule::Tl003
+            && v.file == "crates/core/src/serve.rs"
+            && v.excerpt.contains("Instant::now")),
+        "unexpected extra reports: {extra:?}"
+    );
+    assert_eq!(v.len(), 3, "two pinned chains + the TL003 site hit: {v:?}");
+}

@@ -19,7 +19,7 @@ use rand::{rngs::StdRng, SeedableRng};
 
 use taglets::nn::Classifier;
 use taglets::tensor::Tensor;
-use taglets::{Concurrency, ServableModel, ServeConfig, ServingEngine, TimedRequest};
+use taglets::{Concurrency, ServableModel, ServeConfig, ServingEngine, TimedRequest, VirtualClock};
 
 const INPUT_DIM: usize = 5;
 const NUM_CLASSES: usize = 4;
@@ -232,4 +232,33 @@ fn fixed_stream_is_identical_across_workers_and_cache() {
     }
     // The cached runs actually exercised the cache.
     assert!(runs[4].telemetry.cache_hits > 0);
+}
+
+/// `load()` — the queue-depth signal the router's least-loaded policy
+/// balances on — tracks `pending_len` exactly: it rises one per admitted
+/// request, is untouched by shed submissions, and returns to zero once the
+/// engine drains.
+#[test]
+fn load_tracks_queue_depth_through_submit_and_drain() {
+    let m = model();
+    let clock = VirtualClock::new();
+    let mut engine = ServingEngine::new(
+        &m,
+        config(16, 10_000, 3, 0, 1), // cap 3: the 4th submit sheds
+        &clock,
+    )
+    .unwrap();
+    assert_eq!(engine.load(), 0);
+    let requests = stream(4, 77, 0);
+    for (i, r) in requests.iter().take(3).enumerate() {
+        engine.submit(r.input.clone()).unwrap();
+        assert_eq!(engine.load(), i + 1, "load rises one per admitted request");
+        assert_eq!(engine.load(), engine.pending_len());
+    }
+    // Queue full: the shed submission must not move the load signal.
+    assert!(engine.submit(requests[3].input.clone()).is_err());
+    assert_eq!(engine.load(), 3, "a shed request never counts as load");
+    engine.drain();
+    assert_eq!(engine.load(), 0, "drain empties the queue");
+    assert_eq!(engine.take_responses().len(), 3);
 }
