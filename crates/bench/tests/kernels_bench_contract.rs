@@ -1,0 +1,120 @@
+//! Contract tests for the kernel baseline.
+//!
+//! The checked-in `BENCH_kernels.json` at the workspace root is the file
+//! downstream tooling diffs PR-over-PR, so its schema is pinned here: a
+//! bench refactor that drops a key or a row family fails this test, not
+//! whatever script consumes the file next. ISSUE 10 extended every row
+//! with `epilogue` ("none" / "bias_relu") and `dtype` ("f32" / "int8"),
+//! and added three row families: fused-vs-unfused linear forwards at
+//! serving micro-batch shapes, int8-quantized-vs-f32-prepacked linear
+//! forwards at m=8, and the (unchanged) multi-worker rows whose 128³
+//! entries the bench now gates against their 1-worker counterpart.
+//!
+//! The perf *ratios* themselves are asserted inside the bench binary
+//! (`scripts/check.sh bench-kernels`), which also re-verifies bitwise
+//! identity before timing — this file only pins what the baseline
+//! artifact must contain.
+
+fn baseline() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "BENCH_kernels.json missing at {} ({e}) — regenerate with \
+             `cargo bench -p taglets-bench --bench kernels -- --json`",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn baseline_has_the_pinned_top_level_shape() {
+    let json = baseline();
+    assert!(json.contains("\"bench\": \"kernels\""));
+    assert!(json.contains("\"unit\""));
+    assert!(json.contains("\"results\""));
+}
+
+#[test]
+fn every_row_carries_every_diffed_key() {
+    let json = baseline();
+    let results = json
+        .split_once("\"results\"")
+        .map(|(_, rest)| rest)
+        .expect("baseline has a results array");
+    let rows = results.matches("\"op\"").count();
+    assert!(rows > 0, "baseline has at least one result row");
+    for key in [
+        "\"impl\"",
+        "\"m\"",
+        "\"k\"",
+        "\"n\"",
+        "\"workers\"",
+        "\"epilogue\"",
+        "\"dtype\"",
+        "\"ns_per_iter\"",
+        "\"gflops\"",
+    ] {
+        assert_eq!(
+            results.matches(key).count(),
+            rows,
+            "expected {key} on all {rows} rows"
+        );
+    }
+}
+
+#[test]
+fn fused_epilogue_rows_cover_the_micro_batch_shapes() {
+    let json = baseline();
+    for (m, k, n) in [
+        (4usize, 8usize, 64usize),
+        (8, 8, 64),
+        (8, 8, 512),
+        (64, 8, 256),
+        (8, 64, 64),
+        (8, 256, 256),
+    ] {
+        for imp in ["unfused", "fused"] {
+            let row = format!(
+                "\"op\": \"linear\", \"impl\": \"{imp}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+                 \"workers\": 1, \"epilogue\": \"bias_relu\", \"dtype\": \"f32\""
+            );
+            assert!(
+                json.contains(&row),
+                "BENCH_kernels.json missing the {imp} epilogue row at {m}x{k}x{n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn int8_rows_cover_the_serving_micro_batch_sweep() {
+    let json = baseline();
+    for (k, n) in [(64usize, 64usize), (256, 256), (512, 512)] {
+        for (imp, dtype) in [("prepacked", "f32"), ("quantized", "int8")] {
+            let row = format!(
+                "\"op\": \"linear\", \"impl\": \"{imp}\", \"m\": 8, \"k\": {k}, \"n\": {n}, \
+                 \"workers\": 1, \"epilogue\": \"bias_relu\", \"dtype\": \"{dtype}\""
+            );
+            assert!(
+                json.contains(&row),
+                "BENCH_kernels.json missing the {imp}/{dtype} row at 8x{k}x{n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_sweep_rows_survive_at_the_gated_shape() {
+    let json = baseline();
+    for workers in [1usize, 2, 4] {
+        let row = format!(
+            "\"op\": \"matmul\", \"impl\": \"blocked\", \"m\": 128, \"k\": 128, \"n\": 128, \
+             \"workers\": {workers}, \"epilogue\": \"none\", \"dtype\": \"f32\""
+        );
+        assert!(
+            json.contains(&row),
+            "BENCH_kernels.json missing the {workers}-worker 128^3 row the serial-dispatch \
+             gate compares"
+        );
+    }
+}

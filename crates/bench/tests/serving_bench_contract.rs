@@ -15,7 +15,7 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use taglets_bench::{generate_traffic, TrafficConfig, TrafficShape};
-use taglets_core::{DispatchPolicy, RouteConfig, Router, ServableModel};
+use taglets_core::{DispatchPolicy, InferencePath, RouteConfig, Router, ServableModel};
 use taglets_eval::render_route_json;
 
 fn baseline() -> String {
@@ -49,6 +49,7 @@ fn baseline_rows_carry_every_diffed_key() {
     for key in [
         "\"shape\"",
         "\"replicas\"",
+        "\"path\"",
         "\"policy\"",
         "\"requests\"",
         "\"offered_qps\"",
@@ -62,8 +63,9 @@ fn baseline_rows_carry_every_diffed_key() {
     ] {
         let rows = results.matches(key).count();
         assert_eq!(
-            rows, 12,
-            "expected {key} on all 12 rows (4 shapes x 3 replica counts), found {rows}"
+            rows, 16,
+            "expected {key} on all 16 rows (4 shapes x (3 f32 replica counts + 1 int8 row)), \
+             found {rows}"
         );
     }
 }
@@ -74,16 +76,27 @@ fn baseline_covers_every_shape_at_every_replica_count() {
     for shape in TrafficShape::ALL {
         for replicas in [1usize, 2, 4] {
             let row = format!(
-                "\"shape\": \"{}\", \"replicas\": {}",
+                "\"shape\": \"{}\", \"replicas\": {}, \"path\": \"f32\"",
                 shape.name(),
                 replicas
             );
             assert!(
                 json.contains(&row),
-                "BENCH_serving.json missing the ({}, {replicas}-replica) row",
+                "BENCH_serving.json missing the ({}, {replicas}-replica, f32) row",
                 shape.name()
             );
         }
+        // The int8 serving path is baselined at 1 replica per shape — the
+        // selectable-path claim and its wall cost on the tiny-k bench model.
+        let row = format!(
+            "\"shape\": \"{}\", \"replicas\": 1, \"path\": \"int8\"",
+            shape.name()
+        );
+        assert!(
+            json.contains(&row),
+            "BENCH_serving.json missing the ({}, 1-replica, int8) row",
+            shape.name()
+        );
     }
 }
 
@@ -107,21 +120,25 @@ fn same_seed_replays_to_byte_identical_telemetry() {
             seed: 0xD00D + shape as u64,
         });
         for replicas in [1usize, 2, 4] {
-            let cfg = RouteConfig {
-                replicas,
-                policy: DispatchPolicy::ConsistentHash,
-                tenant_quota: Some(4),
-                ..RouteConfig::default()
-            };
-            let a = Router::run(&model, cfg.clone(), &tape).expect("replay succeeds");
-            let b = Router::run(&model, cfg, &tape).expect("replay succeeds");
-            assert_eq!(
-                render_route_json(&a.telemetry),
-                render_route_json(&b.telemetry),
-                "{} tape at {replicas} replicas must replay byte-identically",
-                shape.name()
-            );
-            assert_eq!(a.responses, b.responses);
+            for path in [InferencePath::F32, InferencePath::Int8] {
+                let mut cfg = RouteConfig {
+                    replicas,
+                    policy: DispatchPolicy::ConsistentHash,
+                    tenant_quota: Some(4),
+                    ..RouteConfig::default()
+                };
+                cfg.serve.path = path;
+                let a = Router::run(&model, cfg.clone(), &tape).expect("replay succeeds");
+                let b = Router::run(&model, cfg, &tape).expect("replay succeeds");
+                assert_eq!(
+                    render_route_json(&a.telemetry),
+                    render_route_json(&b.telemetry),
+                    "{} tape at {replicas} replicas ({}) must replay byte-identically",
+                    shape.name(),
+                    path.name()
+                );
+                assert_eq!(a.responses, b.responses);
+            }
         }
     }
 }

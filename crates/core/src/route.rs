@@ -859,6 +859,26 @@ mod tests {
     }
 
     #[test]
+    fn int8_fleet_replays_deterministically_and_records_path_per_replica() {
+        use crate::serve::InferencePath;
+        let m = model();
+        let stream: Vec<RoutedRequest> = rows(18, 17)
+            .into_iter()
+            .enumerate()
+            .map(|(i, input)| RoutedRequest::new(i as u64 * 40, (i % 2) as TenantId, input))
+            .collect();
+        let mut cfg = config(3, DispatchPolicy::ConsistentHash, None);
+        cfg.serve.path = InferencePath::Int8;
+        let a = Router::run(&m, cfg.clone(), &stream).expect("replay succeeds");
+        let b = Router::run(&m, cfg, &stream).expect("replay succeeds");
+        assert_eq!(a, b, "int8 fleet replay is fully deterministic");
+        assert_eq!(a.telemetry.replicas.len(), 3);
+        for replica in &a.telemetry.replicas {
+            assert_eq!(replica.path, InferencePath::Int8);
+        }
+    }
+
+    #[test]
     fn telemetry_rates_are_well_defined_when_empty() {
         let t = RouteTelemetry {
             policy: DispatchPolicy::ConsistentHash,

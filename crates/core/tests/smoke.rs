@@ -56,6 +56,31 @@ fn full_pipeline_produces_a_working_end_model() {
         run.ensemble().accuracy(&split.test_x, &split.test_y)
     );
     assert!(acc > 2.0 * chance, "end model must beat chance: {acc}");
+
+    // ISSUE 10 acceptance: the int8 row-quantized serving path must agree
+    // with the f32 oracle on ≥ 99% of argmax predictions on a standard
+    // eval task's end model (not just on synthetic weights — this is the
+    // distilled model production serving would actually quantize).
+    let mut scratch = taglets_nn::InferScratch::new();
+    let f32_probs = run
+        .end_model
+        .predict_proba_batched(&split.test_x, &mut scratch);
+    let q_probs = run
+        .end_model
+        .predict_proba_quantized(&split.test_x, &mut scratch);
+    let rows = split.test_x.shape()[0];
+    let agree = (0..rows)
+        .filter(|&r| {
+            taglets_tensor::argmax_slice(f32_probs.row(r))
+                == taglets_tensor::argmax_slice(q_probs.row(r))
+        })
+        .count();
+    let agreement = agree as f32 / rows as f32;
+    eprintln!("int8/f32 argmax agreement on fmd test split: {agreement}");
+    assert!(
+        agreement >= 0.99,
+        "int8 argmax agreement {agreement} below 0.99 on a standard eval task"
+    );
 }
 
 #[test]

@@ -13,15 +13,30 @@
 //!
 //! **Bitwise contract:** the fast path runs the *same* blocked GEMM kernel
 //! as the tape ([`taglets_tensor::kernels::gemm_into`], including its
-//! exact-zero skip for the `Nn` variant), then the row-broadcast bias add
-//! of `Tape::add_row` and the activation, with the final probabilities
-//! produced by the same [`softmax_rows`] function — so its output is
-//! bitwise identical to `predict_proba` row by row. Because every op is
-//! row-independent, each output row is also bitwise identical no matter
-//! which batch (of any size) the input row rides in; `core::serve` leans on
-//! this to make micro-batched parallel serving indistinguishable from
-//! serial single-request serving. The `batched_path_is_bitwise_identical`
-//! tests below pin both claims.
+//! exact-zero skip for the `Nn` variant) with the bias add — and, for ReLU
+//! backbones, the activation — fused into the kernel epilogue
+//! ([`kernels::Epilogue`]). Fusion never changes bits: the epilogue applies
+//! the same per-element f32 ops (`(acc + bias).max(0.0)`) in the same
+//! order the tape's `add_row` + activation sequence would, and an f32
+//! stored then re-read is the identical value, so output is bitwise
+//! identical to `predict_proba` row by row (final probabilities via the
+//! same [`softmax_rows`]). Because every op is row-independent, each output
+//! row is also bitwise identical no matter which batch (of any size) the
+//! input row rides in; `core::serve` leans on this to make micro-batched
+//! parallel serving indistinguishable from serial single-request serving.
+//! The `batched_path_is_bitwise_identical` tests below pin both claims.
+//!
+//! **Int8 serving path:** [`Classifier::predict_proba_quantized`] trades
+//! the bitwise contract for throughput: weights are quantized once to
+//! symmetric per-output-column int8 ([`QuantizedWeights`]), activations to
+//! per-row int8 at each layer, and the matmul runs in exact i32 integer
+//! arithmetic ([`kernels::gemm_i8_into`]) with dequantization and the
+//! bias/ReLU epilogue fused. Quantization is lossy, so this path is
+//! serving-only and the f32 path remains the accuracy oracle — the
+//! `quantized_path_*` tests bound its argmax disagreement and probability
+//! drift against `predict_proba_packed`. It *is* still deterministic:
+//! integer accumulation has no rounding, so results are identical across
+//! worker counts and batch compositions.
 //!
 //! [`Tape`]: taglets_tensor::Tape
 //! [`softmax_rows`]: taglets_tensor::softmax_rows
@@ -43,6 +58,10 @@ pub struct InferScratch {
     a: Vec<f32>,
     b: Vec<f32>,
     panel: Vec<f32>,
+    /// Biased-u8 activation codes for the int8 path, one layer at a time.
+    qa: Vec<u8>,
+    /// Per-row activation scales for the int8 path.
+    qs: Vec<f32>,
 }
 
 impl InferScratch {
@@ -51,9 +70,14 @@ impl InferScratch {
         InferScratch::default()
     }
 
-    /// Current capacity in `f32` elements across all buffers.
+    /// Current capacity in `f32`-element equivalents across all buffers
+    /// (the int8 code buffer counts 4 codes per element).
     pub fn capacity(&self) -> usize {
-        self.a.capacity() + self.b.capacity() + self.panel.capacity()
+        self.a.capacity()
+            + self.b.capacity()
+            + self.panel.capacity()
+            + self.qa.capacity().div_ceil(4)
+            + self.qs.capacity()
     }
 }
 
@@ -87,20 +111,57 @@ impl PackedWeights {
     }
 }
 
-/// Row-broadcast bias add, the epilogue `Tape::add_row` applies.
-fn add_bias_rows(out: &mut [f32], rows: usize, n: usize, bias: &[f32]) {
-    for r in 0..rows {
-        let out_row = &mut out[r * n..(r + 1) * n]; // lint: panicfree(out.len() = rows*n by the forward contract)
-        for (o, &bv) in out_row.iter_mut().zip(bias.iter()) {
-            *o += bv;
-        }
+/// One linear layer quantized for the int8 serving path: the column-major
+/// i8 panel plus the per-output-column scales and code sums
+/// ([`kernels::pack_b_i8`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct QuantizedLayer {
+    pub(crate) panel: Vec<i8>,
+    pub(crate) scales: Vec<f32>,
+    pub(crate) colsums: Vec<i32>,
+    /// `(fan_in, fan_out)` of the source layer.
+    pub(crate) dims: (usize, usize),
+}
+
+/// Weight matrices of one [`Classifier`] quantized to symmetric
+/// per-output-column int8, backbone layers first, head last — the
+/// [`PackedWeights`] sibling for the int8 serving path
+/// ([`Classifier::predict_proba_quantized`]).
+///
+/// Calibration (one scale per output column, from the column max-abs)
+/// happens once at quantize time; serving never re-reads the f32 weights.
+/// Like `PackedWeights`, a `QuantizedWeights` is only meaningful for the
+/// classifier it was built from ([`Classifier::quantize_weights`]); layer
+/// shapes are checked at use, contents are trusted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedWeights {
+    /// One quantized layer per linear layer, in forward order.
+    pub(crate) layers: Vec<QuantizedLayer>,
+}
+
+impl QuantizedWeights {
+    /// Total bytes held across all panels and calibration tables — the
+    /// cache footprint (roughly a quarter of the f32 panels').
+    pub fn num_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.panel.len() + 4 * l.scales.len() + 4 * l.colsums.len())
+            .sum()
+    }
+
+    /// `(fan_in, fan_out)` of each quantized layer, for shape audits.
+    pub(crate) fn dims(&self) -> Vec<(usize, usize)> {
+        // lint: alloc(shape audit list, one tuple per layer)
+        self.layers.iter().map(|l| l.dims).collect()
     }
 }
 
-/// `out = x · w + b` over flat row-major buffers: the matmul is the shared
-/// blocked kernel ([`kernels::gemm_into`], `Nn` variant — the same call the
-/// tape's `matmul` makes), followed by the row-broadcast bias add of
-/// `Tape::add_row`, so results are bitwise identical to the tape path.
+/// `out = epi(x · w)` over flat row-major buffers: the matmul is the
+/// shared blocked kernel ([`kernels::gemm_into`], `Nn` variant — the same
+/// call the tape's `matmul` makes) with the layer epilogue (bias add, or
+/// bias+ReLU) applied while each output block is register-hot. The fused
+/// epilogue replicates `Tape::add_row`'s per-element op order exactly, so
+/// results stay bitwise identical to the tape path.
 ///
 /// Intra-op parallelism stays off here: `core::serve` already runs one
 /// inference per worker, so the serial kernel keeps workers independent.
@@ -108,6 +169,7 @@ fn linear_forward(
     x: &[f32],
     rows: usize,
     layer: &Linear,
+    epi: kernels::Epilogue,
     panel: &mut Vec<f32>,
     out: &mut Vec<f32>,
 ) {
@@ -123,11 +185,11 @@ fn linear_forward(
         n,
         x,
         layer.weight().data(),
+        epi,
         &Executor::serial(),
         panel,
         out,
     );
-    add_bias_rows(out, rows, n, layer.bias().data());
 }
 
 /// [`linear_forward`] against a pre-packed weight panel: identical
@@ -137,14 +199,57 @@ fn linear_forward_packed(
     x: &[f32],
     rows: usize,
     layer: &Linear,
+    epi: kernels::Epilogue,
     panel: &[f32],
     out: &mut Vec<f32>,
 ) {
     let (k, n) = (layer.fan_in(), layer.fan_out());
     debug_assert_eq!(x.len(), rows * k, "input buffer shape mismatch");
     out.resize(rows * n, 0.0);
-    kernels::gemm_packed_into(GemmKind::Nn, rows, k, n, x, panel, &Executor::serial(), out);
-    add_bias_rows(out, rows, n, layer.bias().data());
+    kernels::gemm_packed_into(
+        GemmKind::Nn,
+        rows,
+        k,
+        n,
+        x,
+        panel,
+        epi,
+        &Executor::serial(),
+        out,
+    );
+}
+
+/// [`linear_forward`] in int8: quantize the activation rows, run the
+/// integer kernel against the layer's quantized panel, dequantize with the
+/// epilogue fused. Exact integer arithmetic keeps this deterministic; the
+/// quantization itself is lossy (see the module docs).
+#[allow(clippy::too_many_arguments)]
+fn linear_forward_quantized(
+    x: &[f32],
+    rows: usize,
+    layer: &QuantizedLayer,
+    epi: kernels::Epilogue,
+    qa: &mut Vec<u8>,
+    qs: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) {
+    let (k, n) = layer.dims;
+    debug_assert_eq!(x.len(), rows * k, "input buffer shape mismatch");
+    kernels::quantize_rows_i8(x, rows, k, qa, qs);
+    out.resize(rows * n, 0.0);
+    kernels::gemm_i8_into(
+        rows,
+        k,
+        n,
+        qa,
+        qs,
+        &layer.panel,
+        &layer.scales,
+        &layer.colsums,
+        epi,
+        &Executor::serial(),
+        out,
+    );
 }
 
 impl Classifier {
@@ -184,6 +289,142 @@ impl Classifier {
             dims.push((k, n));
         }
         PackedWeights { panels, dims }
+    }
+
+    /// Quantizes every weight matrix of this classifier (backbone layers
+    /// then head) to symmetric per-output-column int8 for
+    /// [`Classifier::predict_proba_quantized`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer's fan-in exceeds [`kernels::MAX_QUANT_K`] (the
+    /// integer kernel's no-overflow bound).
+    pub fn quantize_weights(&self) -> QuantizedWeights {
+        let head = std::iter::once(self.head());
+        let layers = self
+            .backbone()
+            .layers()
+            .iter()
+            .chain(head)
+            .map(|layer| {
+                let (k, n) = (layer.fan_in(), layer.fan_out());
+                assert!(
+                    k <= kernels::MAX_QUANT_K,
+                    "layer fan-in {k} exceeds the int8 kernel bound"
+                );
+                let (mut panel, mut scales, mut colsums) = (Vec::new(), Vec::new(), Vec::new());
+                kernels::pack_b_i8(
+                    k,
+                    n,
+                    layer.weight().data(),
+                    &mut panel,
+                    &mut scales,
+                    &mut colsums,
+                );
+                QuantizedLayer {
+                    panel,
+                    scales,
+                    colsums,
+                    dims: (k, n),
+                }
+            })
+            .collect();
+        QuantizedWeights { layers }
+    }
+
+    /// Class probabilities via the int8 serving path — deterministic but
+    /// *not* bitwise-equal to the f32 paths (quantization is lossy; see
+    /// the module docs). The f32 packed path is the accuracy oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2, its width differs from
+    /// [`Classifier::input_dim`], or `quant` was built for a classifier of
+    /// different layer shapes.
+    pub fn predict_proba_quantized(
+        &self,
+        x: &Tensor,
+        quant: &QuantizedWeights,
+        scratch: &mut InferScratch,
+    ) -> Tensor {
+        softmax_rows(&self.logits_quantized(x, quant, scratch))
+    }
+
+    /// Raw logits via the int8 serving path (see
+    /// [`Classifier::predict_proba_quantized`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Classifier::predict_proba_quantized`].
+    pub fn logits_quantized(
+        &self,
+        x: &Tensor,
+        quant: &QuantizedWeights,
+        scratch: &mut InferScratch,
+    ) -> Tensor {
+        let expect: Vec<(usize, usize)> = self
+            .backbone()
+            .layers()
+            .iter()
+            .chain(std::iter::once(self.head()))
+            .map(|l| (l.fan_in(), l.fan_out()))
+            .collect(); // lint: alloc(shape audit list, one tuple per layer)
+        assert_eq!(
+            quant.dims(),
+            expect,
+            "quantized weights were built for a different classifier shape"
+        );
+        assert_eq!(x.rank(), 2, "batched inference expects a rank-2 input");
+        assert_eq!(
+            x.cols(),
+            self.input_dim(),
+            "input width must match the classifier"
+        );
+        let rows = x.rows();
+        let backbone = self.backbone();
+
+        let mut src_vec = std::mem::take(&mut scratch.a);
+        let mut dst_vec = std::mem::take(&mut scratch.b);
+        let mut first = true;
+        for (li, layer) in backbone.layers().iter().enumerate() {
+            let src: &[f32] = if first { x.data() } else { &src_vec };
+            let epi = match backbone.activation() {
+                Activation::Relu => kernels::Epilogue::BiasRelu(layer.bias().data()),
+                Activation::Tanh => kernels::Epilogue::BiasAdd(layer.bias().data()),
+            };
+            linear_forward_quantized(
+                src,
+                rows,
+                &quant.layers[li], // lint: panicfree(dims asserted against the layer list above)
+                epi,
+                &mut scratch.qa,
+                &mut scratch.qs,
+                &mut dst_vec,
+            );
+            first = false;
+            if backbone.activation() == Activation::Tanh {
+                for v in dst_vec.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+            std::mem::swap(&mut src_vec, &mut dst_vec);
+        }
+
+        let src: &[f32] = if first { x.data() } else { &src_vec };
+        linear_forward_quantized(
+            src,
+            rows,
+            &quant.layers[backbone.layers().len()], // lint: panicfree(layers holds backbone + 1 entries, the head last)
+            kernels::Epilogue::BiasAdd(self.head().bias().data()),
+            &mut scratch.qa,
+            &mut scratch.qs,
+            &mut dst_vec,
+        );
+        // lint: alloc(the logits tensor owns its rows; scratch.b keeps its capacity for the next call)
+        let logits = Tensor::from_vec(dst_vec.clone()).reshaped(&[rows, self.num_classes()]);
+        scratch.a = src_vec;
+        scratch.b = dst_vec;
+        logits
     }
 
     /// Class probabilities via the fast path with pre-packed weight panels
@@ -259,22 +500,23 @@ impl Classifier {
         let mut first = true;
         for (li, layer) in backbone.layers().iter().enumerate() {
             let src: &[f32] = if first { x.data() } else { &src_vec };
+            // ReLU fuses into the kernel epilogue; tanh has no fused form,
+            // so it keeps the separate pass below.
+            let epi = match backbone.activation() {
+                Activation::Relu => kernels::Epilogue::BiasRelu(layer.bias().data()),
+                Activation::Tanh => kernels::Epilogue::BiasAdd(layer.bias().data()),
+            };
             match packed {
-                // lint: panicfree(dims asserted against the layer list; one panel per layer)
-                Some(p) => linear_forward_packed(src, rows, layer, &p.panels[li], &mut dst_vec),
-                None => linear_forward(src, rows, layer, &mut scratch.panel, &mut dst_vec),
+                Some(p) => {
+                    // lint: panicfree(dims asserted against the layer list; one panel per layer)
+                    linear_forward_packed(src, rows, layer, epi, &p.panels[li], &mut dst_vec)
+                }
+                None => linear_forward(src, rows, layer, epi, &mut scratch.panel, &mut dst_vec),
             }
             first = false;
-            match backbone.activation() {
-                Activation::Relu => {
-                    for v in dst_vec.iter_mut() {
-                        *v = v.max(0.0);
-                    }
-                }
-                Activation::Tanh => {
-                    for v in dst_vec.iter_mut() {
-                        *v = v.tanh();
-                    }
+            if backbone.activation() == Activation::Tanh {
+                for v in dst_vec.iter_mut() {
+                    *v = v.tanh();
                 }
             }
             // Dropout is inactive at inference (the tape op is the identity
@@ -283,15 +525,24 @@ impl Classifier {
         }
 
         let src: &[f32] = if first { x.data() } else { &src_vec };
+        let head_epi = kernels::Epilogue::BiasAdd(self.head().bias().data());
         match packed {
             Some(p) => linear_forward_packed(
                 src,
                 rows,
                 self.head(),
+                head_epi,
                 &p.panels[backbone.layers().len()], // lint: panicfree(panels holds layers + 1 entries, the head last)
                 &mut dst_vec,
             ),
-            None => linear_forward(src, rows, self.head(), &mut scratch.panel, &mut dst_vec),
+            None => linear_forward(
+                src,
+                rows,
+                self.head(),
+                head_epi,
+                &mut scratch.panel,
+                &mut dst_vec,
+            ),
         }
         // lint: alloc(the logits tensor owns its rows; scratch.b keeps its capacity for the next call)
         let logits = Tensor::from_vec(dst_vec.clone()).reshaped(&[rows, self.num_classes()]);
@@ -380,6 +631,101 @@ mod tests {
         let x = Tensor::zeros(&[2, 4]);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             clf.predict_proba_packed(&x, &packed, &mut InferScratch::new())
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn quantized_path_tracks_the_f32_oracle() {
+        // Int8 serving accuracy bound vs the f32 oracle: ≥ 99% argmax
+        // agreement and a small max probability delta, over several
+        // realistic widths and both activations.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        let mut max_delta = 0.0f32;
+        for dims in [&[32, 64, 16][..], &[16, 32, 32, 8][..], &[64, 48][..]] {
+            let clf = Classifier::from_dims(dims, 6, 0.0, &mut rng);
+            let quant = clf.quantize_weights();
+            assert!(quant.num_bytes() > 0);
+            let packed = clf.pack_weights();
+            let mut scratch = InferScratch::new();
+            let x = Tensor::randn(&[64, dims[0]], 1.0, &mut rng);
+            let oracle = clf.predict_proba_packed(&x, &packed, &mut scratch);
+            let fast = clf.predict_proba_quantized(&x, &quant, &mut scratch);
+            assert_eq!(fast.shape(), oracle.shape());
+            for r in 0..x.rows() {
+                let (of, qf) = (oracle.row(r), fast.row(r));
+                let argmax = |row: &[f32]| {
+                    row.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .unwrap()
+                        .0
+                };
+                total += 1;
+                if argmax(of) == argmax(qf) {
+                    agree += 1;
+                }
+                for (o, q) in of.iter().zip(qf) {
+                    max_delta = max_delta.max((o - q).abs());
+                }
+            }
+        }
+        let rate = agree as f32 / total as f32;
+        assert!(rate >= 0.99, "argmax agreement {rate} below 0.99");
+        assert!(max_delta <= 0.05, "max probability delta {max_delta}");
+    }
+
+    #[test]
+    fn quantized_path_is_deterministic_and_batch_independent() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let clf = Classifier::from_dims(&[12, 24, 10], 4, 0.0, &mut rng);
+        let quant = clf.quantize_weights();
+        let batch = Tensor::randn(&[9, 12], 1.0, &mut rng);
+        let mut scratch = InferScratch::new();
+        let together = clf.predict_proba_quantized(&batch, &quant, &mut scratch);
+        let again = clf.predict_proba_quantized(&batch, &quant, &mut scratch);
+        assert_eq!(together.data(), again.data());
+        for i in 0..batch.rows() {
+            let single = batch.gather_rows(&[i]);
+            let alone = clf.predict_proba_quantized(&single, &quant, &mut scratch);
+            assert_eq!(alone.row(0), together.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn quantized_scratch_reuse_survives_nan_poison() {
+        // A NaN-poisoned batch must not leak into later results through the
+        // reused scratch: every buffer is either fully overwritten or
+        // quantize-degraded per row.
+        let mut rng = StdRng::seed_from_u64(19);
+        let clf = Classifier::from_dims(&[8, 16], 3, 0.0, &mut rng);
+        let quant = clf.quantize_weights();
+        let mut scratch = InferScratch::new();
+        let mut poison = vec![f32::NAN; 4 * 8];
+        poison[9] = 1.0;
+        let _ = clf.predict_proba_quantized(
+            &Tensor::from_vec(poison).reshaped(&[4, 8]),
+            &quant,
+            &mut scratch,
+        );
+        let clean = Tensor::randn(&[2, 8], 1.0, &mut rng);
+        let reused = clf.predict_proba_quantized(&clean, &quant, &mut scratch);
+        let fresh = clf.predict_proba_quantized(&clean, &quant, &mut InferScratch::new());
+        assert_eq!(reused.data(), fresh.data());
+        assert!(reused.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn quantized_weights_from_another_shape_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let clf = Classifier::from_dims(&[4, 8], 2, 0.0, &mut rng);
+        let other = Classifier::from_dims(&[4, 6], 2, 0.0, &mut rng);
+        let quant = other.quantize_weights();
+        let x = Tensor::zeros(&[2, 4]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clf.predict_proba_quantized(&x, &quant, &mut InferScratch::new())
         }));
         assert!(result.is_err());
     }

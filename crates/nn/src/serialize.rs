@@ -3,15 +3,46 @@
 //!
 //! The paper's motivation is producing classifiers that can be *served*;
 //! serving requires persisting them. The format is a small, versioned binary
-//! layout: a magic tag, the layer widths, and little-endian `f32` parameter
-//! buffers in [`Module::parameters`] order.
+//! layout: a magic tag, the backbone activation (v2), the layer widths, and
+//! little-endian `f32` parameter buffers in [`Module::parameters`] order.
+//!
+//! Version history:
+//!
+//! * `TAGLETS1` — dims + params only; the activation was never written, so
+//!   every v1 file is a ReLU model by construction (loading hardcoded ReLU).
+//! * `TAGLETS2` — one activation byte after the magic, then the v1 layout.
+//!   Writers emit v2; readers accept both.
+//!
+//! Quantized serving weights are deliberately *not* serialized: int8 packing
+//! ([`crate::Classifier::quantize_weights`]) is a deterministic pure function
+//! of the f32 parameters, so loaders re-derive them and the file stays a
+//! single source of truth (no risk of stale panels disagreeing with weights).
 
 use std::io::{self, Read, Write};
 
 use crate::{Activation, Classifier, Linear, Mlp, Module};
 use taglets_tensor::Tensor;
 
-const MAGIC: &[u8; 8] = b"TAGLETS1";
+/// Legacy format tag: no activation byte, always a ReLU backbone.
+const MAGIC_V1: &[u8; 8] = b"TAGLETS1";
+/// Current format tag: activation byte follows the magic.
+const MAGIC_V2: &[u8; 8] = b"TAGLETS2";
+
+/// Wire encoding of [`Activation`] in v2 headers.
+fn activation_to_byte(a: Activation) -> u8 {
+    match a {
+        Activation::Relu => 0,
+        Activation::Tanh => 1,
+    }
+}
+
+fn activation_from_byte(b: u8) -> Option<Activation> {
+    match b {
+        0 => Some(Activation::Relu),
+        1 => Some(Activation::Tanh),
+        _ => None,
+    }
+}
 
 /// Largest layer width a well-formed model file may declare. Every model in
 /// the workspace is orders of magnitude below this; the cap exists so a
@@ -29,9 +60,10 @@ const MAX_TENSOR_SCALARS: usize = 1 << 26;
 ///
 /// Propagates any I/O error from the writer.
 pub fn save_classifier<W: Write>(clf: &Classifier, mut w: W) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    // Layer widths: backbone dims then head output.
+    w.write_all(MAGIC_V2)?;
     let backbone = clf.backbone();
+    w.write_all(&[activation_to_byte(backbone.activation())])?;
+    // Layer widths: backbone dims then head output.
     let mut dims = vec![backbone.input_dim() as u32];
     // Recover hidden widths from parameter shapes (w matrices are [in, out]).
     for p in backbone.parameters().iter().step_by(2) {
@@ -55,16 +87,25 @@ pub fn save_classifier<W: Write>(clf: &Classifier, mut w: W) -> io::Result<()> {
 /// # Errors
 ///
 /// Returns `InvalidData` if the magic tag or layout is malformed, and
-/// propagates reader I/O errors.
+/// propagates reader I/O errors. Accepts both the current `TAGLETS2` format
+/// and legacy `TAGLETS1` files (which are always ReLU models — v1 never
+/// stored the activation and every v1 writer produced ReLU backbones).
 pub fn load_classifier<R: Read>(mut r: R) -> io::Result<Classifier> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    let activation = if &magic == MAGIC_V2 {
+        let mut abyte = [0u8; 1];
+        r.read_exact(&mut abyte)?;
+        activation_from_byte(abyte[0])
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unknown activation byte"))?
+    } else if &magic == MAGIC_V1 {
+        Activation::Relu
+    } else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "not a TAGLETS model file",
         ));
-    }
+    };
     let mut u32buf = [0u8; 4];
     r.read_exact(&mut u32buf)?;
     let n_dims = u32::from_le_bytes(u32buf) as usize;
@@ -123,7 +164,7 @@ pub fn load_classifier<R: Read>(mut r: R) -> io::Result<Classifier> {
     let head_w = read_tensor(&[dims[dims.len() - 2], dims[dims.len() - 1]])?;
     let head_b = read_tensor(&[dims[dims.len() - 1]])?;
 
-    let backbone = Mlp::from_layers(layers, 0.0, Activation::Relu);
+    let backbone = Mlp::from_layers(layers, 0.0, activation);
     Ok(Classifier::from_parts(
         backbone,
         Linear::from_parts(head_w, head_b),
@@ -145,6 +186,49 @@ mod tests {
         let x = Tensor::randn(&[5, 6], 1.0, &mut rng);
         assert_eq!(clf.logits(&x), loaded.logits(&x));
         assert_eq!(clf.parameters(), loaded.parameters());
+        assert_eq!(loaded.backbone().activation(), Activation::Relu);
+    }
+
+    #[test]
+    fn tanh_backbone_round_trips_with_its_activation() {
+        // v1 could not represent this model at all: it hardcoded ReLU on
+        // load, which silently changes a Tanh network's predictions.
+        let mut rng = StdRng::seed_from_u64(4);
+        let backbone = Mlp::with_activation(&[5, 9, 6], 0.0, Activation::Tanh, &mut rng);
+        let clf = Classifier::new(backbone, 3, &mut rng);
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        let loaded = load_classifier(buf.as_slice()).unwrap();
+        assert_eq!(loaded.backbone().activation(), Activation::Tanh);
+        let x = Tensor::randn(&[7, 5], 1.0, &mut rng);
+        assert_eq!(clf.logits(&x), loaded.logits(&x));
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load_as_relu_models() {
+        // Reconstruct a v1 file from a v2 one: swap the magic and drop the
+        // activation byte. This is byte-for-byte what v1 writers produced.
+        let mut rng = StdRng::seed_from_u64(5);
+        let clf = Classifier::from_dims(&[6, 10, 4], 3, 0.0, &mut rng);
+        let mut v2 = Vec::new();
+        save_classifier(&clf, &mut v2).unwrap();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        v1.extend_from_slice(&v2[MAGIC_V2.len() + 1..]);
+        let loaded = load_classifier(v1.as_slice()).unwrap();
+        assert_eq!(loaded.backbone().activation(), Activation::Relu);
+        assert_eq!(clf.parameters(), loaded.parameters());
+    }
+
+    #[test]
+    fn unknown_activation_byte_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let clf = Classifier::from_dims(&[4, 4], 2, 0.0, &mut rng);
+        let mut buf = Vec::new();
+        save_classifier(&clf, &mut buf).unwrap();
+        buf[MAGIC_V2.len()] = 0x7F;
+        let err = load_classifier(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -159,7 +243,8 @@ mod tests {
         // A header that claims two 2^24-wide layers would ask for a
         // petabyte-scale weight matrix; loading must fail fast instead.
         let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(MAGIC_V2);
+        buf.push(0); // activation byte: ReLU
         buf.extend_from_slice(&3u32.to_le_bytes());
         for d in [1u32 << 24, 1 << 24, 4] {
             buf.extend_from_slice(&d.to_le_bytes());

@@ -18,7 +18,7 @@
 //! ```
 
 use crate::exec::Executor;
-use crate::kernels::GemmKind;
+use crate::kernels::{self, GemmKind};
 use crate::tensor::gemm_tensors;
 use crate::{argmax_slice, Tensor};
 
@@ -389,6 +389,12 @@ impl Tape {
 
     /// Adds a rank-1 bias `b` to every row of rank-2 `x`.
     ///
+    /// The forward value routes through [`kernels::Epilogue::apply_rows`] —
+    /// the same per-element implementation the fused inference kernels
+    /// apply in-register — so the training tape and the serving fast path
+    /// share one bias epilogue (pinned bitwise-equal by the `taglets-nn`
+    /// tests).
+    ///
     /// # Panics
     ///
     /// Panics if `b.numel() != x.cols()`.
@@ -398,11 +404,7 @@ impl Tape {
         assert_eq!(xs.cols(), bs.numel(), "bias length must match columns");
         let cols = xs.cols();
         let mut value = xs.clone();
-        for row in value.data_mut().chunks_mut(cols) {
-            for (v, &bv) in row.iter_mut().zip(bs.data()) {
-                *v += bv;
-            }
-        }
+        kernels::Epilogue::BiasAdd(bs.data()).apply_rows(value.data_mut(), cols);
         let rg = self.needs(x) || self.needs(b);
         self.push(value, Op::AddRow(x, b), rg)
     }

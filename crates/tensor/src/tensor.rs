@@ -684,7 +684,18 @@ pub(crate) fn gemm_tensors(
     // Old contents (whatever their values) are never read by the kernel:
     // resize only adjusts the length.
     out.data.resize(m * n, 0.0);
-    kernels::gemm_into(kind, m, k, n, &a.data, &b.data, exec, panel, &mut out.data);
+    kernels::gemm_into(
+        kind,
+        m,
+        k,
+        n,
+        &a.data,
+        &b.data,
+        kernels::Epilogue::None,
+        exec,
+        panel,
+        &mut out.data,
+    );
 }
 
 /// The seed naive loops, kept verbatim as bitwise references for the
